@@ -1,0 +1,47 @@
+# Standard development targets. Everything is stdlib Go; no external tools.
+
+GO ?= go
+
+.PHONY: all build test test-verbose vet bench experiments results examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test log, as recorded in test_output.txt.
+test-verbose:
+	$(GO) test -v ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure and the extension studies.
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+# One file per artifact under results/.
+results:
+	$(GO) run ./cmd/experiments -run all -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/policy_comparison
+	$(GO) run ./examples/estimate_sensitivity
+	$(GO) run ./examples/capacity_planning
+	$(GO) run ./examples/trace_study
+	$(GO) run ./examples/starvation
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt
+	rm -rf results

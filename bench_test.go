@@ -1,0 +1,315 @@
+// Package repro's benchmarks regenerate every table and figure of the
+// paper (one benchmark per artifact — see DESIGN.md's experiment index) and
+// measure the simulator's hot paths: the availability profile, the event
+// queue, conservative compression, and each scheduler end to end.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Artifact benchmarks use a reduced job count so a full sweep stays fast;
+// cmd/experiments regenerates the artifacts at full scale.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// benchParams sizes the per-artifact benchmarks.
+func benchParams() exp.Params {
+	p := exp.DefaultParams()
+	p.Jobs = 800
+	return p
+}
+
+// benchExperiment runs one paper artifact per iteration on a fresh lab (no
+// caching across iterations, so the cost measured is the real regeneration
+// cost).
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lab, err := exp.NewLab(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tables, err := e.Run(lab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range tables {
+			if err := t.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)      { benchExperiment(b, "Table1") }
+func BenchmarkTable2(b *testing.B)      { benchExperiment(b, "Table2") }
+func BenchmarkTable3(b *testing.B)      { benchExperiment(b, "Table3") }
+func BenchmarkFigure1(b *testing.B)     { benchExperiment(b, "Figure1") }
+func BenchmarkFigure2(b *testing.B)     { benchExperiment(b, "Figure2") }
+func BenchmarkTable4(b *testing.B)      { benchExperiment(b, "Table4") }
+func BenchmarkTable5(b *testing.B)      { benchExperiment(b, "Table5") }
+func BenchmarkTable6(b *testing.B)      { benchExperiment(b, "Table6") }
+func BenchmarkFigure3(b *testing.B)     { benchExperiment(b, "Figure3") }
+func BenchmarkFigure4(b *testing.B)     { benchExperiment(b, "Figure4") }
+func BenchmarkTable7(b *testing.B)      { benchExperiment(b, "Table7") }
+func BenchmarkEquivalence(b *testing.B) { benchExperiment(b, "Equivalence") }
+func BenchmarkSelective(b *testing.B)   { benchExperiment(b, "Selective") }
+func BenchmarkLoadSweep(b *testing.B)   { benchExperiment(b, "LoadSweep") }
+
+func BenchmarkDepthSweep(b *testing.B)          { benchExperiment(b, "DepthSweep") }
+func BenchmarkSlackSweep(b *testing.B)          { benchExperiment(b, "SlackSweep") }
+func BenchmarkCompressionAblation(b *testing.B) { benchExperiment(b, "CompressionAblation") }
+func BenchmarkFairness(b *testing.B)            { benchExperiment(b, "Fairness") }
+
+func BenchmarkConfidence(b *testing.B)      { benchExperiment(b, "Confidence") }
+func BenchmarkBurstiness(b *testing.B)      { benchExperiment(b, "Burstiness") }
+func BenchmarkBackfillOrder(b *testing.B)   { benchExperiment(b, "BackfillOrder") }
+func BenchmarkSignificance(b *testing.B)    { benchExperiment(b, "Significance") }
+func BenchmarkPreemption(b *testing.B)      { benchExperiment(b, "Preemption") }
+func BenchmarkPolicyMatrix(b *testing.B)    { benchExperiment(b, "PolicyMatrix") }
+func BenchmarkPartitioning(b *testing.B)    { benchExperiment(b, "Partitioning") }
+func BenchmarkLoadConsistency(b *testing.B) { benchExperiment(b, "LoadConsistency") }
+func BenchmarkMultiSite(b *testing.B)       { benchExperiment(b, "MultiSite") }
+func BenchmarkDistribution(b *testing.B)    { benchExperiment(b, "Distribution") }
+
+func BenchmarkSchedulerPreemptive(b *testing.B) { benchScheduler(b, "preemptive:10", "FCFS") }
+
+func BenchmarkSchedulerDepth4(b *testing.B) { benchScheduler(b, "depth:4", "FCFS") }
+func BenchmarkSchedulerSlack1(b *testing.B) { benchScheduler(b, "slack:1", "FCFS") }
+
+// --- Scheduler end-to-end ablation -----------------------------------------
+
+// benchWorkload builds a fixed 2000-job CTC-model workload with actual
+// estimates.
+func benchWorkload(b *testing.B) ([]*job.Job, int) {
+	b.Helper()
+	m, err := workload.NewCTC(0.85)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := m.Generate(2000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return workload.ApplyEstimates(jobs, workload.Actual{}, 43), m.Procs
+}
+
+func benchScheduler(b *testing.B, kind, pol string) {
+	b.Helper()
+	jobs, procs := benchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.Config{Procs: procs, Scheduler: kind, Policy: pol}, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Overall.N != len(jobs) {
+			b.Fatal("lost jobs")
+		}
+	}
+}
+
+func BenchmarkSchedulerNoBackfill(b *testing.B)   { benchScheduler(b, "none", "FCFS") }
+func BenchmarkSchedulerEASY(b *testing.B)         { benchScheduler(b, "easy", "FCFS") }
+func BenchmarkSchedulerEASYSJF(b *testing.B)      { benchScheduler(b, "easy", "SJF") }
+func BenchmarkSchedulerConservative(b *testing.B) { benchScheduler(b, "conservative", "FCFS") }
+func BenchmarkSchedulerSelective(b *testing.B)    { benchScheduler(b, "selective:2", "FCFS") }
+
+// BenchmarkCompression stresses conservative backfilling's compression
+// path: R=4 estimates mean every completion opens a hole and re-places the
+// whole queue.
+func BenchmarkCompression(b *testing.B) {
+	m, err := workload.NewCTC(0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := m.Generate(1500, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs = workload.ApplyEstimates(jobs, workload.Systematic{R: 4}, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(core.Config{Procs: m.Procs, Scheduler: "conservative"}, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Profile micro-benchmarks and the slice-vs-dense ablation ----------------
+
+// buildBusyProfile fills a profile with n staggered reservations.
+func buildBusyProfile(procs, n int) *sched.Profile {
+	p := sched.NewProfile(procs)
+	r := stats.NewRNG(1)
+	for i := 0; i < n; i++ {
+		from := int64(r.Intn(100000))
+		dur := int64(r.Intn(5000) + 100)
+		w := r.Intn(procs/4) + 1
+		if p.MinFree(from, dur) >= w {
+			p.Reserve(from, dur, w)
+		}
+	}
+	return p
+}
+
+func BenchmarkProfileFindStart(b *testing.B) {
+	p := buildBusyProfile(430, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.FindStart(int64(i%100000), 3600, 64)
+	}
+}
+
+func BenchmarkProfileReserveRelease(b *testing.B) {
+	// The busy region [0, ~105000) gives the profile a realistic point
+	// count; the measured reserve/release pairs land beyond it so they are
+	// always feasible regardless of b.N.
+	p := buildBusyProfile(430, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := 200000 + int64((i*97)%1000)*10
+		p.Reserve(from, 1000, 8)
+		p.Release(from, 1000, 8)
+	}
+}
+
+// denseProfile is the ablation baseline: a per-second free-processor array.
+// It answers the same FindStart query by brute force, showing why the
+// step-function profile is the right structure (DESIGN.md decision 2).
+type denseProfile struct {
+	free []int
+}
+
+func newDenseProfile(procs int, horizon int64) *denseProfile {
+	f := make([]int, horizon)
+	for i := range f {
+		f[i] = procs
+	}
+	return &denseProfile{free: f}
+}
+
+func (d *denseProfile) reserve(from, dur int64, w int) {
+	for t := from; t < from+dur && t < int64(len(d.free)); t++ {
+		d.free[t] -= w
+	}
+}
+
+func (d *denseProfile) findStart(from, dur int64, w int) int64 {
+search:
+	for s := from; s < int64(len(d.free)); s++ {
+		for t := s; t < s+dur; t++ {
+			if t < int64(len(d.free)) && d.free[t] < w {
+				continue search
+			}
+		}
+		return s
+	}
+	return int64(len(d.free))
+}
+
+func BenchmarkProfileFindStartDenseAblation(b *testing.B) {
+	const horizon = 200000
+	d := newDenseProfile(430, horizon)
+	r := stats.NewRNG(1)
+	for i := 0; i < 400; i++ {
+		d.reserve(int64(r.Intn(100000)), int64(r.Intn(5000)+100), r.Intn(32)+1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.findStart(int64(i%100000), 3600, 64)
+	}
+}
+
+// --- Event queue -------------------------------------------------------------
+
+func BenchmarkEventQueue(b *testing.B) {
+	r := stats.NewRNG(5)
+	j := &job.Job{ID: 1}
+	times := make([]int64, 1024)
+	for i := range times {
+		times[i] = int64(r.Intn(1 << 20))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := sim.NewEventQueue()
+		for _, t := range times {
+			q.Push(t, sim.Arrival, j)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+}
+
+// --- Categorization ------------------------------------------------------------
+
+func BenchmarkCategorize(b *testing.B) {
+	jobs, _ := benchWorkload(b)
+	th := job.PaperThresholds()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := job.CategoryMix(jobs, th)
+		if m[job.ShortNarrow] == 0 {
+			b.Fatal("empty mix")
+		}
+	}
+}
+
+// --- Workload generation ----------------------------------------------------------
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	m, err := workload.NewCTC(0.85)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Generate(2000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateModels compares the estimate rewriters.
+func BenchmarkEstimateModels(b *testing.B) {
+	jobs, _ := benchWorkload(b)
+	for _, em := range []workload.EstimateModel{
+		workload.Exact{}, workload.Systematic{R: 2}, workload.Actual{},
+	} {
+		b.Run(em.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := workload.ApplyEstimates(jobs, em, int64(i))
+				if len(out) != len(jobs) {
+					b.Fatal("lost jobs")
+				}
+			}
+		})
+	}
+}

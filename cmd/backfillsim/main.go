@@ -1,0 +1,118 @@
+// Command backfillsim runs one scheduling simulation and prints a full
+// metric report: overall and per-category slowdowns, turnaround and wait
+// times, worst cases, and utilization.
+//
+// Workloads come from either a synthetic trace model or a Standard Workload
+// Format file:
+//
+//	backfillsim -model CTC -jobs 5000 -load 0.85 -sched easy -policy SJF
+//	backfillsim -swf /path/to/CTC-SP2.swf -sched conservative
+//	backfillsim -model SDSC -est actual -sched selective:adaptive -policy XF
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/swf"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "CTC", "synthetic trace model: CTC or SDSC (ignored with -swf)")
+		swfPath  = flag.String("swf", "", "read workload from this SWF file instead of a synthetic model")
+		jobCount = flag.Int("jobs", 5000, "number of jobs to generate (or keep from the SWF file)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		load     = flag.Float64("load", 0.85, "offered load for synthetic traces")
+		est      = flag.String("est", "keep", "estimate model: keep, exact, actual, or R=<factor> (keep preserves SWF estimates; synthetic models generate exact ones)")
+		sched    = flag.String("sched", "easy", "scheduler: conservative, easy, none, selective:<x>, selective:adaptive")
+		policy   = flag.String("policy", "FCFS", "priority policy: FCFS, SJF, XF, LJF, WFP")
+		procs    = flag.Int("procs", 0, "machine size override (default: model/trace size)")
+	)
+	flag.Parse()
+
+	jobs, machprocs, err := loadWorkload(*swfPath, *model, *jobCount, *seed, *load)
+	if err != nil {
+		fatal(err)
+	}
+	if *procs > 0 {
+		machprocsOld := machprocs
+		machprocs = *procs
+		if machprocs < machprocsOld {
+			jobs = trace.FilterWidth(jobs, machprocs)
+		}
+	}
+
+	em, err := workload.EstimateModelByName(*est)
+	if err != nil {
+		fatal(err)
+	}
+	jobs = workload.ApplyEstimates(jobs, em, *seed+1)
+
+	cfg := core.Config{Procs: machprocs, Scheduler: *sched, Policy: *policy, Audit: true}
+	start := time.Now()
+	res, err := core.Run(cfg, jobs)
+	if err != nil {
+		fatal(err)
+	}
+	printReport(res, len(jobs), machprocs, time.Since(start))
+}
+
+func loadWorkload(swfPath, model string, jobs int, seed int64, load float64) ([]*job.Job, int, error) {
+	if swfPath != "" {
+		tr, err := swf.Open(swfPath, swf.Options{MaxJobs: jobs})
+		if err != nil {
+			return nil, 0, err
+		}
+		if tr.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "backfillsim: skipped %d unusable records\n", tr.Skipped)
+		}
+		return tr.Jobs, tr.MaxProcs, nil
+	}
+	m, err := workload.ByName(model, load)
+	if err != nil {
+		return nil, 0, err
+	}
+	js, err := m.Generate(jobs, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	return js, m.Procs, nil
+}
+
+func printReport(res *core.Result, jobs, procs int, elapsed time.Duration) {
+	r := res.Report
+	fmt.Printf("scheduler        %s\n", r.Scheduler)
+	fmt.Printf("jobs             %d on %d processors\n", jobs, procs)
+	fmt.Printf("simulated span   %s\n", time.Duration(r.Makespan)*time.Second)
+	fmt.Printf("utilization      %.1f%%\n", 100*r.Utilization)
+	fmt.Printf("loss of capacity %.1f%% (idle while jobs queued)\n", 100*r.LossOfCapacity)
+	fmt.Printf("wall time        %s\n\n", elapsed.Round(time.Millisecond))
+
+	row := func(name string, s metrics.Summary) {
+		fmt.Printf("%-18s %6d  %12.2f  %14.1f  %12.1f  %14d\n",
+			name, s.N, s.MeanSlowdown, s.MeanTurnaround, s.MeanWait, s.MaxTurnaround)
+	}
+	fmt.Printf("%-18s %6s  %12s  %14s  %12s  %14s\n",
+		"class", "jobs", "avg slowdown", "avg turnaround", "avg wait", "max turnaround")
+	fmt.Println("--------------------------------------------------------------------------------------")
+	row("overall", r.Overall)
+	for _, c := range job.Categories() {
+		row(c.String(), r.ByCategory[c])
+	}
+	row("well-estimated", r.ByQuality[job.WellEstimated])
+	row("poorly-estimated", r.ByQuality[job.PoorlyEstimated])
+	fmt.Printf("\nschedule fingerprint: %016x\n", res.Fingerprint)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "backfillsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestWriteFiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	tables := []*exp.Table{
+		{ID: "A", Title: "first", Headers: []string{"x"}, Rows: [][]string{{"1"}}},
+		{ID: "A", Title: "second panel", Headers: []string{"x"}, Rows: [][]string{{"2"}}},
+		{ID: "B", Title: "other", Headers: []string{"y"}, Rows: [][]string{{"3"}}},
+	}
+	if err := writeFiles(dir, tables, "text"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(dir, "A.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(a), "first") || !strings.Contains(string(a), "second panel") {
+		t.Fatalf("A.txt missing panels: %q", a)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "B.txt")); err != nil {
+		t.Fatal("B.txt missing")
+	}
+
+	if err := writeFiles(dir, tables, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "B.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "y\n") {
+		t.Fatalf("B.csv wrong: %q", b)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	tables := []*exp.Table{
+		{ID: "A", Title: "first", Headers: []string{"x"}, Rows: [][]string{{"1"}}},
+		{ID: "B", Title: "second", Headers: []string{"y"}, Rows: [][]string{{"2"}}},
+	}
+	p := exp.DefaultParams()
+	if err := writeReport(path, p, tables); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, frag := range []string{
+		"# Backfilling characterization",
+		"### A: first", "### B: second",
+		"| x |", "| 2 |",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command schedviz simulates a workload under one scheduler and renders
+// the resulting schedule as text charts: machine utilization over time,
+// queue depth, and (for small runs) a per-job Gantt chart.
+//
+//	schedviz -model SDSC -jobs 30 -sched easy -policy SJF
+//	schedviz -swf trace.swf -jobs 500 -sched conservative -width 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/swf"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "SDSC", "synthetic trace model: CTC or SDSC (ignored with -swf)")
+		swfPath = flag.String("swf", "", "read workload from this SWF file")
+		jobs    = flag.Int("jobs", 30, "number of jobs")
+		seed    = flag.Int64("seed", 42, "random seed")
+		load    = flag.Float64("load", 0.85, "offered load for synthetic traces")
+		est     = flag.String("est", "keep", "estimate model: keep, exact, actual, or R=<factor>")
+		sched   = flag.String("sched", "easy", "scheduler kind")
+		policy  = flag.String("policy", "FCFS", "priority policy")
+		width   = flag.Int("width", 100, "chart width in columns")
+		heat    = flag.Bool("heatmap", false, "also render weekday×hour utilization and arrival heatmaps")
+		svgPath = flag.String("svg", "", "also write a vector Gantt chart to this SVG file")
+	)
+	flag.Parse()
+
+	js, procs, err := load2(*swfPath, *model, *jobs, *seed, *load)
+	if err != nil {
+		fatal(err)
+	}
+	em, err := workload.EstimateModelByName(*est)
+	if err != nil {
+		fatal(err)
+	}
+	js = workload.ApplyEstimates(js, em, *seed+1)
+
+	res, err := core.Run(core.Config{Procs: procs, Scheduler: *sched, Policy: *policy, Audit: true}, js)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s  avg slowdown %.2f  avg turnaround %.0fs  utilization %.1f%%\n\n",
+		res.Report.Scheduler, res.Report.Overall.MeanSlowdown,
+		res.Report.Overall.MeanTurnaround, 100*res.Report.Utilization)
+	if err := viz.Render(os.Stdout, res.Placements, viz.Options{Procs: procs, Width: *width}); err != nil {
+		fatal(err)
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := viz.RenderSVG(f, res.Placements, viz.SVGOptions{Procs: procs}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+	if *heat {
+		fmt.Println()
+		util, err := metrics.UtilizationHeatmap(res.Placements, procs)
+		if err != nil {
+			fatal(err)
+		}
+		if err := viz.RenderHeatmap(os.Stdout, util, "utilization heatmap"); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if err := viz.RenderHeatmap(os.Stdout, metrics.ArrivalHeatmap(res.Placements), "arrival heatmap (jobs/hour)"); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func load2(swfPath, model string, jobs int, seed int64, load float64) ([]*job.Job, int, error) {
+	if swfPath != "" {
+		tr, err := swf.Open(swfPath, swf.Options{MaxJobs: jobs})
+		if err != nil {
+			return nil, 0, err
+		}
+		return tr.Jobs, tr.MaxProcs, nil
+	}
+	m, err := workload.ByName(model, load)
+	if err != nil {
+		return nil, 0, err
+	}
+	js, err := m.Generate(jobs, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	return js, m.Procs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command sweep runs a factorial scheduling study and emits long-form CSV:
+// one row per (workload × load × estimate model × scheduler × policy) cell.
+//
+//	sweep -models CTC,SDSC -jobs 3000 -loads 0.7,0.85,0.95 \
+//	      -scheds conservative,easy -policies FCFS,SJF,XF -ests exact,actual \
+//	      -o study.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		models   = flag.String("models", "CTC", "comma-separated trace models (CTC, SDSC)")
+		jobs     = flag.Int("jobs", 3000, "jobs per workload")
+		seed     = flag.Int64("seed", 42, "random seed")
+		baseLoad = flag.Float64("base-load", 0.6, "offered load the base workloads are generated at")
+		loads    = flag.String("loads", "", "comma-separated target loads (empty: as generated)")
+		scheds   = flag.String("scheds", "conservative,easy", "comma-separated scheduler kinds")
+		policies = flag.String("policies", "FCFS,SJF,XF", "comma-separated priority policies")
+		ests     = flag.String("ests", "exact", "comma-separated estimate models")
+		out      = flag.String("o", "", "output CSV file (default stdout)")
+		quiet    = flag.Bool("q", false, "suppress per-cell progress on stderr")
+	)
+	flag.Parse()
+
+	design := sweep.Design{
+		Schedulers: splitList(*scheds),
+		Policies:   splitList(*policies),
+		Estimates:  splitList(*ests),
+		Seed:       *seed,
+	}
+	for _, name := range splitList(*models) {
+		m, err := workload.ByName(name, *baseLoad)
+		if err != nil {
+			fatal(err)
+		}
+		js, err := m.Generate(*jobs, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		design.Workloads = append(design.Workloads, sweep.Workload{
+			Name: m.Name, Jobs: js, Procs: m.Procs, BaseLoad: *baseLoad,
+		})
+	}
+	if *loads != "" {
+		for _, s := range splitList(*loads) {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad load %q: %w", s, err))
+			}
+			design.Loads = append(design.Loads, v)
+		}
+	}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	recs, err := sweep.Run(design, progress)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := sweep.WriteCSV(w, recs); err != nil {
+		fatal(err)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

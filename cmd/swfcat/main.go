@@ -1,0 +1,194 @@
+// Command swfcat reads a workload trace (SWF, optionally gzipped), applies
+// transforms, and writes the result as SWF — the trace-preparation step
+// before feeding real logs to the simulator. Transformation is lossless
+// for the fields the simulator does not model: status, queue, memory and
+// the other raw SWF columns pass through untouched.
+//
+//	swfcat -scale 0.7 ctc.swf.gz > ctc-high.swf        # shrink gaps: raise load
+//	swfcat -max-width 128 -renumber big.swf > small.swf
+//	swfcat -window 86400:172800 -est R=2 trace.swf > day2-padded.swf
+//	swfcat -head 5000 trace.swf > first5000.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/job"
+	"repro/internal/swf"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 1, "multiply inter-arrival gaps by this factor (<1 raises load)")
+		maxWidth = flag.Int("max-width", 0, "drop jobs wider than this (0: keep all)")
+		window   = flag.String("window", "", "keep jobs arriving in [from:to) seconds, e.g. 86400:172800")
+		head     = flag.Int("head", 0, "keep only the first N jobs (0: keep all)")
+		renumber = flag.Bool("renumber", false, "renumber IDs 1..n and shift arrivals to start at 0")
+		est      = flag.String("est", "keep", "rewrite estimates: keep, exact, actual, or R=<factor>")
+		seed     = flag.Int64("seed", 42, "seed for stochastic estimate models")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: swfcat [flags] <file.swf | file.swf.gz | ->")
+		os.Exit(2)
+	}
+
+	raw, err := read(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	// Derive the simulator's view, remembering each job's source record.
+	recordByID := map[int]swf.Record{}
+	var jobs []*job.Job
+	dropped := raw.Skipped
+	for _, rec := range raw.Records {
+		j, err := rec.Job()
+		if err != nil || j == nil {
+			dropped++
+			continue
+		}
+		if _, dup := recordByID[j.ID]; dup {
+			dropped++ // duplicate job numbers cannot be tracked losslessly
+			continue
+		}
+		recordByID[j.ID] = rec
+		jobs = append(jobs, j)
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "swfcat: dropped %d unusable/duplicate records\n", dropped)
+	}
+
+	// Transforms that preserve job identity.
+	if *window != "" {
+		from, to, err := parseWindow(*window)
+		if err != nil {
+			fatal(err)
+		}
+		jobs = trace.Window(jobs, from, to)
+	}
+	if *maxWidth > 0 {
+		jobs = trace.FilterWidth(jobs, *maxWidth)
+	}
+	if *head > 0 && *head < len(jobs) {
+		jobs = job.CloneAll(jobs[:*head])
+	}
+	if *scale != 1 {
+		jobs, err = trace.ScaleLoad(jobs, *scale)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	em, err := workload.EstimateModelByName(*est)
+	if err != nil {
+		fatal(err)
+	}
+	jobs = workload.ApplyEstimates(jobs, em, *seed)
+
+	// Write the scheduler-relevant fields back into the source records,
+	// keeping every other column intact. Renumbering happens here so job
+	// identity survives the transforms above.
+	outTrace := &swf.RawTrace{Header: map[string]string{}}
+	for k, v := range raw.Header {
+		outTrace.Header[k] = v
+	}
+	base := int64(0)
+	if *renumber && len(jobs) > 0 {
+		base = jobs[0].Arrival
+		for _, j := range jobs {
+			if j.Arrival < base {
+				base = j.Arrival
+			}
+		}
+	}
+	for i, j := range jobs {
+		rec := recordByID[j.ID]
+		if *renumber {
+			j = j.Clone()
+			j.ID = i + 1
+			j.Arrival -= base
+		}
+		rec.ApplyJob(j)
+		outTrace.Records = append(outTrace.Records, rec)
+	}
+
+	if *maxWidth > 0 {
+		outTrace.Header["MaxProcs"] = strconv.Itoa(*maxWidth)
+	}
+	outTrace.Header["Note"] = fmt.Sprintf("transformed by swfcat: scale=%g max-width=%d window=%q head=%d renumber=%v est=%s",
+		*scale, *maxWidth, *window, *head, *renumber, em.Name())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := swf.WriteRecords(w, outTrace); err != nil {
+		fatal(err)
+	}
+}
+
+func read(name string) (*swf.RawTrace, error) {
+	var src *os.File
+	if name == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		src = f
+	}
+	r, err := swf.NewReader(src)
+	if err != nil {
+		return nil, err
+	}
+	return swf.ParseRecords(r, false)
+}
+
+// parseWindow parses "from:to" (seconds); either side may be empty for an
+// open end.
+func parseWindow(s string) (int64, int64, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -window %q (want from:to)", s)
+	}
+	from, to := int64(0), int64(math.MaxInt64)
+	var err error
+	if parts[0] != "" {
+		if from, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad -window from: %w", err)
+		}
+	}
+	if parts[1] != "" {
+		if to, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad -window to: %w", err)
+		}
+	}
+	if to <= from {
+		return 0, 0, fmt.Errorf("bad -window %q: to must exceed from", s)
+	}
+	return from, to, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swfcat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseWindow(t *testing.T) {
+	cases := []struct {
+		in       string
+		from, to int64
+		ok       bool
+	}{
+		{"100:200", 100, 200, true},
+		{":200", 0, 200, true},
+		{"100:", 100, 1<<63 - 1, true},
+		{"200:100", 0, 0, false},
+		{"abc:200", 0, 0, false},
+		{"100", 0, 0, false},
+		{"100:xyz", 0, 0, false},
+		{"100:100", 0, 0, false},
+	}
+	for _, tc := range cases {
+		from, to, err := parseWindow(tc.in)
+		if tc.ok && err != nil {
+			t.Errorf("parseWindow(%q): %v", tc.in, err)
+			continue
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("parseWindow(%q): want error", tc.in)
+			}
+			continue
+		}
+		if from != tc.from || to != tc.to {
+			t.Errorf("parseWindow(%q) = (%d,%d), want (%d,%d)", tc.in, from, to, tc.from, tc.to)
+		}
+	}
+}

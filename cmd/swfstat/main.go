@@ -1,0 +1,78 @@
+// Command swfstat summarises a workload trace: job counts, category mix
+// (the paper's Tables 2–3 view), estimate quality, offered load.
+//
+//	swfstat trace.swf
+//	wgen -model SDSC -jobs 5000 -est actual | swfstat -procs 128 -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/job"
+	"repro/internal/swf"
+	"repro/internal/trace"
+)
+
+func main() {
+	procs := flag.Int("procs", 0, "machine size override for offered load")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: swfstat [-procs N] <file.swf | ->")
+		os.Exit(2)
+	}
+
+	var r io.Reader
+	name := flag.Arg(0)
+	if name == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	rr, err := swf.NewReader(r)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := swf.Parse(rr, swf.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	machine := tr.MaxProcs
+	if *procs > 0 {
+		machine = *procs
+	}
+
+	th := job.PaperThresholds()
+	s := trace.Summarize(tr.Jobs, th)
+	fmt.Printf("jobs             %d (skipped %d records)\n", s.Jobs, tr.Skipped)
+	fmt.Printf("machine          %d processors\n", machine)
+	fmt.Printf("span             %d s\n", s.Span)
+	fmt.Printf("offered load     %.3f\n", trace.OfferedLoad(tr.Jobs, machine))
+	fmt.Printf("mean runtime     %.0f s\n", s.MeanRuntime)
+	fmt.Printf("mean width       %.1f procs\n", s.MeanWidth)
+	fmt.Printf("mean est/runtime %.2f\n\n", s.MeanOverestimate)
+
+	fmt.Printf("category distribution (runtime %ds × width %d):\n", th.MaxShortRuntime, th.MaxNarrowWidth)
+	for _, c := range job.Categories() {
+		fmt.Printf("  %-3s %7d  %6.2f%%\n", c.String(), s.CategoryCounts[c], 100*s.Mix[c])
+	}
+	fmt.Printf("\nestimate quality (well = estimate <= 2x runtime):\n")
+	total := s.WellEstimated + s.PoorlyEstimated
+	if total > 0 {
+		fmt.Printf("  well    %7d  %6.2f%%\n", s.WellEstimated, 100*float64(s.WellEstimated)/float64(total))
+		fmt.Printf("  poorly  %7d  %6.2f%%\n", s.PoorlyEstimated, 100*float64(s.PoorlyEstimated)/float64(total))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swfstat:", err)
+	os.Exit(1)
+}

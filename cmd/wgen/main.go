@@ -1,0 +1,101 @@
+// Command wgen generates synthetic workload traces in Standard Workload
+// Format, calibrated to the paper's CTC or SDSC trace models.
+//
+//	wgen -model CTC -jobs 10000 -load 0.85 -est actual -o ctc-high.swf
+//	wgen -model SDSC -jobs 5000 | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/swf"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "CTC", "trace model: CTC or SDSC (ignored with -fit)")
+		fitPath = flag.String("fit", "", "fit the generator to this SWF trace instead of a built-in model")
+		jobs    = flag.Int("jobs", 5000, "number of jobs")
+		seed    = flag.Int64("seed", 42, "random seed")
+		load    = flag.Float64("load", 0.85, "target offered load")
+		diurnal = flag.Bool("diurnal", false, "modulate arrivals with a day/night cycle")
+		est     = flag.String("est", "exact", "estimate model: exact, actual, or R=<factor>")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	m, err := buildModel(*fitPath, *model, *load)
+	if err != nil {
+		fatal(err)
+	}
+	if *diurnal {
+		m.Daily = workload.StandardDaily()
+	}
+	js, err := m.Generate(*jobs, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	em, err := workload.EstimateModelByName(*est)
+	if err != nil {
+		fatal(err)
+	}
+	js = workload.ApplyEstimates(js, em, *seed+1)
+
+	tr := &swf.Trace{
+		Jobs:     js,
+		MaxProcs: m.Procs,
+		Header: map[string]string{
+			"Computer": fmt.Sprintf("synthetic %s model (backfilling characterization repro)", m.Name),
+			"MaxProcs": strconv.Itoa(m.Procs),
+			"Note":     fmt.Sprintf("seed=%d load=%g estimates=%s", *seed, *load, em.Name()),
+			"Version":  "2",
+		},
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := swf.Write(w, tr); err != nil {
+		fatal(err)
+	}
+}
+
+// buildModel returns either a built-in calibrated model or one fitted to an
+// SWF trace (re-calibrated to the requested load).
+func buildModel(fitPath, model string, load float64) (*workload.Model, error) {
+	if fitPath == "" {
+		return workload.ByName(model, load)
+	}
+	tr, err := swf.Open(fitPath, swf.Options{})
+	if err != nil {
+		return nil, err
+	}
+	m, err := workload.Fit("fitted:"+fitPath, tr.Jobs, tr.MaxProcs, workload.FitOptions{Smooth: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.CalibrateLoad(load, 20000); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wgen:", err)
+	os.Exit(1)
+}

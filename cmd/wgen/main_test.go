@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/swf"
+	"repro/internal/workload"
+)
+
+func TestBuildModelBuiltin(t *testing.T) {
+	m, err := buildModel("", "SDSC", 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Procs != 128 {
+		t.Fatalf("procs = %d", m.Procs)
+	}
+	if _, err := buildModel("", "nope", 0.7); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestBuildModelFitted(t *testing.T) {
+	// Write a small trace, then fit a model to it.
+	base, err := workload.NewSDSC(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := base.Generate(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := swf.Write(f, &swf.Trace{Jobs: jobs, MaxProcs: 128, Header: map[string]string{"MaxProcs": "128"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := buildModel(path, "ignored", 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Procs != 128 {
+		t.Fatalf("fitted procs = %d", m.Procs)
+	}
+	out, err := m.Generate(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("generated %d", len(out))
+	}
+
+	if _, err := buildModel(filepath.Join(t.TempDir(), "missing.swf"), "", 0.8); err == nil {
+		t.Fatal("missing fit file should error")
+	}
+}

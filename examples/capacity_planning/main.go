@@ -1,0 +1,63 @@
+// Capacity planning: how much load can the machine absorb before user
+// experience collapses, and how much does the scheduler choice move that
+// knee? This example sweeps offered load by shrinking inter-arrival times
+// (the paper's high-load methodology) and prints slowdown and utilization
+// curves for three schedulers.
+//
+//	go run ./examples/capacity_planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	const baseLoad = 0.55
+	model, err := workload.NewSDSC(baseLoad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := model.Generate(2500, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base = workload.ApplyEstimates(base, workload.Actual{}, 22)
+
+	schedulers := []struct{ kind, pol string }{
+		{"none", "FCFS"},
+		{"conservative", "FCFS"},
+		{"easy", "SJF"},
+	}
+
+	fmt.Printf("%-8s", "load")
+	for _, s := range schedulers {
+		fmt.Printf(" %22s %6s", s.kind+"/"+s.pol+" slwdwn", "util%")
+	}
+	fmt.Println()
+
+	for _, target := range []float64{0.55, 0.65, 0.75, 0.85, 0.95} {
+		jobs, err := trace.ScaleLoad(base, baseLoad/target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.2f", trace.OfferedLoad(jobs, model.Procs))
+		for _, s := range schedulers {
+			res, err := core.Run(core.Config{
+				Procs: model.Procs, Scheduler: s.kind, Policy: s.pol, Audit: true,
+			}, jobs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %22.2f %6.1f", res.Report.Overall.MeanSlowdown, 100*res.Report.Utilization)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nreading: the no-backfill baseline saturates first; backfilling pushes the")
+	fmt.Println("knee right. Delivered utilization also reveals how much offered work each")
+	fmt.Println("scheduler actually packs onto the machine at saturation.")
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate a small synthetic workload, run one backfilling
+// scheduler over it, and print the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A synthetic stand-in for the 128-node SDSC SP2 trace at high load.
+	model, err := workload.NewSDSC(0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := model.Generate(2000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// EASY (aggressive) backfilling with shortest-job-first priority.
+	res, err := core.Run(core.Config{
+		Procs:     model.Procs,
+		Scheduler: "easy",
+		Policy:    "SJF",
+		Audit:     true,
+	}, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheduler:        %s\n", res.Report.Scheduler)
+	fmt.Printf("jobs simulated:   %d on %d processors\n", res.Report.Overall.N, model.Procs)
+	fmt.Printf("avg slowdown:     %.2f\n", res.Report.Overall.MeanSlowdown)
+	fmt.Printf("avg turnaround:   %.0f s\n", res.Report.Overall.MeanTurnaround)
+	fmt.Printf("worst turnaround: %d s\n", res.Report.Overall.MaxTurnaround)
+	fmt.Printf("utilization:      %.1f%%\n\n", 100*res.Report.Utilization)
+
+	fmt.Println("slowdown by category (Short/Long × Narrow/Wide at 1 h × 8 procs):")
+	for _, c := range job.Categories() {
+		s := res.Report.ByCategory[c]
+		fmt.Printf("  %-3s %5d jobs  avg %8.2f\n", c, s.N, s.MeanSlowdown)
+	}
+}

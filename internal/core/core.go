@@ -1,0 +1,182 @@
+// Package core is the public face of the backfilling characterization
+// library: it binds a workload, a scheduler (kind × priority policy), and
+// the metrics pipeline into one deterministic simulation run, and provides
+// the comparison views the paper's figures are built from (relative
+// category-wise slowdown changes, schedule fingerprints, estimate-quality
+// splits).
+//
+// A minimal use looks like:
+//
+//	model, _ := workload.NewCTC(0.9)
+//	jobs, _ := model.Generate(5000, 1)
+//	res, _ := core.Run(core.Config{Procs: model.Procs, Scheduler: "easy", Policy: "SJF"}, jobs)
+//	fmt.Println(res.Report.Overall.MeanSlowdown)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Config selects one simulation setup.
+type Config struct {
+	// Procs is the machine size (required, >= 1).
+	Procs int
+	// Scheduler is the scheduler kind accepted by sched.MakerFor:
+	// "conservative", "easy", "none", "selective:<x>",
+	// "selective:adaptive". Required.
+	Scheduler string
+	// Policy is the queue priority policy name: FCFS, SJF, XF, LJF, WFP.
+	// Defaults to FCFS when empty.
+	Policy string
+	// Thresholds are the job-category boundaries; zero value means the
+	// paper's Table 1 thresholds (1 hour, 8 processors).
+	Thresholds job.Thresholds
+	// Audit enables online invariant checking (capacity, arrival order);
+	// any violation fails the run. Cheap; on by default in the experiment
+	// harness.
+	Audit bool
+}
+
+// withDefaults fills in defaulted fields.
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = "FCFS"
+	}
+	if c.Thresholds == (job.Thresholds{}) {
+		c.Thresholds = job.PaperThresholds()
+	}
+	return c
+}
+
+// Label names the configuration, e.g. "Conservative(SJF)".
+func (c Config) Label() string {
+	c = c.withDefaults()
+	pol, err := sched.PolicyByName(c.Policy)
+	if err != nil {
+		return fmt.Sprintf("%s(%s)", c.Scheduler, c.Policy)
+	}
+	mk, err := sched.MakerFor(c.Scheduler, pol)
+	if err != nil {
+		return fmt.Sprintf("%s(%s)", c.Scheduler, c.Policy)
+	}
+	return mk(maxInt(c.Procs, 1)).Name()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Result is one finished simulation.
+type Result struct {
+	Config      Config
+	Report      metrics.Report
+	Outcomes    []metrics.Outcome
+	Placements  []sim.Placement
+	Fingerprint uint64
+}
+
+// Run simulates jobs under cfg. The input jobs are never modified; they
+// must already carry the estimates the experiment calls for (see
+// workload.ApplyEstimates).
+func Run(cfg Config, jobs []*job.Job) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("core: config has %d processors", cfg.Procs)
+	}
+	pol, err := sched.PolicyByName(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	mk, err := sched.MakerFor(cfg.Scheduler, pol)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := mk(cfg.Procs)
+
+	var obs *sim.Observer
+	var aud *sched.Auditor
+	if cfg.Audit {
+		aud = sched.NewAuditor(cfg.Procs)
+		obs = aud.Observer()
+	}
+	ps, err := sim.Run(sim.Machine{Procs: cfg.Procs}, jobs, s, obs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if aud != nil {
+		if err := aud.Err(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return &Result{
+		Config:      cfg,
+		Report:      metrics.Analyze(s.Name(), ps, cfg.Thresholds, cfg.Procs),
+		Outcomes:    metrics.FromPlacements(ps, cfg.Thresholds),
+		Placements:  ps,
+		Fingerprint: metrics.Fingerprint(ps),
+	}, nil
+}
+
+// CategoryChange holds Figure 2's view: the relative (%) change of mean
+// slowdown of a candidate scheduler versus a baseline, per category and
+// overall. Negative values mean the candidate improved that category.
+type CategoryChange struct {
+	Baseline  string
+	Candidate string
+	PerCat    [job.NumCategories]float64
+	PerCatOK  [job.NumCategories]bool // false when the category was empty
+	Overall   float64
+	OverallOK bool
+}
+
+// Compare computes the relative slowdown change of candidate versus base.
+func Compare(base, candidate *Result) CategoryChange {
+	cc := CategoryChange{
+		Baseline:  base.Report.Scheduler,
+		Candidate: candidate.Report.Scheduler,
+	}
+	for _, c := range job.Categories() {
+		b := base.Report.ByCategory[c].MeanSlowdown
+		v := candidate.Report.ByCategory[c].MeanSlowdown
+		if pc, err := metrics.PercentChange(b, v); err == nil {
+			cc.PerCat[c] = pc
+			cc.PerCatOK[c] = true
+		}
+	}
+	if pc, err := metrics.PercentChange(base.Report.Overall.MeanSlowdown, candidate.Report.Overall.MeanSlowdown); err == nil {
+		cc.Overall = pc
+		cc.OverallOK = true
+	}
+	return cc
+}
+
+// SameSchedule reports whether two results placed every job at the same
+// start time (the §4.1 equivalence check).
+func SameSchedule(a, b *Result) bool {
+	return a.Fingerprint == b.Fingerprint && len(a.Placements) == len(b.Placements)
+}
+
+// RunMatrix runs every scheduler kind × policy combination over the same
+// workload and returns results keyed by label. Any single failure aborts.
+func RunMatrix(procs int, jobs []*job.Job, kinds, policies []string) (map[string]*Result, error) {
+	out := make(map[string]*Result, len(kinds)*len(policies))
+	for _, k := range kinds {
+		for _, p := range policies {
+			cfg := Config{Procs: procs, Scheduler: k, Policy: p, Audit: true}
+			res, err := Run(cfg, jobs)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s/%s: %w", k, p, err)
+			}
+			out[res.Report.Scheduler] = res
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/viz"
+)
+
+// BarChart converts the table into a grouped bar chart when it has the
+// right shape: the first column labels the groups and at least one other
+// column is numeric in every row. Non-numeric columns are skipped; ok is
+// false when no numeric column exists (purely textual tables such as
+// Table 1).
+func (t *Table) BarChart() (viz.BarChart, bool) {
+	if len(t.Rows) == 0 || len(t.Headers) < 2 {
+		return viz.BarChart{}, false
+	}
+	// A column is a series if every row parses as a number.
+	var seriesCols []int
+	for col := 1; col < len(t.Headers); col++ {
+		numeric := true
+		for _, row := range t.Rows {
+			if col >= len(row) {
+				numeric = false
+				break
+			}
+			if _, err := strconv.ParseFloat(cleanNumber(row[col]), 64); err != nil {
+				numeric = false
+				break
+			}
+		}
+		if numeric {
+			seriesCols = append(seriesCols, col)
+		}
+	}
+	if len(seriesCols) == 0 {
+		return viz.BarChart{}, false
+	}
+
+	c := viz.BarChart{Title: t.ID + ": " + t.Title}
+	for _, col := range seriesCols {
+		c.Series = append(c.Series, t.Headers[col])
+	}
+	for _, row := range t.Rows {
+		c.Labels = append(c.Labels, row[0])
+		vals := make([]float64, len(seriesCols))
+		for i, col := range seriesCols {
+			v, _ := strconv.ParseFloat(cleanNumber(row[col]), 64)
+			if v < 0 {
+				v = 0 // bar charts render magnitudes; signed views keep their tables
+			}
+			vals[i] = v
+		}
+		c.Values = append(c.Values, vals)
+	}
+	return c, true
+}
+
+// cleanNumber strips the decorations AddRow formats produce (percent signs,
+// leading plus) so numeric columns still chart.
+func cleanNumber(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimPrefix(s, "+")
+	return s
+}

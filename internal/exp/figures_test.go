@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/viz"
+)
+
+func TestTableBarChartNumericColumns(t *testing.T) {
+	tab := &Table{
+		ID:      "X",
+		Title:   "demo",
+		Headers: []string{"scheduler", "slowdown", "note", "turnaround"},
+	}
+	tab.AddRow("a", 1.5, "text", 100.0)
+	tab.AddRow("b", 2.5, "more", 200.0)
+	c, ok := tab.BarChart()
+	if !ok {
+		t.Fatal("chartable table rejected")
+	}
+	if len(c.Series) != 2 || c.Series[0] != "slowdown" || c.Series[1] != "turnaround" {
+		t.Fatalf("series = %v", c.Series)
+	}
+	if len(c.Labels) != 2 || c.Labels[0] != "a" {
+		t.Fatalf("labels = %v", c.Labels)
+	}
+	if c.Values[1][1] != 200 {
+		t.Fatalf("values = %v", c.Values)
+	}
+	if !strings.Contains(c.Title, "demo") {
+		t.Fatalf("title = %q", c.Title)
+	}
+	var sb strings.Builder
+	if err := viz.RenderBarChartSVG(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableBarChartTextualTable(t *testing.T) {
+	tab := &Table{ID: "T1", Title: "words", Headers: []string{"", "a", "b"}}
+	tab.AddRow("x", "SN", "SW")
+	if _, ok := tab.BarChart(); ok {
+		t.Fatal("purely textual table should not chart")
+	}
+	empty := &Table{ID: "E", Headers: []string{"a", "b"}}
+	if _, ok := empty.BarChart(); ok {
+		t.Fatal("empty table should not chart")
+	}
+}
+
+func TestTableBarChartHandlesDecoratedNumbers(t *testing.T) {
+	tab := &Table{ID: "F2", Title: "pct", Headers: []string{"cat", "change"}}
+	tab.AddRow("SN", "+1.7%")
+	tab.AddRow("LN", "-21.1%")
+	c, ok := tab.BarChart()
+	if !ok {
+		t.Fatal("percent columns should chart")
+	}
+	if c.Values[0][0] != 1.7 {
+		t.Fatalf("values = %v", c.Values)
+	}
+	// Negative magnitudes clamp to 0 for the bar view.
+	if c.Values[1][0] != 0 {
+		t.Fatalf("negative value not clamped: %v", c.Values[1][0])
+	}
+}

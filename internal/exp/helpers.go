@@ -1,0 +1,23 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/metrics"
+)
+
+// subsetMeanSlowdown returns the mean slowdown of the jobs in ids within a
+// finished result.
+func subsetMeanSlowdown(r *core.Result, ids map[int]bool) float64 {
+	return metrics.SubsetSummary(r.Outcomes, ids).MeanSlowdown
+}
+
+// runRaw runs one configuration outside the Lab cache (for sweeps over
+// ad-hoc workloads) and returns the overall mean slowdown.
+func runRaw(procs int, jobs []*job.Job, kind, pol string) (float64, error) {
+	res, err := core.Run(core.Config{Procs: procs, Scheduler: kind, Policy: pol, Audit: true}, jobs)
+	if err != nil {
+		return 0, err
+	}
+	return res.Report.Overall.MeanSlowdown, nil
+}

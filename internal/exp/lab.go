@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Params size the experiments. The defaults reproduce the paper at a scale
+// a laptop handles in seconds; raise Jobs for tighter statistics.
+type Params struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// Jobs is the number of jobs generated per trace.
+	Jobs int
+	// NormalLoad is the offered load the base traces are calibrated to
+	// (the CTC trace's native utilization is ~0.56).
+	NormalLoad float64
+	// HighLoad is the offered load after the paper's interarrival
+	// shrinking; the paper presents high-load results.
+	HighLoad float64
+}
+
+// DefaultParams returns the standard experiment sizing.
+func DefaultParams() Params {
+	return Params{Seed: 42, Jobs: 5000, NormalLoad: 0.6, HighLoad: 0.85}
+}
+
+// validate normalises and checks parameters.
+func (p Params) validate() error {
+	if p.Jobs < 1 {
+		return fmt.Errorf("exp: Params.Jobs = %d", p.Jobs)
+	}
+	if p.NormalLoad <= 0 || p.HighLoad <= 0 {
+		return fmt.Errorf("exp: loads must be positive (normal=%v high=%v)", p.NormalLoad, p.HighLoad)
+	}
+	if p.HighLoad < p.NormalLoad {
+		return fmt.Errorf("exp: HighLoad %v below NormalLoad %v", p.HighLoad, p.NormalLoad)
+	}
+	return nil
+}
+
+// Lab memoizes workloads and simulation results so experiments that share
+// configurations (Figure 1 and Table 4, for instance) pay for each
+// simulation once.
+type Lab struct {
+	P         Params
+	workloads map[string][]*job.Job
+	results   map[string]*core.Result
+	machines  map[string]int
+}
+
+// NewLab builds a Lab, validating the parameters.
+func NewLab(p Params) (*Lab, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &Lab{
+		P:         p,
+		workloads: make(map[string][]*job.Job),
+		results:   make(map[string]*core.Result),
+		machines:  make(map[string]int),
+	}, nil
+}
+
+// Load names the two load conditions.
+type Load string
+
+// The paper's two load conditions.
+const (
+	NormalLoad Load = "normal"
+	HighLoad   Load = "high"
+)
+
+// Procs returns the machine size for a trace name.
+func (l *Lab) Procs(traceName string) (int, error) {
+	if n, ok := l.machines[traceName]; ok {
+		return n, nil
+	}
+	m, err := workload.ByName(traceName, 0.5)
+	if err != nil {
+		return 0, err
+	}
+	l.machines[traceName] = m.Procs
+	return m.Procs, nil
+}
+
+// Workload returns the jobs for (trace, load, estimate model), generating
+// and caching on first use. Base traces are generated at NormalLoad and the
+// high-load variant shrinks inter-arrival gaps, exactly as the paper does.
+func (l *Lab) Workload(traceName string, load Load, estModel string) ([]*job.Job, error) {
+	key := traceName + "|" + string(load) + "|" + estModel
+	if jobs, ok := l.workloads[key]; ok {
+		return jobs, nil
+	}
+
+	baseKey := traceName + "|" + string(load) + "|base"
+	base, ok := l.workloads[baseKey]
+	if !ok {
+		model, err := workload.ByName(traceName, l.P.NormalLoad)
+		if err != nil {
+			return nil, err
+		}
+		jobs, err := model.Generate(l.P.Jobs, l.P.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if load == HighLoad {
+			jobs, err = trace.ScaleLoad(jobs, l.P.NormalLoad/l.P.HighLoad)
+			if err != nil {
+				return nil, err
+			}
+		}
+		l.workloads[baseKey] = jobs
+		base = jobs
+	}
+
+	em, err := workload.EstimateModelByName(estModel)
+	if err != nil {
+		return nil, err
+	}
+	jobs := workload.ApplyEstimates(base, em, l.P.Seed+1)
+	l.workloads[key] = jobs
+	return jobs, nil
+}
+
+// Result runs (or returns the cached run of) one configuration.
+func (l *Lab) Result(traceName string, load Load, estModel, scheduler, policy string) (*core.Result, error) {
+	key := traceName + "|" + string(load) + "|" + estModel + "|" + scheduler + "|" + policy
+	if r, ok := l.results[key]; ok {
+		return r, nil
+	}
+	jobs, err := l.Workload(traceName, load, estModel)
+	if err != nil {
+		return nil, err
+	}
+	procs, err := l.Procs(traceName)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(core.Config{
+		Procs:     procs,
+		Scheduler: scheduler,
+		Policy:    policy,
+		Audit:     true,
+	}, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", key, err)
+	}
+	l.results[key] = res
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		ID:      "T1",
+		Title:   "sample",
+		Headers: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	t.AddRow("alpha", 1.5)
+	t.AddRow("b", 12345.678)
+	t.AddRow("c", 42.0)
+	t.AddRow("with,comma", "quo\"te")
+	return t
+}
+
+func TestTableRender(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTable().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"== T1: sample ==", "name", "value", "alpha", "1.50", "12345.7", "42", "note: a note"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q in:\n%s", frag, out)
+		}
+	}
+	// Columns aligned: every data line should have the value column at the
+	// same offset as the header's.
+	lines := strings.Split(out, "\n")
+	var headerIdx int
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			headerIdx = i
+			break
+		}
+	}
+	valCol := strings.Index(lines[headerIdx], "value")
+	if valCol <= 0 {
+		t.Fatalf("no value column in %q", lines[headerIdx])
+	}
+	if !strings.HasPrefix(lines[headerIdx+2][valCol:], "1.50") {
+		t.Errorf("misaligned first row: %q", lines[headerIdx+2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTable().CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Fatalf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"with,comma","quo""te"`) {
+		t.Fatalf("csv escaping wrong: %q", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTable().Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"### T1: sample",
+		"| name | value |",
+		"| --- | --- |",
+		"| alpha | 1.50 |",
+		"> a note",
+		`with,comma | quo"te`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("markdown missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTableMarkdownEscapesPipes(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Headers: []string{"a"}}
+	tab.AddRow("left|right")
+	var sb strings.Builder
+	if err := tab.Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `left\|right`) {
+		t.Fatalf("pipe not escaped: %q", sb.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"},
+		{-3, "-3"},
+		{1.25, "1.25"},
+		{999.994, "999.99"},
+		{1000.06, "1000.1"},
+		{12345.678, "12345.7"},
+	}
+	for _, tc := range cases {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package job
+
+import "fmt"
+
+// Category is one of the four job classes from Table 1 of the paper,
+// crossing runtime (Short/Long) with processor request (Narrow/Wide).
+type Category int
+
+// The four categories, in the presentation order the paper uses.
+const (
+	ShortNarrow   Category = iota // runtime <= length threshold, width <= width threshold
+	ShortWide                     // short but wide
+	LongNarrow                    // long but narrow
+	LongWide                      // long and wide
+	NumCategories                 // count sentinel, not a category
+)
+
+// Short reports whether the category's runtime class is Short.
+func (c Category) Short() bool { return c == ShortNarrow || c == ShortWide }
+
+// Narrow reports whether the category's width class is Narrow.
+func (c Category) Narrow() bool { return c == ShortNarrow || c == LongNarrow }
+
+// String returns the paper's abbreviation: SN, SW, LN or LW.
+func (c Category) String() string {
+	switch c {
+	case ShortNarrow:
+		return "SN"
+	case ShortWide:
+		return "SW"
+	case LongNarrow:
+		return "LN"
+	case LongWide:
+		return "LW"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories lists the four categories in presentation order.
+func Categories() []Category {
+	return []Category{ShortNarrow, ShortWide, LongNarrow, LongWide}
+}
+
+// Thresholds holds the category boundaries from Table 1. A job is Short when
+// Runtime <= MaxShortRuntime and Narrow when Width <= MaxNarrowWidth.
+type Thresholds struct {
+	MaxShortRuntime int64 // seconds; paper value: 3600 (1 hour)
+	MaxNarrowWidth  int   // processors; paper value: 8
+}
+
+// PaperThresholds returns the Table 1 boundaries: one hour and eight
+// processors.
+func PaperThresholds() Thresholds {
+	return Thresholds{MaxShortRuntime: 3600, MaxNarrowWidth: 8}
+}
+
+// Classify assigns j to its category. Classification uses the actual
+// runtime, as in the paper ("two categories based on their run time").
+func (t Thresholds) Classify(j *Job) Category {
+	short := j.Runtime <= t.MaxShortRuntime
+	narrow := j.Width <= t.MaxNarrowWidth
+	switch {
+	case short && narrow:
+		return ShortNarrow
+	case short:
+		return ShortWide
+	case narrow:
+		return LongNarrow
+	default:
+		return LongWide
+	}
+}
+
+// Mix is the fraction of jobs in each category. Fractions are in [0,1] and
+// sum to 1 for a non-empty job set.
+type Mix [NumCategories]float64
+
+// CategoryMix computes the category distribution of jobs (Tables 2 and 3 of
+// the paper). An empty slice yields the zero Mix.
+func CategoryMix(jobs []*Job, t Thresholds) Mix {
+	var m Mix
+	if len(jobs) == 0 {
+		return m
+	}
+	for _, j := range jobs {
+		m[t.Classify(j)]++
+	}
+	for i := range m {
+		m[i] /= float64(len(jobs))
+	}
+	return m
+}
+
+// EstimateQuality is the paper's §5.2 split of jobs by how accurate the
+// user's runtime estimate was.
+type EstimateQuality int
+
+const (
+	// WellEstimated jobs have Estimate <= 2×Runtime.
+	WellEstimated EstimateQuality = iota
+	// PoorlyEstimated jobs have Estimate > 2×Runtime.
+	PoorlyEstimated
+	NumEstimateQualities // count sentinel
+)
+
+// String returns a human-readable name.
+func (q EstimateQuality) String() string {
+	switch q {
+	case WellEstimated:
+		return "well-estimated"
+	case PoorlyEstimated:
+		return "poorly-estimated"
+	default:
+		return fmt.Sprintf("EstimateQuality(%d)", int(q))
+	}
+}
+
+// WellEstimatedFactor is the paper's boundary: a job is well estimated when
+// its estimate is at most this multiple of its actual runtime.
+const WellEstimatedFactor = 2.0
+
+// ClassifyEstimate splits j into well/poorly estimated per §5.2: "Jobs whose
+// user estimated run time is less than or equal to twice their actual run
+// time are considered to be well estimated."
+func ClassifyEstimate(j *Job) EstimateQuality {
+	rt := j.Runtime
+	if rt < 1 {
+		rt = 1 // zero-runtime jobs: any estimate >= 1 counts against 1s
+	}
+	if float64(j.Estimate) <= WellEstimatedFactor*float64(rt) {
+		return WellEstimated
+	}
+	return PoorlyEstimated
+}

@@ -1,0 +1,196 @@
+package job
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperThresholds(t *testing.T) {
+	th := PaperThresholds()
+	if th.MaxShortRuntime != 3600 {
+		t.Errorf("MaxShortRuntime = %d, want 3600", th.MaxShortRuntime)
+	}
+	if th.MaxNarrowWidth != 8 {
+		t.Errorf("MaxNarrowWidth = %d, want 8", th.MaxNarrowWidth)
+	}
+}
+
+func TestClassifyTable1(t *testing.T) {
+	th := PaperThresholds()
+	cases := []struct {
+		runtime int64
+		width   int
+		want    Category
+	}{
+		{3600, 8, ShortNarrow}, // both exactly at threshold => short+narrow
+		{3600, 9, ShortWide},   // one over width threshold
+		{3601, 8, LongNarrow},  // one over runtime threshold
+		{3601, 9, LongWide},    // both over
+		{1, 1, ShortNarrow},    // tiny
+		{86400, 128, LongWide}, // big
+		{100, 128, ShortWide},  // short wide
+		{86400, 1, LongNarrow}, // long narrow
+	}
+	for _, tc := range cases {
+		j := &Job{ID: 1, Runtime: tc.runtime, Estimate: tc.runtime + 1, Width: tc.width}
+		if got := th.Classify(j); got != tc.want {
+			t.Errorf("rt=%d w=%d: got %v, want %v", tc.runtime, tc.width, got, tc.want)
+		}
+	}
+}
+
+func TestCategoryPredicates(t *testing.T) {
+	cases := []struct {
+		c      Category
+		short  bool
+		narrow bool
+		str    string
+	}{
+		{ShortNarrow, true, true, "SN"},
+		{ShortWide, true, false, "SW"},
+		{LongNarrow, false, true, "LN"},
+		{LongWide, false, false, "LW"},
+	}
+	for _, tc := range cases {
+		if tc.c.Short() != tc.short {
+			t.Errorf("%v.Short() = %v", tc.c, tc.c.Short())
+		}
+		if tc.c.Narrow() != tc.narrow {
+			t.Errorf("%v.Narrow() = %v", tc.c, tc.c.Narrow())
+		}
+		if tc.c.String() != tc.str {
+			t.Errorf("%v.String() = %q, want %q", tc.c, tc.c.String(), tc.str)
+		}
+	}
+	if Category(99).String() == "" {
+		t.Error("out-of-range category should still stringify")
+	}
+}
+
+func TestCategoriesOrder(t *testing.T) {
+	cs := Categories()
+	want := []Category{ShortNarrow, ShortWide, LongNarrow, LongWide}
+	if len(cs) != len(want) {
+		t.Fatalf("len = %d", len(cs))
+	}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Fatalf("Categories()[%d] = %v, want %v", i, cs[i], want[i])
+		}
+	}
+}
+
+func TestCategoryMixSumsToOne(t *testing.T) {
+	th := PaperThresholds()
+	jobs := []*Job{
+		{ID: 1, Runtime: 10, Estimate: 10, Width: 1},
+		{ID: 2, Runtime: 10, Estimate: 10, Width: 100},
+		{ID: 3, Runtime: 7200, Estimate: 7200, Width: 1},
+		{ID: 4, Runtime: 7200, Estimate: 7200, Width: 100},
+		{ID: 5, Runtime: 5, Estimate: 5, Width: 2},
+	}
+	m := CategoryMix(jobs, th)
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("mix sums to %v", sum)
+	}
+	if m[ShortNarrow] != 0.4 {
+		t.Errorf("SN = %v, want 0.4", m[ShortNarrow])
+	}
+	for _, c := range []Category{ShortWide, LongNarrow, LongWide} {
+		if m[c] != 0.2 {
+			t.Errorf("%v = %v, want 0.2", c, m[c])
+		}
+	}
+}
+
+func TestCategoryMixEmpty(t *testing.T) {
+	m := CategoryMix(nil, PaperThresholds())
+	for _, v := range m {
+		if v != 0 {
+			t.Fatal("empty mix not zero")
+		}
+	}
+}
+
+func TestCategoryMixProperty(t *testing.T) {
+	th := PaperThresholds()
+	f := func(rts []uint16, ws []uint8) bool {
+		n := len(rts)
+		if len(ws) < n {
+			n = len(ws)
+		}
+		jobs := make([]*Job, 0, n)
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, &Job{
+				ID: i + 1, Runtime: int64(rts[i]), Estimate: int64(rts[i]) + 1,
+				Width: int(ws[i]) + 1,
+			})
+		}
+		m := CategoryMix(jobs, th)
+		sum := 0.0
+		for _, v := range m {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		if len(jobs) == 0 {
+			return sum == 0
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyEstimate(t *testing.T) {
+	cases := []struct {
+		runtime, estimate int64
+		want              EstimateQuality
+	}{
+		{100, 100, WellEstimated},
+		{100, 200, WellEstimated}, // exactly 2x is well estimated
+		{100, 201, PoorlyEstimated},
+		{100, 1000, PoorlyEstimated},
+		{0, 2, WellEstimated},   // zero runtime counts as 1s: 2 <= 2*1
+		{0, 3, PoorlyEstimated}, // 3 > 2*1
+	}
+	for _, tc := range cases {
+		j := &Job{ID: 1, Runtime: tc.runtime, Estimate: tc.estimate, Width: 1}
+		if got := ClassifyEstimate(j); got != tc.want {
+			t.Errorf("rt=%d est=%d: got %v, want %v", tc.runtime, tc.estimate, got, tc.want)
+		}
+	}
+}
+
+func TestEstimateQualityString(t *testing.T) {
+	if WellEstimated.String() != "well-estimated" {
+		t.Error("WellEstimated name")
+	}
+	if PoorlyEstimated.String() != "poorly-estimated" {
+		t.Error("PoorlyEstimated name")
+	}
+	if EstimateQuality(9).String() == "" {
+		t.Error("out-of-range quality should stringify")
+	}
+}
+
+func TestClassifyConsistentWithPredicates(t *testing.T) {
+	th := PaperThresholds()
+	f := func(rt uint16, w uint8) bool {
+		j := &Job{ID: 1, Runtime: int64(rt), Estimate: int64(rt) + 1, Width: int(w) + 1}
+		c := th.Classify(j)
+		wantShort := j.Runtime <= th.MaxShortRuntime
+		wantNarrow := j.Width <= th.MaxNarrowWidth
+		return c.Short() == wantShort && c.Narrow() == wantNarrow
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package job defines the parallel-job record used throughout the simulator
+// and the category machinery that is the heart of the paper's methodology:
+// classifying jobs by length (Short/Long), width (Narrow/Wide), and by the
+// accuracy of the user's runtime estimate (well/poorly estimated).
+package job
+
+import (
+	"fmt"
+	"time"
+)
+
+// Job is a rigid parallel job as recorded in a workload trace. Scheduling
+// views a job as a rectangle in the processors×time plane: Width processors
+// for Estimate seconds (the scheduler plans with the user estimate; the job
+// actually releases its processors after Runtime seconds).
+//
+// All times are in integer seconds. Arrival is an absolute trace timestamp;
+// Runtime and Estimate are durations.
+type Job struct {
+	// ID is the job's trace-unique identifier (positive).
+	ID int
+	// Arrival is the submission time in seconds from the trace epoch.
+	Arrival int64
+	// Runtime is the job's actual execution time in seconds (>= 0).
+	Runtime int64
+	// Estimate is the user-supplied runtime estimate in seconds. Schedulers
+	// plan and kill with the estimate, so Estimate >= Runtime and
+	// Estimate >= 1 must hold for a valid job (Validate enforces this).
+	Estimate int64
+	// Width is the number of processors requested (>= 1).
+	Width int
+	// User identifies the submitting user (0 if unknown). Not used by the
+	// schedulers, but preserved through trace transforms.
+	User int
+}
+
+// Validate reports the first invariant violated by j, or nil. The simulator
+// refuses invalid jobs rather than silently mis-scheduling them.
+func (j *Job) Validate() error {
+	switch {
+	case j == nil:
+		return fmt.Errorf("job: nil job")
+	case j.ID <= 0:
+		return fmt.Errorf("job %d: non-positive ID", j.ID)
+	case j.Arrival < 0:
+		return fmt.Errorf("job %d: negative arrival %d", j.ID, j.Arrival)
+	case j.Runtime < 0:
+		return fmt.Errorf("job %d: negative runtime %d", j.ID, j.Runtime)
+	case j.Estimate < 1:
+		return fmt.Errorf("job %d: estimate %d < 1", j.ID, j.Estimate)
+	case j.Estimate < j.Runtime:
+		return fmt.Errorf("job %d: estimate %d < runtime %d (jobs are killed at the wall limit, so runtime must not exceed the estimate)", j.ID, j.Estimate, j.Runtime)
+	case j.Width < 1:
+		return fmt.Errorf("job %d: width %d < 1", j.ID, j.Width)
+	}
+	return nil
+}
+
+// OverestimationFactor returns Estimate/Runtime, the paper's R value for a
+// single job. Jobs with zero runtime are treated as running for one second
+// so the factor stays finite.
+func (j *Job) OverestimationFactor() float64 {
+	rt := j.Runtime
+	if rt < 1 {
+		rt = 1
+	}
+	return float64(j.Estimate) / float64(rt)
+}
+
+// String renders the job compactly for logs and test failures.
+func (j *Job) String() string {
+	return fmt.Sprintf("job %d (arr=%d w=%d rt=%s est=%s)",
+		j.ID, j.Arrival, j.Width,
+		time.Duration(j.Runtime)*time.Second,
+		time.Duration(j.Estimate)*time.Second)
+}
+
+// Clone returns an independent copy of j.
+func (j *Job) Clone() *Job {
+	c := *j
+	return &c
+}
+
+// CloneAll deep-copies a slice of jobs.
+func CloneAll(jobs []*Job) []*Job {
+	out := make([]*Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Clone()
+	}
+	return out
+}

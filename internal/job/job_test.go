@@ -1,0 +1,129 @@
+package job
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validJob() *Job {
+	return &Job{ID: 1, Arrival: 0, Runtime: 100, Estimate: 200, Width: 4}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validJob().Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+}
+
+func TestValidateZeroRuntime(t *testing.T) {
+	j := validJob()
+	j.Runtime = 0
+	j.Estimate = 1
+	if err := j.Validate(); err != nil {
+		t.Fatalf("zero-runtime job with estimate 1 should be valid: %v", err)
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Job)
+		frag   string
+	}{
+		{"zero id", func(j *Job) { j.ID = 0 }, "non-positive ID"},
+		{"negative id", func(j *Job) { j.ID = -3 }, "non-positive ID"},
+		{"negative arrival", func(j *Job) { j.Arrival = -1 }, "negative arrival"},
+		{"negative runtime", func(j *Job) { j.Runtime = -1 }, "negative runtime"},
+		{"zero estimate", func(j *Job) { j.Estimate = 0 }, "estimate 0 < 1"},
+		{"estimate below runtime", func(j *Job) { j.Estimate = 50 }, "estimate 50 < runtime"},
+		{"zero width", func(j *Job) { j.Width = 0 }, "width 0 < 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := validJob()
+			tc.mutate(j)
+			err := j.Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.frag)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not contain %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestValidateNil(t *testing.T) {
+	var j *Job
+	if err := j.Validate(); err == nil {
+		t.Fatal("nil job should be invalid")
+	}
+}
+
+func TestOverestimationFactor(t *testing.T) {
+	cases := []struct {
+		runtime, estimate int64
+		want              float64
+	}{
+		{100, 100, 1},
+		{100, 200, 2},
+		{100, 450, 4.5},
+		{0, 10, 10}, // zero runtime treated as 1s
+	}
+	for _, tc := range cases {
+		j := &Job{ID: 1, Runtime: tc.runtime, Estimate: tc.estimate, Width: 1}
+		if got := j.OverestimationFactor(); got != tc.want {
+			t.Errorf("rt=%d est=%d: factor = %v, want %v", tc.runtime, tc.estimate, got, tc.want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	j := validJob()
+	c := j.Clone()
+	c.Runtime = 999
+	c.ID = 77
+	if j.Runtime != 100 || j.ID != 1 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestCloneAll(t *testing.T) {
+	in := []*Job{validJob(), {ID: 2, Runtime: 5, Estimate: 10, Width: 2}}
+	out := CloneAll(in)
+	if len(out) != 2 {
+		t.Fatalf("len = %d", len(out))
+	}
+	out[0].Width = 64
+	if in[0].Width != 4 {
+		t.Fatal("CloneAll shares state")
+	}
+}
+
+func TestStringMentionsFields(t *testing.T) {
+	s := validJob().String()
+	for _, frag := range []string{"job 1", "w=4"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestJobValidatePropertyRandom(t *testing.T) {
+	// Any job built with all-positive fields and estimate >= runtime must
+	// validate; flipping any single invariant must fail.
+	f := func(id uint16, arr uint32, rt uint32, pad uint16, w uint8) bool {
+		j := &Job{
+			ID:       int(id) + 1,
+			Arrival:  int64(arr),
+			Runtime:  int64(rt),
+			Estimate: int64(rt) + int64(pad) + 1,
+			Width:    int(w) + 1,
+		}
+		return j.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,17 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// ExampleBoundedSlowdown shows the paper's metric: the 10-second threshold
+// keeps very short jobs from dominating averages.
+func ExampleBoundedSlowdown() {
+	fmt.Println(metrics.BoundedSlowdown(90, 100)) // waited 90s for a 100s job
+	fmt.Println(metrics.BoundedSlowdown(90, 1))   // waited 90s for a 1s job: τ=10 caps the blowup
+	// Output:
+	// 1.9
+	// 10
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Heatmap aggregates a quantity over a week grid: 7 days × 24 hours, value
+// averaged over every simulated occurrence of that slot. Day 0 is the
+// trace's first day (synthetic traces have no calendar anchor).
+type Heatmap struct {
+	// Values[d][h] is the mean value in hour h of weekday d.
+	Values [7][24]float64
+	// Samples[d][h] counts how many simulated hours contributed.
+	Samples [7][24]int64
+}
+
+// slot returns the (day, hour) cell for an absolute time.
+func slot(t int64) (int, int) {
+	hour := t / 3600
+	return int((hour / 24) % 7), int(hour % 24)
+}
+
+// Add folds one sampled value at time t.
+func (h *Heatmap) Add(t int64, v float64) {
+	d, hr := slot(t)
+	n := h.Samples[d][hr]
+	h.Values[d][hr] = (h.Values[d][hr]*float64(n) + v) / float64(n+1)
+	h.Samples[d][hr] = n + 1
+}
+
+// Max returns the largest cell mean.
+func (h *Heatmap) Max() float64 {
+	max := 0.0
+	for d := range h.Values {
+		for hr := range h.Values[d] {
+			if h.Values[d][hr] > max {
+				max = h.Values[d][hr]
+			}
+		}
+	}
+	return max
+}
+
+// UtilizationHeatmap samples processor usage hourly across the schedule and
+// folds it into the week grid as a fraction of procs.
+func UtilizationHeatmap(ps []sim.Placement, procs int) (*Heatmap, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("metrics: UtilizationHeatmap with %d processors", procs)
+	}
+	tl, err := Timeline(ps, 3600)
+	if err != nil {
+		return nil, err
+	}
+	h := &Heatmap{}
+	for _, p := range tl {
+		h.Add(p.Time, float64(p.Busy)/float64(procs))
+	}
+	return h, nil
+}
+
+// ArrivalHeatmap counts submissions per week-grid cell (value = jobs per
+// sampled hour in that slot).
+func ArrivalHeatmap(ps []sim.Placement) *Heatmap {
+	// First count raw arrivals per (absolute hour), then fold.
+	counts := map[int64]float64{}
+	var minHour, maxHour int64
+	first := true
+	for _, p := range ps {
+		hr := p.Job.Arrival / 3600
+		counts[hr]++
+		if first || hr < minHour {
+			minHour = hr
+		}
+		if first || hr > maxHour {
+			maxHour = hr
+		}
+		first = false
+	}
+	h := &Heatmap{}
+	if first {
+		return h
+	}
+	for hr := minHour; hr <= maxHour; hr++ {
+		h.Add(hr*3600, counts[hr])
+	}
+	return h
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSlot(t *testing.T) {
+	cases := []struct {
+		t    int64
+		d, h int
+	}{
+		{0, 0, 0},
+		{3599, 0, 0},
+		{3600, 0, 1},
+		{23 * 3600, 0, 23},
+		{24 * 3600, 1, 0},
+		{7 * 24 * 3600, 0, 0}, // wraps to week start
+		{(6*24 + 5) * 3600, 6, 5},
+	}
+	for _, tc := range cases {
+		d, h := slot(tc.t)
+		if d != tc.d || h != tc.h {
+			t.Errorf("slot(%d) = (%d,%d), want (%d,%d)", tc.t, d, h, tc.d, tc.h)
+		}
+	}
+}
+
+func TestHeatmapAddAverages(t *testing.T) {
+	var h Heatmap
+	h.Add(0, 2)
+	h.Add(7*24*3600, 4) // same cell one week later
+	if got := h.Values[0][0]; math.Abs(got-3) > 1e-12 {
+		t.Fatalf("cell mean = %v, want 3", got)
+	}
+	if h.Samples[0][0] != 2 {
+		t.Fatalf("samples = %d", h.Samples[0][0])
+	}
+	if h.Max() != 3 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestUtilizationHeatmap(t *testing.T) {
+	// One job occupying half the machine for the first day.
+	ps := []sim.Placement{mkPlacement(1, 0, 0, 24*3600, 4, 24*3600)}
+	h, err := UtilizationHeatmap(ps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Values[0][5]; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("hour-5 utilization = %v, want 0.5", got)
+	}
+	if _, err := UtilizationHeatmap(ps, 0); err == nil {
+		t.Fatal("zero procs should error")
+	}
+}
+
+func TestArrivalHeatmap(t *testing.T) {
+	ps := []sim.Placement{
+		mkPlacement(1, 3600, 3600, 10, 1, 10),     // hour 1
+		mkPlacement(2, 3700, 3700, 10, 1, 10),     // hour 1
+		mkPlacement(3, 2*3600, 2*3600, 10, 1, 10), // hour 2
+	}
+	h := ArrivalHeatmap(ps)
+	if h.Values[0][1] != 2 {
+		t.Fatalf("hour-1 arrivals = %v, want 2", h.Values[0][1])
+	}
+	if h.Values[0][2] != 1 {
+		t.Fatalf("hour-2 arrivals = %v, want 1", h.Values[0][2])
+	}
+	empty := ArrivalHeatmap(nil)
+	if empty.Max() != 0 {
+		t.Fatal("empty heatmap should be zero")
+	}
+}

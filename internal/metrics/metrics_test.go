@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+func TestBoundedSlowdown(t *testing.T) {
+	cases := []struct {
+		wait, rt int64
+		want     float64
+	}{
+		{0, 100, 1},
+		{100, 100, 2},
+		{50, 100, 1.5},
+		{0, 1, 1},    // sub-τ runtime clamps to τ
+		{10, 1, 2},   // (10+10)/10 with τ=10
+		{90, 5, 10},  // (90+10)/10
+		{-5, 100, 1}, // negative wait clamps to 0
+		{100, 0, 11}, // zero runtime: (100+10)/10
+	}
+	for _, tc := range cases {
+		if got := BoundedSlowdown(tc.wait, tc.rt); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("BoundedSlowdown(%d,%d) = %v, want %v", tc.wait, tc.rt, got, tc.want)
+		}
+	}
+}
+
+func TestBoundedSlowdownAtLeastOne(t *testing.T) {
+	f := func(wait uint32, rt uint32) bool {
+		return BoundedSlowdown(int64(wait), int64(rt)) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkPlacement(id int, arr, start, rt int64, w int, est int64) sim.Placement {
+	j := &job.Job{ID: id, Arrival: arr, Runtime: rt, Estimate: est, Width: w}
+	return sim.Placement{Job: j, Start: start, End: start + rt}
+}
+
+func TestFromPlacements(t *testing.T) {
+	ps := []sim.Placement{
+		mkPlacement(1, 0, 50, 100, 4, 100),      // SN, well estimated
+		mkPlacement(2, 10, 10, 7200, 16, 30000), // LW, poorly estimated
+	}
+	outs := FromPlacements(ps, job.PaperThresholds())
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	o := outs[0]
+	if o.Wait != 50 || o.Turnaround != 150 {
+		t.Fatalf("outcome 0 = %+v", o)
+	}
+	if math.Abs(o.Slowdown-1.5) > 1e-12 {
+		t.Fatalf("slowdown = %v", o.Slowdown)
+	}
+	if o.Category != job.ShortNarrow || o.EstimateQuality != job.WellEstimated {
+		t.Fatalf("classification = %v/%v", o.Category, o.EstimateQuality)
+	}
+	if outs[1].Category != job.LongWide || outs[1].EstimateQuality != job.PoorlyEstimated {
+		t.Fatalf("classification 1 = %v/%v", outs[1].Category, outs[1].EstimateQuality)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ps := []sim.Placement{
+		mkPlacement(1, 0, 0, 100, 1, 100),   // slowdown 1, turnaround 100
+		mkPlacement(2, 0, 100, 100, 1, 100), // slowdown 2, turnaround 200
+		mkPlacement(3, 0, 300, 100, 1, 100), // slowdown 4, turnaround 400
+	}
+	s := Summarize(FromPlacements(ps, job.PaperThresholds()))
+	if s.N != 3 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.MeanSlowdown-(1+2+4)/3.0) > 1e-12 {
+		t.Fatalf("MeanSlowdown = %v", s.MeanSlowdown)
+	}
+	if s.MaxTurnaround != 400 || s.MaxWait != 300 {
+		t.Fatalf("max turnaround/wait = %d/%d", s.MaxTurnaround, s.MaxWait)
+	}
+	if s.MaxSlowdown != 4 {
+		t.Fatalf("MaxSlowdown = %v", s.MaxSlowdown)
+	}
+	if s.MedianSlowdown != 2 || s.MedianTurnaround != 200 {
+		t.Fatalf("medians = %v/%v", s.MedianSlowdown, s.MedianTurnaround)
+	}
+	if math.Abs(s.MeanWait-(0+100+300)/3.0) > 1e-12 {
+		t.Fatalf("MeanWait = %v", s.MeanWait)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.MeanSlowdown != 0 || s.MaxTurnaround != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestAnalyzeCategoriesAndUtilization(t *testing.T) {
+	// Two jobs back to back on a 4-proc machine: utilization = work /
+	// (4 × makespan) = (100×4 + 100×2) / (4 × 200) = 600/800.
+	ps := []sim.Placement{
+		mkPlacement(1, 0, 0, 100, 4, 100),
+		mkPlacement(2, 0, 100, 100, 2, 100),
+	}
+	rep := Analyze("test", ps, job.PaperThresholds(), 4)
+	if rep.Scheduler != "test" {
+		t.Fatal("name lost")
+	}
+	if rep.Makespan != 200 {
+		t.Fatalf("makespan = %d", rep.Makespan)
+	}
+	if math.Abs(rep.Utilization-600.0/800.0) > 1e-12 {
+		t.Fatalf("utilization = %v", rep.Utilization)
+	}
+	if rep.ByCategory[job.ShortNarrow].N != 2 {
+		t.Fatalf("SN count = %d", rep.ByCategory[job.ShortNarrow].N)
+	}
+	if rep.ByQuality[job.WellEstimated].N != 2 {
+		t.Fatalf("well-estimated count = %d", rep.ByQuality[job.WellEstimated].N)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze("x", nil, job.PaperThresholds(), 4)
+	if rep.Overall.N != 0 || rep.Utilization != 0 {
+		t.Fatal("empty analyze not zero")
+	}
+}
+
+func TestSubsetSummary(t *testing.T) {
+	ps := []sim.Placement{
+		mkPlacement(1, 0, 0, 100, 1, 100),
+		mkPlacement(2, 0, 100, 100, 1, 100),
+		mkPlacement(3, 0, 300, 100, 1, 100),
+	}
+	outs := FromPlacements(ps, job.PaperThresholds())
+	s := SubsetSummary(outs, map[int]bool{1: true, 3: true})
+	if s.N != 2 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.MeanSlowdown-(1+4)/2.0) > 1e-12 {
+		t.Fatalf("MeanSlowdown = %v", s.MeanSlowdown)
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	got, err := PercentChange(4, 3)
+	if err != nil || math.Abs(got-(-25)) > 1e-12 {
+		t.Fatalf("PercentChange = %v, %v", got, err)
+	}
+	got, err = PercentChange(2, 3)
+	if err != nil || math.Abs(got-50) > 1e-12 {
+		t.Fatalf("PercentChange = %v, %v", got, err)
+	}
+	if _, err := PercentChange(0, 1); err == nil {
+		t.Fatal("zero base should error")
+	}
+}
+
+func TestFingerprintEquality(t *testing.T) {
+	a := []sim.Placement{
+		mkPlacement(1, 0, 0, 100, 1, 100),
+		mkPlacement(2, 0, 100, 100, 1, 100),
+	}
+	// Same schedule, different slice order.
+	b := []sim.Placement{a[1], a[0]}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("fingerprint should be order independent")
+	}
+	// Different start time changes the fingerprint.
+	c := []sim.Placement{
+		mkPlacement(1, 0, 0, 100, 1, 100),
+		mkPlacement(2, 0, 101, 100, 1, 100),
+	}
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("fingerprint should detect a moved job")
+	}
+	if Fingerprint(nil) != Fingerprint([]sim.Placement{}) {
+		t.Fatal("empty fingerprints should match")
+	}
+}

@@ -1,0 +1,152 @@
+package sched
+
+import "repro/internal/job"
+
+// Canceler is an optional scheduler extension: withdrawing a queued job
+// before it starts. Multi-site grid scheduling needs it — a job submitted
+// to several sites simultaneously is cancelled everywhere else the moment
+// one site starts it (Subramani et al., "Distributed job scheduling on
+// computational grids using multiple simultaneous requests", HPDC 2002,
+// the paper's reference [12]).
+//
+// Cancel returns false when the job is not currently queued (already
+// started or never seen); schedulers must treat that as a harmless no-op.
+//
+// Contract: after cancelling, the caller must give the scheduler another
+// Launch pass at the same instant before time advances — reservation-based
+// schedulers compress into the freed capacity, which can make a surviving
+// job startable "now". grid.Run's fixed-point launch sweep provides this.
+type Canceler interface {
+	Cancel(now int64, j *job.Job) bool
+}
+
+// removeQueued deletes a job from a queue slice by ID, reporting whether it
+// was present.
+func removeQueued(queue []*job.Job, id int) ([]*job.Job, bool) {
+	for i, q := range queue {
+		if q.ID == id {
+			return append(queue[:i], queue[i+1:]...), true
+		}
+	}
+	return queue, false
+}
+
+// Cancel withdraws a queued job from EASY's queue.
+func (s *EASY) Cancel(_ int64, j *job.Job) bool {
+	var ok bool
+	s.queue, ok = removeQueued(s.queue, j.ID)
+	return ok
+}
+
+// Cancel withdraws a queued job from the no-backfill queue.
+func (s *NoBackfill) Cancel(_ int64, j *job.Job) bool {
+	var ok bool
+	s.queue, ok = removeQueued(s.queue, j.ID)
+	return ok
+}
+
+// Cancel withdraws a queued job from the lookahead-k queue (reservations
+// are stateless, so nothing else needs releasing).
+func (s *DepthK) Cancel(_ int64, j *job.Job) bool {
+	var ok bool
+	s.queue, ok = removeQueued(s.queue, j.ID)
+	return ok
+}
+
+// Cancel withdraws a queued job from the preemptive scheduler. Suspended
+// jobs cannot be cancelled (they hold banked work); Cancel reports false
+// for them so the caller knows the job is bound to this site.
+func (s *Preemptive) Cancel(_ int64, j *job.Job) bool {
+	if s.consumed[j.ID] > 0 {
+		return false
+	}
+	var ok bool
+	s.queue, ok = removeQueued(s.queue, j.ID)
+	return ok
+}
+
+// Cancel withdraws a queued job from conservative backfilling, releasing
+// its reservation and compressing the remaining queue into the hole it
+// leaves.
+func (s *Conservative) Cancel(now int64, j *job.Job) bool {
+	var ok bool
+	s.queue, ok = removeQueued(s.queue, j.ID)
+	if !ok {
+		return false
+	}
+	start := s.resv[j.ID]
+	delete(s.resv, j.ID)
+	end := start + j.Estimate
+	if end > now {
+		from := start
+		if from < now {
+			from = now
+		}
+		s.profile.Release(from, end-from, j.Width)
+	}
+	if !s.noCompress {
+		s.compress(now)
+	}
+	return true
+}
+
+// Cancel withdraws a queued job from the slack-based scheduler, releasing
+// its reservation and compressing into the hole.
+func (s *SlackBased) Cancel(now int64, j *job.Job) bool {
+	var ok bool
+	s.queue, ok = removeQueued(s.queue, j.ID)
+	if !ok {
+		return false
+	}
+	start := s.resv[j.ID]
+	delete(s.resv, j.ID)
+	delete(s.guarantee, j.ID)
+	end := start + j.Estimate
+	if end > now {
+		from := start
+		if from < now {
+			from = now
+		}
+		s.profile.Release(from, end-from, j.Width)
+	}
+	// Reuse the completion-path compression: it walks the queue in
+	// priority order pulling reservations into freed space.
+	sortQueue(s.queue, s.pol, now)
+	for _, k := range s.queue {
+		old := s.resv[k.ID]
+		if old <= now {
+			continue
+		}
+		s.profile.Release(old, k.Estimate, k.Width)
+		st := s.profile.FindStart(now, k.Estimate, k.Width)
+		if st > old {
+			st = old
+		}
+		s.profile.Reserve(st, k.Estimate, k.Width)
+		s.resv[k.ID] = st
+	}
+	return true
+}
+
+// Cancel withdraws a queued job from the selective scheduler, releasing a
+// promoted job's reservation.
+func (s *Selective) Cancel(now int64, j *job.Job) bool {
+	var ok bool
+	s.queue, ok = removeQueued(s.queue, j.ID)
+	if !ok {
+		return false
+	}
+	if start, promoted := s.resv[j.ID]; promoted {
+		delete(s.resv, j.ID)
+		end := start + j.Estimate
+		if end > now {
+			from := start
+			if from < now {
+				from = now
+			}
+			s.profile.Release(from, end-from, j.Width)
+		}
+		s.compress(now)
+	}
+	return true
+}

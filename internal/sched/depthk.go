@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+)
+
+// DepthK is lookahead-k backfilling: at every scheduling event the first K
+// jobs of the priority-ordered queue receive reservations on a freshly
+// rebuilt availability profile, and the remaining jobs backfill wherever
+// they fit right now without disturbing those reservations.
+//
+// K interpolates between the paper's two subjects: K=1 is exactly
+// aggressive (EASY) backfilling — only the head is protected — and K→∞
+// protects every queued job like conservative backfilling does (though
+// without conservative's *persistent* guarantees: reservations are
+// recomputed from scratch each event, so a job's planned start can move
+// later as higher-priority work arrives). The K knob is the ablation for
+// how much reservation "roofing" costs, the design dimension DESIGN.md
+// calls out.
+type DepthK struct {
+	procs   int
+	pol     Policy
+	k       int
+	queue   []*job.Job
+	running []runInfo
+}
+
+// NewDepthK returns a lookahead-k backfilling scheduler. It panics if
+// procs < 1, pol is nil, or k < 1.
+func NewDepthK(procs int, pol Policy, k int) *DepthK {
+	if procs < 1 {
+		panic(fmt.Sprintf("sched: NewDepthK with %d processors", procs))
+	}
+	if pol == nil {
+		panic("sched: NewDepthK with nil policy")
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("sched: NewDepthK with depth %d", k))
+	}
+	return &DepthK{procs: procs, pol: pol, k: k}
+}
+
+// Name returns e.g. "DepthK(FCFS,k=4)".
+func (s *DepthK) Name() string { return fmt.Sprintf("DepthK(%s,k=%d)", s.pol.Name(), s.k) }
+
+// Arrive queues the job.
+func (s *DepthK) Arrive(_ int64, j *job.Job) { s.queue = append(s.queue, j) }
+
+// Complete forgets the running record.
+func (s *DepthK) Complete(_ int64, j *job.Job) {
+	for i := range s.running {
+		if s.running[i].j.ID == j.ID {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sched: DepthK completion for unknown %v", j))
+}
+
+// Launch rebuilds the short-horizon plan: running jobs occupy the profile
+// through their estimates, the first K queued jobs reserve their earliest
+// slots in priority order (starting immediately when that slot is now),
+// and the rest backfill greedily.
+func (s *DepthK) Launch(now int64) []*job.Job {
+	sortQueue(s.queue, s.pol, now)
+
+	p := NewProfile(s.procs)
+	p.Trim(now)
+	for _, r := range s.running {
+		if r.estEnd > now {
+			p.Reserve(now, r.estEnd-now, r.j.Width)
+		}
+	}
+
+	var out []*job.Job
+	kept := s.queue[:0]
+	reserved := 0
+	for _, j := range s.queue {
+		start := p.FindStart(now, j.Estimate, j.Width)
+		switch {
+		case start == now:
+			p.Reserve(now, j.Estimate, j.Width)
+			s.running = append(s.running, runInfo{j: j, start: now, estEnd: now + j.Estimate})
+			out = append(out, j)
+		case reserved < s.k:
+			// Protected: hold the slot so lower-priority jobs cannot
+			// delay it.
+			p.Reserve(start, j.Estimate, j.Width)
+			reserved++
+			kept = append(kept, j)
+		default:
+			// Unprotected: stays queued without a reservation.
+			kept = append(kept, j)
+		}
+	}
+	s.queue = kept
+	return out
+}
+
+// QueuedJobs returns the jobs still waiting.
+func (s *DepthK) QueuedJobs() []*job.Job {
+	return append([]*job.Job(nil), s.queue...)
+}

@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+func TestBackfillOrderString(t *testing.T) {
+	if FirstFit.String() != "firstfit" || BestFit.String() != "bestfit" || ShortestFit.String() != "shortestfit" {
+		t.Fatal("order names wrong")
+	}
+	if BackfillOrder(9).String() == "" {
+		t.Fatal("unknown order should stringify")
+	}
+}
+
+func TestEASYOrderNames(t *testing.T) {
+	if got := NewEASYWithOrder(8, FCFS{}, BestFit).Name(); got != "EASY(FCFS,bestfit)" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := NewEASYWithOrder(8, FCFS{}, FirstFit).Name(); got != "EASY(FCFS)" {
+		t.Fatalf("default-order Name = %q", got)
+	}
+}
+
+func TestNewEASYWithOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEASYWithOrder(8, FCFS{}, BackfillOrder(99))
+}
+
+// TestGoldenBestFitPacksWider builds a hole where two simultaneous
+// candidates compete: A (w2, higher priority) and B (w4). Both are
+// eligible via the head's extra nodes (extra = 4); starting either leaves
+// too little for the other. FirstFit takes A (priority order); BestFit
+// takes the wider B.
+func TestGoldenBestFitPacksWider(t *testing.T) {
+	jobs := []*job.Job{
+		exactJob(1, 0, 100, 6), // running [0,100), free 4
+		exactJob(2, 1, 100, 6), // head: blocked, shadow 100, extra 4
+		exactJob(3, 2, 500, 2), // candidate A (long: cannot finish by shadow)
+		exactJob(4, 2, 500, 4), // candidate B (long, wider), same arrival batch
+	}
+	ff := runOn(t, 10, jobs, NewEASYWithOrder(10, FCFS{}, FirstFit))
+	bf := runOn(t, 10, jobs, NewEASYWithOrder(10, FCFS{}, BestFit))
+
+	// FirstFit: A (w2) backfills at t=2 via extra, leaving free 2 < B.
+	if ff[3] != 2 {
+		t.Fatalf("FirstFit: candidate A start = %d, want 2", ff[3])
+	}
+	if ff[4] == 2 {
+		t.Fatalf("FirstFit: candidate B should lose the hole, got %d", ff[4])
+	}
+	// BestFit: B (w4) wins the hole; A is left out (free 0).
+	if bf[4] != 2 {
+		t.Fatalf("BestFit: candidate B start = %d, want 2", bf[4])
+	}
+	if bf[3] == 2 {
+		t.Fatalf("BestFit: candidate A should lose the hole, started at %d", bf[3])
+	}
+}
+
+func TestGoldenShortestFitPrefersShortCandidate(t *testing.T) {
+	// Same structure; candidates differ in estimate, equal width, same
+	// arrival batch.
+	jobs := []*job.Job{
+		exactJob(1, 0, 100, 6),
+		exactJob(2, 1, 100, 6), // head, extra 4
+		exactJob(3, 2, 900, 4), // long candidate (priority order first)
+		exactJob(4, 2, 400, 4), // shorter candidate
+	}
+	ff := runOn(t, 10, jobs, NewEASYWithOrder(10, FCFS{}, FirstFit))
+	sf := runOn(t, 10, jobs, NewEASYWithOrder(10, FCFS{}, ShortestFit))
+	if ff[3] != 2 {
+		t.Fatalf("FirstFit should take the higher-priority candidate at 2, got %d", ff[3])
+	}
+	if sf[4] != 2 || sf[3] == 2 {
+		t.Fatalf("ShortestFit should take the shorter candidate at 2: got j3=%d j4=%d", sf[3], sf[4])
+	}
+}
+
+func TestEASYOrdersValidAndDeterministic(t *testing.T) {
+	const procs = 32
+	jobs := genWorkload(stats.NewRNG(1101), 200, procs, 1)
+	for _, order := range []BackfillOrder{FirstFit, BestFit, ShortestFit} {
+		a := runOn(t, procs, jobs, NewEASYWithOrder(procs, FCFS{}, order))
+		b := runOn(t, procs, jobs, NewEASYWithOrder(procs, FCFS{}, order))
+		for id := range a {
+			if a[id] != b[id] {
+				t.Fatalf("order %v nondeterministic", order)
+			}
+		}
+	}
+}
+
+func TestEASYOrdersDivergeOnBusyWorkload(t *testing.T) {
+	const procs = 32
+	diverged := false
+	for trial := 0; trial < 6 && !diverged; trial++ {
+		jobs := genWorkload(stats.NewRNG(int64(1110+trial)), 250, procs, 1)
+		ff := runOn(t, procs, jobs, NewEASYWithOrder(procs, FCFS{}, FirstFit))
+		bf := runOn(t, procs, jobs, NewEASYWithOrder(procs, FCFS{}, BestFit))
+		for id := range ff {
+			if ff[id] != bf[id] {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("bestfit never diverged from firstfit — order appears inert")
+	}
+}

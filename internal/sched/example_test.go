@@ -1,0 +1,38 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/sched"
+)
+
+func exampleJob(id int, arr, est int64, w int) *job.Job {
+	return &job.Job{ID: id, Arrival: arr, Runtime: est, Estimate: est, Width: w}
+}
+
+// ExampleProfile shows the availability profile answering the core
+// backfilling question: when can a job start?
+func ExampleProfile() {
+	p := sched.NewProfile(10)
+	p.Reserve(0, 100, 8)   // a running job: 8 procs through t=100
+	p.Reserve(200, 50, 10) // a reservation holding the whole machine at [200,250)
+
+	fmt.Println(p.FindStart(0, 60, 2))  // fits beside the running job now
+	fmt.Println(p.FindStart(0, 60, 4))  // must wait for t=100, and 100+60 clears 200? no: 100..160 fits
+	fmt.Println(p.FindStart(0, 120, 4)) // 120s window must clear the t=200 roof
+	// Output:
+	// 0
+	// 100
+	// 250
+}
+
+// ExampleXFactor shows how a job's expansion factor grows as it waits —
+// fast for short jobs, slowly for long ones.
+func ExampleXFactor() {
+	short := exampleJob(1, 0, 600, 1)  // 10-minute job
+	long := exampleJob(2, 0, 36000, 1) // 10-hour job
+	fmt.Printf("%.1f %.2f\n", sched.XFactor(short, 3600), sched.XFactor(long, 3600))
+	// Output:
+	// 7.0 1.10
+}

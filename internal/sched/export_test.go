@@ -1,0 +1,4 @@
+package sched
+
+// Check exposes the profile invariant checker to tests.
+func (p *Profile) Check() error { return p.check() }

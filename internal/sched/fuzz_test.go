@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// FuzzProfileOps drives the availability profile with an op stream decoded
+// from fuzz bytes, checking structural invariants after every operation.
+// Reserves are gated on MinFree so the capacity panics stay unreachable;
+// if the fuzzer finds a way to corrupt the structure anyway, check() or an
+// unexpected panic reports it.
+func FuzzProfileOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 254, 253, 252, 251, 250})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const procs = 16
+		p := NewProfile(procs)
+		type window struct {
+			from, dur int64
+			width     int
+		}
+		var live []window
+		r := stats.NewRNG(1)
+		for i := 0; i+3 < len(data); i += 4 {
+			op := data[i] % 3
+			from := int64(data[i+1]) * 16
+			dur := int64(data[i+2]%200) + 1
+			width := int(data[i+3]%procs) + 1
+			switch op {
+			case 0: // reserve if feasible
+				if p.MinFree(from, dur) >= width {
+					p.Reserve(from, dur, width)
+					live = append(live, window{from, dur, width})
+				}
+			case 1: // release a live window
+				if len(live) > 0 {
+					k := r.Intn(len(live))
+					w := live[k]
+					live = append(live[:k], live[k+1:]...)
+					p.Release(w.from, w.dur, w.width)
+				}
+			case 2: // query
+				s := p.FindStart(from, dur, width)
+				if s < from {
+					t.Fatalf("FindStart(%d,...) = %d before from", from, s)
+				}
+				if !p.FitsAt(s, dur, width) {
+					t.Fatalf("FindStart result does not fit")
+				}
+			}
+			if err := p.Check(); err != nil {
+				t.Fatalf("profile invariant broken: %v", err)
+			}
+		}
+	})
+}

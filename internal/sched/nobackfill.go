@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+)
+
+// NoBackfill is the classic space-sharing scheduler without backfilling:
+// jobs are considered strictly in priority order and scheduling stops at the
+// first job that does not fit. It is the baseline whose poor utilization
+// motivated backfilling in the first place (§2 of the paper).
+type NoBackfill struct {
+	procs int
+	pol   Policy
+	free  int
+	queue []*job.Job
+}
+
+// NewNoBackfill returns a no-backfilling scheduler for a machine with procs
+// processors under the given priority policy. It panics if procs < 1 or pol
+// is nil.
+func NewNoBackfill(procs int, pol Policy) *NoBackfill {
+	if procs < 1 {
+		panic(fmt.Sprintf("sched: NewNoBackfill with %d processors", procs))
+	}
+	if pol == nil {
+		panic("sched: NewNoBackfill with nil policy")
+	}
+	return &NoBackfill{procs: procs, pol: pol, free: procs}
+}
+
+// Name returns e.g. "NoBackfill(FCFS)".
+func (s *NoBackfill) Name() string { return fmt.Sprintf("NoBackfill(%s)", s.pol.Name()) }
+
+// Arrive queues the job.
+func (s *NoBackfill) Arrive(_ int64, j *job.Job) { s.queue = append(s.queue, j) }
+
+// Complete returns the job's processors.
+func (s *NoBackfill) Complete(_ int64, j *job.Job) { s.free += j.Width }
+
+// Launch starts jobs from the head of the priority-ordered queue until the
+// head no longer fits. No job ever jumps an earlier one.
+func (s *NoBackfill) Launch(now int64) []*job.Job {
+	sortQueue(s.queue, s.pol, now)
+	var out []*job.Job
+	for len(s.queue) > 0 && s.queue[0].Width <= s.free {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.free -= j.Width
+		out = append(out, j)
+	}
+	return out
+}
+
+// QueuedJobs returns the jobs still waiting.
+func (s *NoBackfill) QueuedJobs() []*job.Job {
+	return append([]*job.Job(nil), s.queue...)
+}

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+// refConservative is an independent brute-force re-implementation of
+// conservative backfilling used as a test oracle: per-second free-processor
+// arrays instead of the step-function profile, and a simple re-derivation
+// of the event loop. It shares no code with the production scheduler, so
+// agreement on random workloads is strong evidence both are right.
+//
+// Restricted to FCFS and accurate estimates (runtime == estimate): in that
+// regime compression never changes anything, so the semantics are
+// unambiguous — every job is reserved, in arrival order, at the earliest
+// instant that fits given all earlier reservations.
+type refConservative struct {
+	horizon int64
+	free    []int
+}
+
+func newRefConservative(procs int, horizon int64) *refConservative {
+	f := make([]int, horizon)
+	for i := range f {
+		f[i] = procs
+	}
+	return &refConservative{horizon: horizon, free: f}
+}
+
+// place reserves the earliest feasible window at or after arrival and
+// returns its start.
+func (r *refConservative) place(arrival, dur int64, width int) int64 {
+search:
+	for s := arrival; s+dur <= r.horizon; s++ {
+		for t := s; t < s+dur; t++ {
+			if r.free[t] < width {
+				continue search
+			}
+		}
+		for t := s; t < s+dur; t++ {
+			r.free[t] -= width
+		}
+		return s
+	}
+	panic("oracle: horizon too small")
+}
+
+// TestConservativeAgainstBruteForceOracle compares the production
+// conservative scheduler with the per-second oracle on many small random
+// workloads with exact estimates under FCFS.
+func TestConservativeAgainstBruteForceOracle(t *testing.T) {
+	const procs = 8
+	r := stats.NewRNG(1001)
+	for trial := 0; trial < 150; trial++ {
+		n := r.Intn(25) + 3
+		jobs := make([]*job.Job, 0, n)
+		clock := int64(0)
+		var totalWork int64
+		for i := 1; i <= n; i++ {
+			clock += int64(r.Intn(30))
+			rt := int64(r.Intn(60) + 1)
+			w := r.Intn(procs) + 1
+			jobs = append(jobs, &job.Job{
+				ID: i, Arrival: clock, Runtime: rt, Estimate: rt, Width: w,
+			})
+			totalWork += rt
+		}
+
+		// Oracle: place jobs in arrival order (ties by ID, matching the
+		// simulator's deterministic ordering).
+		oracle := newRefConservative(procs, clock+totalWork*int64(procs)+100)
+		wantStart := make(map[int]int64, n)
+		for _, j := range jobs {
+			wantStart[j.ID] = oracle.place(j.Arrival, j.Estimate, j.Width)
+		}
+
+		got := runOn(t, procs, jobs, NewConservative(procs, FCFS{}))
+		for id, want := range wantStart {
+			if got[id] != want {
+				t.Fatalf("trial %d: job %d starts at %d, oracle says %d\nworkload: %v",
+					trial, id, got[id], want, jobs)
+			}
+		}
+	}
+}
+
+// TestSlackZeroAgainstOracle extends the oracle check to the slack-based
+// scheduler at slack 0, which must behave identically.
+func TestSlackZeroAgainstOracle(t *testing.T) {
+	const procs = 8
+	r := stats.NewRNG(1002)
+	for trial := 0; trial < 60; trial++ {
+		n := r.Intn(20) + 3
+		jobs := make([]*job.Job, 0, n)
+		clock := int64(0)
+		var totalWork int64
+		for i := 1; i <= n; i++ {
+			clock += int64(r.Intn(30))
+			rt := int64(r.Intn(60) + 1)
+			w := r.Intn(procs) + 1
+			jobs = append(jobs, &job.Job{
+				ID: i, Arrival: clock, Runtime: rt, Estimate: rt, Width: w,
+			})
+			totalWork += rt
+		}
+		oracle := newRefConservative(procs, clock+totalWork*int64(procs)+100)
+		wantStart := make(map[int]int64, n)
+		for _, j := range jobs {
+			wantStart[j.ID] = oracle.place(j.Arrival, j.Estimate, j.Width)
+		}
+		got := runOn(t, procs, jobs, NewSlackBased(procs, FCFS{}, 0))
+		for id, want := range wantStart {
+			if got[id] != want {
+				t.Fatalf("trial %d: job %d starts at %d, oracle says %d", trial, id, got[id], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// Partitioned statically splits the machine into independent partitions,
+// each running its own scheduler over its own processors — how many centers
+// operated before backfilling made shared pools viable (separate "short"
+// and "long" queues with dedicated nodes). A Router assigns every arriving
+// job to a partition; widths must fit the assigned partition.
+//
+// The Partitioning experiment uses this as the historical baseline: static
+// splits waste capacity whenever one partition idles while another queues,
+// and quantifying that waste against a shared backfilling pool is the
+// classic argument for the schedulers this repository studies.
+type Partitioned struct {
+	name       string
+	partitions []sim.Scheduler
+	sizes      []int
+	router     Router
+	assigned   map[int]int // job ID -> partition index
+}
+
+// Router assigns a job to a partition index. It must be deterministic and
+// must return an index whose partition is at least as wide as the job.
+type Router func(j *job.Job) int
+
+// NewPartitioned builds a partitioned scheduler. sizes gives each
+// partition's processor count; mk constructs the scheduler for one
+// partition given its size and index. It panics on invalid arguments
+// (empty sizes, non-positive size, nil router/make).
+func NewPartitioned(sizes []int, router Router, mk func(procs, idx int) sim.Scheduler) *Partitioned {
+	if len(sizes) == 0 {
+		panic("sched: NewPartitioned with no partitions")
+	}
+	if router == nil {
+		panic("sched: NewPartitioned with nil router")
+	}
+	if mk == nil {
+		panic("sched: NewPartitioned with nil scheduler constructor")
+	}
+	p := &Partitioned{
+		sizes:    append([]int(nil), sizes...),
+		router:   router,
+		assigned: map[int]int{},
+	}
+	names := make([]string, len(sizes))
+	for i, size := range sizes {
+		if size < 1 {
+			panic(fmt.Sprintf("sched: partition %d has %d processors", i, size))
+		}
+		s := mk(size, i)
+		p.partitions = append(p.partitions, s)
+		names[i] = fmt.Sprintf("%d:%s", size, s.Name())
+	}
+	p.name = fmt.Sprintf("Partitioned[%s]", strings.Join(names, "|"))
+	return p
+}
+
+// Procs returns the total processor count across partitions.
+func (p *Partitioned) Procs() int {
+	total := 0
+	for _, s := range p.sizes {
+		total += s
+	}
+	return total
+}
+
+// Name identifies the composite scheduler.
+func (p *Partitioned) Name() string { return p.name }
+
+// Arrive routes the job to its partition.
+func (p *Partitioned) Arrive(now int64, j *job.Job) {
+	idx := p.router(j)
+	if idx < 0 || idx >= len(p.partitions) {
+		panic(fmt.Sprintf("sched: router sent %v to partition %d of %d", j, idx, len(p.partitions)))
+	}
+	if j.Width > p.sizes[idx] {
+		panic(fmt.Sprintf("sched: router sent %v (width %d) to partition %d of %d processors", j, j.Width, idx, p.sizes[idx]))
+	}
+	p.assigned[j.ID] = idx
+	p.partitions[idx].Arrive(now, j)
+}
+
+// Complete forwards the completion to the owning partition.
+func (p *Partitioned) Complete(now int64, j *job.Job) {
+	idx, ok := p.assigned[j.ID]
+	if !ok {
+		panic(fmt.Sprintf("sched: Partitioned completion for unrouted %v", j))
+	}
+	delete(p.assigned, j.ID)
+	p.partitions[idx].Complete(now, j)
+}
+
+// Launch concatenates every partition's launches.
+func (p *Partitioned) Launch(now int64) []*job.Job {
+	var out []*job.Job
+	for _, s := range p.partitions {
+		out = append(out, s.Launch(now)...)
+	}
+	return out
+}
+
+// QueuedJobs concatenates every partition's queue.
+func (p *Partitioned) QueuedJobs() []*job.Job {
+	var out []*job.Job
+	for _, s := range p.partitions {
+		out = append(out, s.QueuedJobs()...)
+	}
+	return out
+}
+
+// NextWake forwards to partitions implementing sim.Waker and returns the
+// earliest requested wake-up.
+func (p *Partitioned) NextWake(now int64) int64 {
+	var next int64
+	for _, s := range p.partitions {
+		if w, ok := s.(sim.Waker); ok {
+			if t := w.NextWake(now); t > now && (next == 0 || t < next) {
+				next = t
+			}
+		}
+	}
+	return next
+}
+
+// RuntimeRouter routes jobs by estimated runtime: jobs with estimates at or
+// below threshold go to partition 0 (the "short" partition), the rest to
+// partition 1 — the classic short/long queue split. Jobs too wide for their
+// runtime-chosen partition overflow to the other if it fits them.
+func RuntimeRouter(threshold int64, sizes []int) Router {
+	if len(sizes) != 2 {
+		panic(fmt.Sprintf("sched: RuntimeRouter needs exactly 2 partitions, got %d", len(sizes)))
+	}
+	return func(j *job.Job) int {
+		idx := 1
+		if j.Estimate <= threshold {
+			idx = 0
+		}
+		if j.Width > sizes[idx] {
+			idx = 1 - idx // overflow to the other partition
+		}
+		return idx
+	}
+}

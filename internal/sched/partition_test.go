@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// shortLongPartition builds a 10+22 split: short jobs (<= 1h estimates) on
+// the small partition, the rest on the large one, EASY(FCFS) in both.
+func shortLongPartition() *Partitioned {
+	sizes := []int{10, 22}
+	return NewPartitioned(sizes, RuntimeRouter(3600, sizes), func(procs, _ int) sim.Scheduler {
+		return NewEASY(procs, FCFS{})
+	})
+}
+
+func TestPartitionedConstructorPanics(t *testing.T) {
+	mk := func(procs, _ int) sim.Scheduler { return NewEASY(procs, FCFS{}) }
+	cases := []func(){
+		func() { NewPartitioned(nil, RuntimeRouter(1, []int{1, 1}), mk) },
+		func() { NewPartitioned([]int{4}, nil, mk) },
+		func() { NewPartitioned([]int{4}, func(*job.Job) int { return 0 }, nil) },
+		func() { NewPartitioned([]int{0}, func(*job.Job) int { return 0 }, mk) },
+		func() { RuntimeRouter(1, []int{1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPartitionedName(t *testing.T) {
+	p := shortLongPartition()
+	name := p.Name()
+	if !strings.Contains(name, "10:EASY(FCFS)") || !strings.Contains(name, "22:EASY(FCFS)") {
+		t.Fatalf("Name = %q", name)
+	}
+	if p.Procs() != 32 {
+		t.Fatalf("Procs = %d", p.Procs())
+	}
+}
+
+func TestPartitionedIsolation(t *testing.T) {
+	// A long job filling the long partition must not delay short jobs, and
+	// vice versa — the defining property of static partitioning.
+	jobs := []*job.Job{
+		exactJob(1, 0, 10000, 22), // long partition, fills it
+		exactJob(2, 1, 10000, 22), // long partition, must wait
+		exactJob(3, 2, 100, 4),    // short job: starts immediately on its own partition
+	}
+	starts := runOn(t, 32, jobs, shortLongPartition())
+	wantStarts(t, starts, map[int]int64{1: 0, 2: 10000, 3: 2})
+}
+
+func TestPartitionedWasteVsSharedPool(t *testing.T) {
+	// The classic result: on a busy mixed workload the shared backfilling
+	// pool beats the static split on mean wait, because partitions idle
+	// while the other side queues.
+	const procs = 32
+	jobs := genWorkload(stats.NewRNG(1600), 300, procs, 1)
+	// Cap widths at the small partition size for routable jobs.
+	for _, j := range jobs {
+		if j.Width > 22 {
+			j.Width = 22
+		}
+	}
+	meanWait := func(s sim.Scheduler) float64 {
+		starts := runOn(t, procs, jobs, s)
+		var sum float64
+		for _, j := range jobs {
+			sum += float64(starts[j.ID] - j.Arrival)
+		}
+		return sum / float64(len(jobs))
+	}
+	shared := meanWait(NewEASY(procs, FCFS{}))
+	split := meanWait(shortLongPartition())
+	if shared >= split {
+		t.Fatalf("shared pool mean wait %.1f not below static split %.1f", shared, split)
+	}
+}
+
+func TestPartitionedValidAndDeterministic(t *testing.T) {
+	const procs = 32
+	jobs := genWorkload(stats.NewRNG(1601), 200, procs, 1)
+	for _, j := range jobs {
+		if j.Width > 22 {
+			j.Width = 22
+		}
+	}
+	a := runOn(t, procs, jobs, shortLongPartition())
+	b := runOn(t, procs, jobs, shortLongPartition())
+	for id := range a {
+		if a[id] != b[id] {
+			t.Fatal("partitioned scheduler nondeterministic")
+		}
+	}
+}
+
+func TestRuntimeRouterOverflow(t *testing.T) {
+	sizes := []int{8, 24}
+	r := RuntimeRouter(3600, sizes)
+	short := &job.Job{ID: 1, Estimate: 60, Width: 4}
+	if r(short) != 0 {
+		t.Fatal("short narrow job should route to partition 0")
+	}
+	wideShort := &job.Job{ID: 2, Estimate: 60, Width: 16}
+	if r(wideShort) != 1 {
+		t.Fatal("short wide job should overflow to the large partition")
+	}
+	long := &job.Job{ID: 3, Estimate: 7200, Width: 4}
+	if r(long) != 1 {
+		t.Fatal("long job should route to partition 1")
+	}
+}
+
+func TestPartitionedMixedInnerSchedulers(t *testing.T) {
+	// Different inner schedulers per partition, including one that needs
+	// engine timers (conservative-nc), must compose.
+	sizes := []int{10, 22}
+	p := NewPartitioned(sizes, RuntimeRouter(3600, sizes), func(procs, idx int) sim.Scheduler {
+		if idx == 0 {
+			return NewConservativeNoCompression(procs, FCFS{})
+		}
+		return NewEASY(procs, SJF{})
+	})
+	jobs := genWorkload(stats.NewRNG(1602), 150, 32, 1)
+	for _, j := range jobs {
+		if j.Width > 22 {
+			j.Width = 22
+		}
+	}
+	runOn(t, 32, jobs, p)
+}

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/job"
+)
+
+// Policy orders the idle queue. Less reports whether a should be considered
+// for scheduling before b at instant now. Policies must induce a strict
+// total order for any fixed now (the implementations here all fall back to
+// arrival time and then job ID), so queue ordering — and therefore the whole
+// simulation — is deterministic.
+//
+// XFactor-style policies are dynamic: a job's priority rises as it waits, so
+// schedulers re-sort the queue at every scheduling event rather than keeping
+// a static order.
+type Policy interface {
+	// Name is the short label used in reports: FCFS, SJF, XF, ...
+	Name() string
+	// Less orders jobs a before b at time now.
+	Less(a, b *job.Job, now int64) bool
+}
+
+// tieBreak orders by arrival then ID; every policy ends with it so the
+// ordering is total.
+func tieBreak(a, b *job.Job) bool {
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.ID < b.ID
+}
+
+// FCFS is first-come first-served: a job's priority is its wait time, i.e.
+// earlier arrivals come first. This is the most common production policy
+// and the paper's default.
+type FCFS struct{}
+
+// Name returns "FCFS".
+func (FCFS) Name() string { return "FCFS" }
+
+// Less orders by arrival time.
+func (FCFS) Less(a, b *job.Job, _ int64) bool { return tieBreak(a, b) }
+
+// SJF is shortest-job first: "the priority of a job is inversely
+// proportional to its user estimated run time". Ties break FCFS.
+type SJF struct{}
+
+// Name returns "SJF".
+func (SJF) Name() string { return "SJF" }
+
+// Less orders by user estimate, shortest first.
+func (SJF) Less(a, b *job.Job, _ int64) bool {
+	if a.Estimate != b.Estimate {
+		return a.Estimate < b.Estimate
+	}
+	return tieBreak(a, b)
+}
+
+// LJF is longest-job first, the mirror of SJF, included as an extension for
+// ablation studies (it is the classic bad idea that starves short jobs).
+type LJF struct{}
+
+// Name returns "LJF".
+func (LJF) Name() string { return "LJF" }
+
+// Less orders by user estimate, longest first.
+func (LJF) Less(a, b *job.Job, _ int64) bool {
+	if a.Estimate != b.Estimate {
+		return a.Estimate > b.Estimate
+	}
+	return tieBreak(a, b)
+}
+
+// XFactor computes a job's expansion factor at time now:
+//
+//	xfactor = (wait + estimated runtime) / estimated runtime
+//
+// A job that has not waited has xfactor 1; short jobs' xfactors grow much
+// faster than long jobs', so XFactor implicitly favours short jobs while
+// still aging long ones (the paper's "expansion Factor" policy).
+func XFactor(j *job.Job, now int64) float64 {
+	wait := now - j.Arrival
+	if wait < 0 {
+		wait = 0
+	}
+	est := j.Estimate
+	if est < 1 {
+		est = 1
+	}
+	return float64(wait+est) / float64(est)
+}
+
+// XF is the expansion-factor policy: highest xfactor first.
+type XF struct{}
+
+// Name returns "XF".
+func (XF) Name() string { return "XF" }
+
+// Less orders by xfactor at now, largest first.
+func (XF) Less(a, b *job.Job, now int64) bool {
+	xa, xb := XFactor(a, now), XFactor(b, now)
+	if xa != xb {
+		return xa > xb
+	}
+	return tieBreak(a, b)
+}
+
+// WFP is a width-weighted aging policy (an extension beyond the paper): it
+// scales the expansion factor by the job's width so that wide jobs — the
+// ones that struggle to backfill — age faster. Included for the selective
+// backfilling and ablation experiments.
+type WFP struct{}
+
+// Name returns "WFP".
+func (WFP) Name() string { return "WFP" }
+
+// Less orders by width-weighted xfactor, largest first.
+func (WFP) Less(a, b *job.Job, now int64) bool {
+	xa := XFactor(a, now) * float64(a.Width)
+	xb := XFactor(b, now) * float64(b.Width)
+	if xa != xb {
+		return xa > xb
+	}
+	return tieBreak(a, b)
+}
+
+// Policies returns the registry of named priority policies.
+func Policies() []Policy {
+	return []Policy{FCFS{}, SJF{}, XF{}, LJF{}, WFP{}}
+}
+
+// PolicyByName looks up a policy by its Name (case-sensitive).
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q", name)
+}
+
+// sortQueue orders jobs in place by policy priority at time now.
+func sortQueue(queue []*job.Job, pol Policy, now int64) {
+	sort.SliceStable(queue, func(i, k int) bool {
+		return pol.Less(queue[i], queue[k], now)
+	})
+}

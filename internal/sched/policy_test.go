@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+func pj(id int, arrival, estimate int64, width int) *job.Job {
+	return &job.Job{ID: id, Arrival: arrival, Runtime: estimate, Estimate: estimate, Width: width}
+}
+
+func TestFCFSOrder(t *testing.T) {
+	a, b := pj(1, 10, 100, 1), pj(2, 20, 1, 1)
+	if !(FCFS{}).Less(a, b, 1000) {
+		t.Fatal("earlier arrival should come first")
+	}
+	if (FCFS{}).Less(b, a, 1000) {
+		t.Fatal("later arrival should not come first")
+	}
+}
+
+func TestFCFSTieBreaksByID(t *testing.T) {
+	a, b := pj(1, 10, 100, 1), pj(2, 10, 1, 1)
+	if !(FCFS{}).Less(a, b, 0) || (FCFS{}).Less(b, a, 0) {
+		t.Fatal("equal arrivals should order by ID")
+	}
+}
+
+func TestSJFOrder(t *testing.T) {
+	short, long := pj(5, 50, 60, 1), pj(1, 0, 7200, 1)
+	if !(SJF{}).Less(short, long, 100) {
+		t.Fatal("shorter estimate should come first despite later arrival")
+	}
+	// Equal estimates fall back to FCFS.
+	a, b := pj(1, 10, 60, 1), pj(2, 5, 60, 1)
+	if !(SJF{}).Less(b, a, 100) {
+		t.Fatal("equal estimates should order by arrival")
+	}
+}
+
+func TestLJFOrder(t *testing.T) {
+	short, long := pj(5, 50, 60, 1), pj(1, 0, 7200, 1)
+	if !(LJF{}).Less(long, short, 100) {
+		t.Fatal("longer estimate should come first under LJF")
+	}
+}
+
+func TestXFactorValue(t *testing.T) {
+	j := pj(1, 100, 50, 1)
+	cases := []struct {
+		now  int64
+		want float64
+	}{
+		{100, 1}, // no wait
+		{150, 2}, // wait 50, est 50
+		{50, 1},  // now before arrival clamps wait to 0
+		{600, (500 + 50.0) / 50.0},
+	}
+	for _, tc := range cases {
+		if got := XFactor(j, tc.now); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("XFactor(now=%d) = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+	z := &job.Job{ID: 2, Arrival: 0, Estimate: 0, Width: 1}
+	if got := XFactor(z, 10); got != 11 {
+		t.Errorf("zero-estimate xfactor = %v, want 11 (clamped to 1s)", got)
+	}
+}
+
+func TestXFPrefersGrownShortJob(t *testing.T) {
+	// A short job that has waited has a much larger xfactor than a long
+	// job that has waited equally.
+	short := pj(1, 0, 60, 1)  // xf at 600: 11
+	long := pj(2, 0, 3600, 1) // xf at 600: 1.166
+	if !(XF{}).Less(short, long, 600) {
+		t.Fatal("short waited job should outrank long one under XF")
+	}
+	// At arrival both have xf 1: falls to FCFS tiebreak.
+	a, b := pj(1, 0, 60, 1), pj(2, 0, 120, 1)
+	if !(XF{}).Less(a, b, 0) {
+		t.Fatal("equal xfactors should order by arrival/ID")
+	}
+}
+
+func TestWFPWeightsWidth(t *testing.T) {
+	narrow := pj(1, 0, 100, 1)
+	wide := pj(2, 0, 100, 32)
+	if !(WFP{}).Less(wide, narrow, 100) {
+		t.Fatal("wider job should outrank narrow one under WFP at equal xf")
+	}
+}
+
+func TestPoliciesRegistry(t *testing.T) {
+	ps := Policies()
+	if len(ps) != 5 {
+		t.Fatalf("Policies() returned %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"FCFS", "SJF", "XF", "LJF", "WFP"} {
+		if !names[want] {
+			t.Errorf("missing policy %s", want)
+		}
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	p, err := PolicyByName("SJF")
+	if err != nil || p.Name() != "SJF" {
+		t.Fatalf("PolicyByName(SJF) = %v, %v", p, err)
+	}
+	if _, err := PolicyByName("nope"); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+// TestPoliciesTotalOrder verifies every policy induces a strict weak
+// ordering usable by sort: irreflexive, asymmetric, and deterministic.
+func TestPoliciesTotalOrder(t *testing.T) {
+	r := stats.NewRNG(51)
+	jobs := make([]*job.Job, 60)
+	for i := range jobs {
+		jobs[i] = &job.Job{
+			ID:       i + 1,
+			Arrival:  int64(r.Intn(20)), // many ties
+			Runtime:  int64(r.Intn(5)*60 + 60),
+			Estimate: int64(r.Intn(5)*60 + 60),
+			Width:    r.Intn(4) + 1,
+		}
+	}
+	for _, pol := range Policies() {
+		now := int64(500)
+		for _, a := range jobs {
+			if pol.Less(a, a, now) {
+				t.Fatalf("%s: Less(a,a) true", pol.Name())
+			}
+			for _, b := range jobs {
+				if a != b && pol.Less(a, b, now) && pol.Less(b, a, now) {
+					t.Fatalf("%s: Less not asymmetric for %v / %v", pol.Name(), a, b)
+				}
+				if a != b && !pol.Less(a, b, now) && !pol.Less(b, a, now) {
+					t.Fatalf("%s: jobs %d and %d incomparable (order not total)", pol.Name(), a.ID, b.ID)
+				}
+			}
+		}
+		// Sorting twice from shuffled inputs gives the same order.
+		s1 := append([]*job.Job(nil), jobs...)
+		s2 := append([]*job.Job(nil), jobs...)
+		for i, k := range r.Perm(len(s2)) {
+			s2[i], s2[k] = s2[k], s2[i]
+		}
+		sortQueue(s1, pol, now)
+		sortQueue(s2, pol, now)
+		for i := range s1 {
+			if s1[i].ID != s2[i].ID {
+				t.Fatalf("%s: order depends on input permutation at %d", pol.Name(), i)
+			}
+		}
+	}
+}
+
+func TestSortQueueFCFSIsArrivalSorted(t *testing.T) {
+	r := stats.NewRNG(53)
+	jobs := make([]*job.Job, 40)
+	for i := range jobs {
+		jobs[i] = &job.Job{ID: i + 1, Arrival: int64(r.Intn(1000)), Estimate: 60, Width: 1}
+	}
+	sortQueue(jobs, FCFS{}, 0)
+	if !sort.SliceIsSorted(jobs, func(i, k int) bool {
+		if jobs[i].Arrival != jobs[k].Arrival {
+			return jobs[i].Arrival < jobs[k].Arrival
+		}
+		return jobs[i].ID < jobs[k].ID
+	}) {
+		t.Fatal("FCFS sort not by arrival")
+	}
+}

@@ -1,0 +1,269 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/job"
+)
+
+// Preemptive implements selective preemption in the spirit of the authors'
+// companion paper (Kettimuthu et al., "Selective preemption strategies for
+// parallel job scheduling", ICPP 2002, cited as [6]): EASY backfilling
+// augmented with suspension. When a queued job's expansion factor crosses
+// PreemptThreshold and it still cannot start, the scheduler suspends the
+// cheapest set of running victims — lowest priority first — wide enough to
+// make room, subject to two safeguards that prevent thrash:
+//
+//   - a victim must have run at least MinRun seconds since its last
+//     dispatch, so work always progresses between preemptions;
+//   - a victim's own expansion factor must be strictly below the starving
+//     job's, so preemption always flows from less- to more-starved work and
+//     cycles cannot tighten.
+//
+// Suspended jobs return to the queue with their elapsed runtime banked;
+// they resume (running only their remainder) like any other start, and
+// their growing expansion factor makes them preempt-back candidates —
+// bounded, not unbounded, by the safeguards above.
+type Preemptive struct {
+	procs            int
+	pol              Policy
+	preemptThreshold float64
+	minRun           int64
+
+	free    int
+	queue   []*job.Job
+	running []runInfo
+	// consumed banks elapsed runtime per suspended/running job so the
+	// scheduler can plan with remaining estimates.
+	consumed map[int]int64
+	// protected marks jobs started via preemption: they run to completion
+	// and are never victims themselves. Without this, a preempted-for job
+	// and its victims can trade the machine back and forth as their
+	// expansion factors leapfrog (both grow with time-in-system).
+	protected map[int]bool
+}
+
+// DefaultMinRun is the default guaranteed run quantum between preemptions.
+const DefaultMinRun = 300
+
+// NewPreemptive returns a preemptive EASY scheduler. threshold is the
+// expansion factor at which a waiting job may trigger preemption (>= 1);
+// minRun is the guaranteed quantum (>= 1; DefaultMinRun is a sensible
+// choice). It panics on invalid arguments.
+func NewPreemptive(procs int, pol Policy, threshold float64, minRun int64) *Preemptive {
+	if procs < 1 {
+		panic(fmt.Sprintf("sched: NewPreemptive with %d processors", procs))
+	}
+	if pol == nil {
+		panic("sched: NewPreemptive with nil policy")
+	}
+	if threshold < 1 {
+		panic(fmt.Sprintf("sched: NewPreemptive threshold %v < 1", threshold))
+	}
+	if minRun < 1 {
+		panic(fmt.Sprintf("sched: NewPreemptive minRun %d < 1", minRun))
+	}
+	return &Preemptive{
+		procs:            procs,
+		pol:              pol,
+		preemptThreshold: threshold,
+		minRun:           minRun,
+		free:             procs,
+		consumed:         make(map[int]int64),
+		protected:        make(map[int]bool),
+	}
+}
+
+// Name returns e.g. "Preemptive(FCFS,xf>=5)".
+func (s *Preemptive) Name() string {
+	return fmt.Sprintf("Preemptive(%s,xf>=%g)", s.pol.Name(), s.preemptThreshold)
+}
+
+// Arrive queues the job.
+func (s *Preemptive) Arrive(_ int64, j *job.Job) { s.queue = append(s.queue, j) }
+
+// Complete returns the job's processors.
+func (s *Preemptive) Complete(_ int64, j *job.Job) {
+	s.free += j.Width
+	delete(s.consumed, j.ID)
+	delete(s.protected, j.ID)
+	for i := range s.running {
+		if s.running[i].j.ID == j.ID {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sched: Preemptive completion for unknown %v", j))
+}
+
+// remainingEstimate is the job's wall-limit remainder given the runtime it
+// has already consumed across dispatches.
+func (s *Preemptive) remainingEstimate(j *job.Job) int64 {
+	rem := j.Estimate - s.consumed[j.ID]
+	if rem < 1 {
+		rem = 1
+	}
+	return rem
+}
+
+// Launch satisfies sim.Scheduler; the engine uses LaunchAndPreempt when the
+// scheduler is registered as a Preemptor, but Launch keeps the type usable
+// anywhere a plain scheduler is expected (it simply never preempts).
+func (s *Preemptive) Launch(now int64) []*job.Job {
+	starts, _ := s.launch(now, false)
+	return starts
+}
+
+// LaunchAndPreempt implements sim.Preemptor.
+func (s *Preemptive) LaunchAndPreempt(now int64) (starts, suspends []*job.Job) {
+	return s.launch(now, true)
+}
+
+// launch runs the EASY pass and, when allowed, the preemption step.
+func (s *Preemptive) launch(now int64, allowPreempt bool) (starts, suspends []*job.Job) {
+	sortQueue(s.queue, s.pol, now)
+
+	start := func(j *job.Job) {
+		s.free -= j.Width
+		s.running = append(s.running, runInfo{j: j, start: now, estEnd: now + s.remainingEstimate(j)})
+		starts = append(starts, j)
+	}
+
+	// Phase 1: heads that fit.
+	for len(s.queue) > 0 && s.queue[0].Width <= s.free {
+		start(s.queue[0])
+		s.queue = s.queue[1:]
+	}
+	if len(s.queue) == 0 {
+		return starts, nil
+	}
+
+	// Phase 2+3: the EASY shadow reservation and backfill pass for the
+	// blocked head.
+	head := s.queue[0]
+	shadow, extra := s.headReservation(head)
+	kept := s.queue[:1]
+	for _, j := range s.queue[1:] {
+		fitsNow := j.Width <= s.free
+		switch {
+		case fitsNow && now+s.remainingEstimate(j) <= shadow:
+			start(j)
+		case fitsNow && j.Width <= extra:
+			start(j)
+			extra -= j.Width
+		default:
+			kept = append(kept, j)
+		}
+	}
+	s.queue = kept
+
+	// Phase 4: selective preemption for the most starved waiting job. The
+	// trigger deliberately looks beyond the priority head: under SJF the
+	// starving wide job is by definition *never* the head — that is the
+	// starvation mechanism — so head-only preemption would never fire.
+	if !allowPreempt {
+		return starts, nil
+	}
+	starving := -1
+	starvingXF := s.preemptThreshold
+	for i, j := range s.queue {
+		if xf := XFactor(j, now); xf >= starvingXF {
+			starving = i
+			starvingXF = xf
+		}
+	}
+	if starving < 0 {
+		return starts, nil
+	}
+	target := s.queue[starving]
+	victims := s.chooseVictims(now, target, starvingXF)
+	if victims == nil {
+		return starts, nil
+	}
+	for _, v := range victims {
+		suspends = append(suspends, v.j)
+		s.suspend(now, v)
+	}
+	// The starving job starts in the space the victims vacated and runs
+	// to completion (protected from counter-preemption).
+	s.queue = append(s.queue[:starving], s.queue[starving+1:]...)
+	s.protected[target.ID] = true
+	start(target)
+	return starts, suspends
+}
+
+// chooseVictims picks the cheapest set of running jobs (ascending priority:
+// the *last* jobs the policy would run) whose suspension frees enough
+// processors for the starving head, or nil if no admissible set exists.
+func (s *Preemptive) chooseVictims(now int64, head *job.Job, headXF float64) []runInfo {
+	candidates := make([]runInfo, 0, len(s.running))
+	for _, r := range s.running {
+		if s.protected[r.j.ID] {
+			continue // itself started via preemption: runs to completion
+		}
+		if now-r.start < s.minRun {
+			continue // guaranteed quantum not yet served
+		}
+		if XFactor(r.j, now) >= headXF {
+			continue // as starved as the head: not an admissible victim
+		}
+		candidates = append(candidates, r)
+	}
+	// Lowest priority first — suspend the jobs the policy values least.
+	sort.SliceStable(candidates, func(i, k int) bool {
+		return s.pol.Less(candidates[k].j, candidates[i].j, now)
+	})
+	freed := s.free
+	var chosen []runInfo
+	for _, c := range candidates {
+		if freed >= head.Width {
+			break
+		}
+		chosen = append(chosen, c)
+		freed += c.j.Width
+	}
+	if freed < head.Width {
+		return nil
+	}
+	return chosen
+}
+
+// suspend moves a running job back to the queue, banking its elapsed
+// runtime.
+func (s *Preemptive) suspend(now int64, r runInfo) {
+	s.consumed[r.j.ID] += now - r.start
+	s.free += r.j.Width
+	for i := range s.running {
+		if s.running[i].j.ID == r.j.ID {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+	s.queue = append(s.queue, r.j)
+}
+
+// headReservation mirrors EASY's shadow computation using remaining
+// estimates.
+func (s *Preemptive) headReservation(head *job.Job) (shadow int64, extra int) {
+	runners := append([]runInfo(nil), s.running...)
+	sort.Slice(runners, func(i, k int) bool {
+		if runners[i].estEnd != runners[k].estEnd {
+			return runners[i].estEnd < runners[k].estEnd
+		}
+		return runners[i].j.ID < runners[k].j.ID
+	})
+	avail := s.free
+	for _, r := range runners {
+		avail += r.j.Width
+		if avail >= head.Width {
+			return r.estEnd, avail - head.Width
+		}
+	}
+	panic(fmt.Sprintf("sched: Preemptive cannot place head %v on %d processors", head, s.procs))
+}
+
+// QueuedJobs returns the jobs still waiting (including suspended ones).
+func (s *Preemptive) QueuedJobs() []*job.Job {
+	return append([]*job.Job(nil), s.queue...)
+}

@@ -1,0 +1,274 @@
+// Package sched implements the parallel job schedulers the paper studies:
+// conservative backfilling, aggressive (EASY) backfilling, a
+// no-backfilling baseline, and the selective-reservation scheme sketched in
+// the paper's future work — each parameterised by a queue priority policy
+// (FCFS, SJF, XFactor, and extensions).
+//
+// The shared substrate is Profile, a step function recording how many
+// processors are free at every future instant. Schedulers plan with user
+// estimates: a job's planned window is [start, start+Estimate), and when it
+// finishes early the tail of the window is released, creating the "holes"
+// whose exploitation distinguishes the policies.
+package sched
+
+import "fmt"
+
+// point is one step of the profile: free processors from T (inclusive)
+// until the next point's time (exclusive). The last point extends forever.
+type point struct {
+	T    int64
+	Free int
+}
+
+// Profile tracks free processors over future time as a sorted step
+// function. A fresh profile has all processors free from time 0. Reserve
+// subtracts capacity over a window; Release returns it. FindStart answers
+// the backfilling question: the earliest instant from which a given number
+// of processors stays free for a given duration.
+//
+// Profile methods panic on capacity violations (reserving more processors
+// than are free): schedulers must FindStart (or check FitsAt) before
+// reserving, so a violation is always a scheduler bug, not an input error.
+type Profile struct {
+	procs  int
+	points []point
+}
+
+// NewProfile returns a profile for a machine with procs processors, all
+// free from time 0. It panics if procs < 1.
+func NewProfile(procs int) *Profile {
+	if procs < 1 {
+		panic(fmt.Sprintf("sched: NewProfile with %d processors", procs))
+	}
+	return &Profile{procs: procs, points: []point{{T: 0, Free: procs}}}
+}
+
+// Procs returns the machine size the profile was built with.
+func (p *Profile) Procs() int { return p.procs }
+
+// Clone returns an independent deep copy.
+func (p *Profile) Clone() *Profile {
+	return &Profile{procs: p.procs, points: append([]point(nil), p.points...)}
+}
+
+// NumPoints returns the current number of step points (for tests and
+// benchmarks).
+func (p *Profile) NumPoints() int { return len(p.points) }
+
+// FreeAt returns the number of free processors at instant t. Instants
+// before the first point report the first point's value (the profile does
+// not record history).
+func (p *Profile) FreeAt(t int64) int {
+	i := p.indexAt(t)
+	return p.points[i].Free
+}
+
+// indexAt returns the index of the step containing t: the last point with
+// T <= t, or 0 when t precedes all points.
+func (p *Profile) indexAt(t int64) int {
+	lo, hi := 0, len(p.points)
+	// Binary search for the first point with T > t.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.points[mid].T <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// MinFree returns the minimum number of free processors over the window
+// [from, from+dur). A non-positive duration reports FreeAt(from).
+func (p *Profile) MinFree(from, dur int64) int {
+	if dur <= 0 {
+		return p.FreeAt(from)
+	}
+	end := from + dur
+	min := p.procs
+	for i := p.indexAt(from); i < len(p.points); i++ {
+		if p.points[i].T >= end {
+			break
+		}
+		if p.points[i].Free < min {
+			min = p.points[i].Free
+		}
+	}
+	return min
+}
+
+// FitsAt reports whether width processors are free throughout
+// [from, from+dur).
+func (p *Profile) FitsAt(from, dur int64, width int) bool {
+	return p.MinFree(from, dur) >= width
+}
+
+// FindStart returns the earliest instant s >= from such that width
+// processors remain free throughout [s, s+dur). It panics if width exceeds
+// the machine size (such a job can never run). The scan walks candidate
+// start times: from itself, then every subsequent step point, skipping
+// ahead past any point that violates the requirement.
+func (p *Profile) FindStart(from, dur int64, width int) int64 {
+	if width > p.procs {
+		panic(fmt.Sprintf("sched: FindStart width %d exceeds machine size %d", width, p.procs))
+	}
+	if width < 1 {
+		width = 1
+	}
+	if dur < 1 {
+		dur = 1
+	}
+	start := from
+	i := p.indexAt(from)
+	for {
+		// Check the window [start, start+dur) beginning at step i.
+		ok := true
+		end := start + dur
+		for k := i; k < len(p.points); k++ {
+			if p.points[k].T >= end {
+				break
+			}
+			if p.points[k].Free < width {
+				// Violation: the next candidate start is the first point
+				// after this one with enough free processors.
+				next := k + 1
+				for next < len(p.points) && p.points[next].Free < width {
+					next++
+				}
+				if next == len(p.points) {
+					// The tail of the profile never frees enough — cannot
+					// happen when reservations are finite and width <=
+					// procs, because the last point always has all
+					// processors free.
+					panic("sched: FindStart ran off the end of the profile")
+				}
+				start = p.points[next].T
+				i = next
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return start
+		}
+	}
+}
+
+// Reserve subtracts width processors over [from, from+dur). It panics if
+// the window would drive free capacity negative (callers must check with
+// FindStart or FitsAt first) or on non-positive duration/width.
+func (p *Profile) Reserve(from, dur int64, width int) {
+	p.adjust(from, dur, -width)
+}
+
+// Release returns width processors over [from, from+dur). It panics if the
+// window would exceed the machine size (releasing something never
+// reserved) or on non-positive duration/width.
+func (p *Profile) Release(from, dur int64, width int) {
+	p.adjust(from, dur, width)
+}
+
+// adjust adds delta to the free count over [from, from+dur).
+func (p *Profile) adjust(from, dur int64, delta int) {
+	if dur <= 0 {
+		panic(fmt.Sprintf("sched: profile adjust with duration %d", dur))
+	}
+	if delta == 0 {
+		panic("sched: profile adjust with zero width")
+	}
+	end := from + dur
+	p.split(from)
+	p.split(end)
+	for i := range p.points {
+		if p.points[i].T < from {
+			continue
+		}
+		if p.points[i].T >= end {
+			break
+		}
+		f := p.points[i].Free + delta
+		if f < 0 {
+			panic(fmt.Sprintf("sched: reservation over-subscribes machine at t=%d (free %d, delta %d)", p.points[i].T, p.points[i].Free, delta))
+		}
+		if f > p.procs {
+			panic(fmt.Sprintf("sched: release exceeds machine size at t=%d (free %d, delta %d, procs %d)", p.points[i].T, p.points[i].Free, delta, p.procs))
+		}
+		p.points[i].Free = f
+	}
+	p.coalesce()
+}
+
+// split ensures a point exists exactly at time t (t at or after the first
+// point). Inserting a point does not change the function's value anywhere.
+func (p *Profile) split(t int64) {
+	if t <= p.points[0].T {
+		if t < p.points[0].T {
+			// Extend the profile into the past with the same free count;
+			// this only happens if a caller reserves before the first
+			// point, which Trim can make possible.
+			p.points = append([]point{{T: t, Free: p.points[0].Free}}, p.points...)
+		}
+		return
+	}
+	i := p.indexAt(t)
+	if p.points[i].T == t {
+		return
+	}
+	p.points = append(p.points, point{})
+	copy(p.points[i+2:], p.points[i+1:])
+	p.points[i+1] = point{T: t, Free: p.points[i].Free}
+}
+
+// coalesce merges adjacent points with equal free counts.
+func (p *Profile) coalesce() {
+	out := p.points[:1]
+	for _, pt := range p.points[1:] {
+		if pt.Free != out[len(out)-1].Free {
+			out = append(out, pt)
+		}
+	}
+	p.points = out
+}
+
+// Trim discards step points strictly before now, keeping the value at now
+// as the new first point. Schedulers call it at each event to keep the
+// profile from growing with simulated time.
+func (p *Profile) Trim(now int64) {
+	i := p.indexAt(now)
+	if i == 0 {
+		return
+	}
+	p.points = p.points[i:]
+	if p.points[0].T < now {
+		p.points[0].T = now
+	}
+}
+
+// check verifies internal invariants (sortedness, bounds, coalescing); it
+// is exported to tests via export_test.go.
+func (p *Profile) check() error {
+	if len(p.points) == 0 {
+		return fmt.Errorf("sched: profile has no points")
+	}
+	for i, pt := range p.points {
+		if pt.Free < 0 || pt.Free > p.procs {
+			return fmt.Errorf("sched: point %d free=%d out of [0,%d]", i, pt.Free, p.procs)
+		}
+		if i > 0 {
+			if pt.T <= p.points[i-1].T {
+				return fmt.Errorf("sched: points not strictly increasing at %d", i)
+			}
+			if pt.Free == p.points[i-1].Free {
+				return fmt.Errorf("sched: uncoalesced equal points at %d", i)
+			}
+		}
+	}
+	if p.points[len(p.points)-1].Free != p.procs {
+		return fmt.Errorf("sched: profile tail has %d free, want all %d (reservations must be finite)", p.points[len(p.points)-1].Free, p.procs)
+	}
+	return nil
+}

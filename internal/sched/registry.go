@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// Maker constructs a fresh scheduler for a machine with the given processor
+// count. Experiments use Makers so that every simulation starts from clean
+// scheduler state.
+type Maker func(procs int) sim.Scheduler
+
+// MakerFor returns a Maker by scheduler kind name. Recognised kinds:
+//
+//	"conservative"       — conservative backfilling
+//	"conservative-nc"    — conservative without compression (ablation)
+//	"easy"               — aggressive (EASY) backfilling
+//	"easy:bestfit"       — EASY preferring the widest backfill candidate
+//	"easy:shortestfit"   — EASY preferring the shortest backfill candidate
+//	"none"               — no backfilling
+//	"selective:<x>"      — selective backfilling, fixed xfactor threshold x
+//	"selective:adaptive" — selective with the adaptive threshold
+//	"depth:<k>"          — lookahead-k backfilling (k=1 behaves like EASY)
+//	"slack:<s>"          — slack-based backfilling with slack factor s
+//	"preemptive:<x>"     — EASY with selective preemption at xfactor x
+//
+// The policy argument selects the queue priority.
+func MakerFor(kind string, pol Policy) (Maker, error) {
+	switch {
+	case kind == "conservative":
+		return func(procs int) sim.Scheduler { return NewConservative(procs, pol) }, nil
+	case kind == "conservative-nc":
+		return func(procs int) sim.Scheduler { return NewConservativeNoCompression(procs, pol) }, nil
+	case kind == "easy":
+		return func(procs int) sim.Scheduler { return NewEASY(procs, pol) }, nil
+	case kind == "easy:bestfit":
+		return func(procs int) sim.Scheduler { return NewEASYWithOrder(procs, pol, BestFit) }, nil
+	case kind == "easy:shortestfit":
+		return func(procs int) sim.Scheduler { return NewEASYWithOrder(procs, pol, ShortestFit) }, nil
+	case kind == "none":
+		return func(procs int) sim.Scheduler { return NewNoBackfill(procs, pol) }, nil
+	case kind == "selective:adaptive":
+		return func(procs int) sim.Scheduler { return NewSelectiveAdaptive(procs, pol) }, nil
+	case strings.HasPrefix(kind, "selective:"):
+		x, err := strconv.ParseFloat(strings.TrimPrefix(kind, "selective:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad selective threshold in %q: %w", kind, err)
+		}
+		if x < 1 {
+			return nil, fmt.Errorf("sched: selective threshold %v < 1", x)
+		}
+		return func(procs int) sim.Scheduler { return NewSelective(procs, pol, x) }, nil
+	case strings.HasPrefix(kind, "depth:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(kind, "depth:"))
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad depth in %q: %w", kind, err)
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("sched: depth %d < 1", k)
+		}
+		return func(procs int) sim.Scheduler { return NewDepthK(procs, pol, k) }, nil
+	case strings.HasPrefix(kind, "preemptive:"):
+		x, err := strconv.ParseFloat(strings.TrimPrefix(kind, "preemptive:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad preemption threshold in %q: %w", kind, err)
+		}
+		if x < 1 {
+			return nil, fmt.Errorf("sched: preemption threshold %v < 1", x)
+		}
+		return func(procs int) sim.Scheduler { return NewPreemptive(procs, pol, x, DefaultMinRun) }, nil
+	case strings.HasPrefix(kind, "slack:"):
+		sf, err := strconv.ParseFloat(strings.TrimPrefix(kind, "slack:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad slack factor in %q: %w", kind, err)
+		}
+		if sf < 0 {
+			return nil, fmt.Errorf("sched: slack factor %v < 0", sf)
+		}
+		return func(procs int) sim.Scheduler { return NewSlackBased(procs, pol, sf) }, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler kind %q (want conservative, conservative-nc, easy, none, selective:<x>, depth:<k>, or slack:<s>)", kind)
+	}
+}
+
+// Kinds lists representative scheduler kind names MakerFor accepts.
+func Kinds() []string {
+	return []string{
+		"conservative", "conservative-nc", "easy", "easy:bestfit",
+		"easy:shortestfit", "none", "selective:adaptive", "depth:2",
+		"slack:1", "preemptive:10",
+	}
+}
+
+// Auditor checks schedule-validity invariants online through a
+// sim.Observer: processor capacity is never exceeded, no job starts before
+// it arrives, and every start/complete pairs up. Call Err after the run.
+type Auditor struct {
+	procs  int
+	inUse  int
+	active map[int]bool
+	errs   []string
+}
+
+// NewAuditor returns an auditor for a machine with procs processors.
+func NewAuditor(procs int) *Auditor {
+	return &Auditor{procs: procs, active: make(map[int]bool)}
+}
+
+// Observer returns the sim.Observer wired to this auditor.
+func (a *Auditor) Observer() *sim.Observer {
+	return &sim.Observer{
+		OnStart: func(now int64, j *job.Job) {
+			if now < j.Arrival {
+				a.errs = append(a.errs, fmt.Sprintf("%v started at %d before arrival", j, now))
+			}
+			if a.active[j.ID] {
+				a.errs = append(a.errs, fmt.Sprintf("%v started twice", j))
+			}
+			a.active[j.ID] = true
+			a.inUse += j.Width
+			if a.inUse > a.procs {
+				a.errs = append(a.errs, fmt.Sprintf("capacity exceeded at t=%d: %d > %d", now, a.inUse, a.procs))
+			}
+		},
+		OnSuspend: func(now int64, j *job.Job) {
+			if !a.active[j.ID] {
+				a.errs = append(a.errs, fmt.Sprintf("%v suspended without running", j))
+			}
+			delete(a.active, j.ID)
+			a.inUse -= j.Width
+		},
+		OnComplete: func(now int64, j *job.Job) {
+			if !a.active[j.ID] {
+				a.errs = append(a.errs, fmt.Sprintf("%v completed without starting", j))
+			}
+			delete(a.active, j.ID)
+			a.inUse -= j.Width
+		},
+	}
+}
+
+// Err returns an error summarising all violations, or nil.
+func (a *Auditor) Err() error {
+	if len(a.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("sched: %d audit violations; first: %s", len(a.errs), a.errs[0])
+}

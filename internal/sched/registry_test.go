@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestAllRegistryKindsConformance drives every scheduler kind the registry
+// can build through the same busy workload under audit: every kind must
+// schedule all jobs validly and deterministically. This is the conformance
+// battery a new scheduler must pass to be registered.
+func TestAllRegistryKindsConformance(t *testing.T) {
+	const procs = 32
+	kinds := append(Kinds(), "selective:3", "depth:8", "slack:0.5", "preemptive:5")
+	jobs := genWorkload(stats.NewRNG(1700), 180, procs, 1)
+	for _, kind := range kinds {
+		for _, polName := range []string{"FCFS", "SJF", "XF"} {
+			pol, err := PolicyByName(polName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk, err := MakerFor(kind, pol)
+			if err != nil {
+				t.Fatalf("MakerFor(%q): %v", kind, err)
+			}
+			name := kind + "/" + polName
+			t.Run(name, func(t *testing.T) {
+				a := runOn(t, procs, jobs, mk(procs))
+				b := runOn(t, procs, jobs, mk(procs))
+				for id := range a {
+					if a[id] != b[id] {
+						t.Fatalf("%s: nondeterministic", name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRegistryErrorMessagesNameTheKind keeps the operator-facing error
+// useful.
+func TestRegistryErrorMessagesNameTheKind(t *testing.T) {
+	_, err := MakerFor("wat", FCFS{})
+	if err == nil || !strings.Contains(err.Error(), "wat") {
+		t.Fatalf("error should name the unknown kind: %v", err)
+	}
+	for _, bad := range []string{"depth:x", "depth:0", "slack:x", "preemptive:x", "preemptive:0.5"} {
+		if _, err := MakerFor(bad, FCFS{}); err == nil {
+			t.Errorf("MakerFor(%q): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+)
+
+// Selective implements the selective-reservation backfilling strategy the
+// paper proposes as future work (§6) and develops in the authors' follow-up
+// ("Selective Reservation Strategies for Backfill Job Scheduling"): no job
+// holds a reservation at first, so backfilling is as unconstrained as
+// possible; a job is promoted to a guaranteed reservation only once its
+// expansion factor (expected slowdown) crosses a threshold. Judiciously
+// chosen, the threshold keeps the number of blocking reservations small
+// while protecting exactly the jobs that are starving — bounding the
+// worst-case turnaround that unmodified aggressive backfilling lets grow
+// without limit.
+//
+// Threshold semantics: a fixed XFactorThreshold > 0 promotes a job when
+// XFactor(j, now) >= threshold. With AdaptiveThreshold, the threshold is
+// the running mean of the expansion factors of all jobs at their start
+// times (at least 1), so it tracks the load the machine is actually
+// delivering.
+type Selective struct {
+	procs     int
+	pol       Policy
+	threshold float64
+	adaptive  bool
+
+	profile *Profile
+	queue   []*job.Job
+	resv    map[int]int64 // promoted job ID -> guaranteed start
+	running map[int]runInfo
+
+	sumXF    float64
+	nStarted int64
+
+	violations []string
+}
+
+// NewSelective returns a selective backfilling scheduler with a fixed
+// expansion-factor threshold (must be >= 1). It panics on invalid
+// arguments.
+func NewSelective(procs int, pol Policy, threshold float64) *Selective {
+	if threshold < 1 {
+		panic(fmt.Sprintf("sched: NewSelective threshold %v < 1", threshold))
+	}
+	s := newSelective(procs, pol)
+	s.threshold = threshold
+	return s
+}
+
+// NewSelectiveAdaptive returns a selective backfilling scheduler whose
+// threshold adapts to the running mean start-time expansion factor.
+func NewSelectiveAdaptive(procs int, pol Policy) *Selective {
+	s := newSelective(procs, pol)
+	s.adaptive = true
+	return s
+}
+
+func newSelective(procs int, pol Policy) *Selective {
+	if procs < 1 {
+		panic(fmt.Sprintf("sched: NewSelective with %d processors", procs))
+	}
+	if pol == nil {
+		panic("sched: NewSelective with nil policy")
+	}
+	return &Selective{
+		procs:   procs,
+		pol:     pol,
+		profile: NewProfile(procs),
+		resv:    make(map[int]int64),
+		running: make(map[int]runInfo),
+	}
+}
+
+// Name returns e.g. "Selective(FCFS,xf>=5)" or "Selective(FCFS,adaptive)".
+func (s *Selective) Name() string {
+	if s.adaptive {
+		return fmt.Sprintf("Selective(%s,adaptive)", s.pol.Name())
+	}
+	return fmt.Sprintf("Selective(%s,xf>=%g)", s.pol.Name(), s.threshold)
+}
+
+// Threshold returns the promotion threshold in effect right now.
+func (s *Selective) Threshold() float64 {
+	if !s.adaptive {
+		return s.threshold
+	}
+	if s.nStarted == 0 {
+		return 1
+	}
+	t := s.sumXF / float64(s.nStarted)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Promoted reports whether job id currently holds a reservation, and its
+// guaranteed start if so.
+func (s *Selective) Promoted(id int) (int64, bool) {
+	t, ok := s.resv[id]
+	return t, ok
+}
+
+// Violations returns internal invariant breaches detected so far.
+func (s *Selective) Violations() []string {
+	return append([]string(nil), s.violations...)
+}
+
+// Arrive queues the job without any reservation.
+func (s *Selective) Arrive(_ int64, j *job.Job) { s.queue = append(s.queue, j) }
+
+// Complete releases the unused tail of the job's planned window and
+// compresses the promoted jobs' reservations, exactly as conservative
+// backfilling does for its (larger) reserved set.
+func (s *Selective) Complete(now int64, j *job.Job) {
+	ri, ok := s.running[j.ID]
+	if !ok {
+		panic(fmt.Sprintf("sched: Selective completion for unknown %v", j))
+	}
+	delete(s.running, j.ID)
+	if now < ri.estEnd {
+		s.profile.Release(now, ri.estEnd-now, j.Width)
+	}
+	s.profile.Trim(now)
+	s.compress(now)
+}
+
+// compress moves promoted reservations earlier when holes open.
+func (s *Selective) compress(now int64) {
+	sortQueue(s.queue, s.pol, now)
+	for _, j := range s.queue {
+		old, promoted := s.resv[j.ID]
+		if !promoted || old <= now {
+			continue
+		}
+		s.profile.Release(old, j.Estimate, j.Width)
+		start := s.profile.FindStart(now, j.Estimate, j.Width)
+		if start > old {
+			s.violations = append(s.violations,
+				fmt.Sprintf("compress moved %v later: %d -> %d", j, old, start))
+			start = old
+		}
+		s.profile.Reserve(start, j.Estimate, j.Width)
+		s.resv[j.ID] = start
+	}
+}
+
+// promote grants reservations to queued jobs whose expansion factor has
+// crossed the threshold. Promotion processes jobs in priority order so the
+// neediest pick their slots first.
+func (s *Selective) promote(now int64) {
+	threshold := s.Threshold()
+	for _, j := range s.queue {
+		if _, already := s.resv[j.ID]; already {
+			continue
+		}
+		if XFactor(j, now) < threshold {
+			continue
+		}
+		start := s.profile.FindStart(now, j.Estimate, j.Width)
+		s.profile.Reserve(start, j.Estimate, j.Width)
+		s.resv[j.ID] = start
+	}
+}
+
+// Launch promotes starving jobs, starts promoted jobs whose guaranteed time
+// has arrived, and backfills unpromoted jobs anywhere they fit right now
+// without disturbing any reservation.
+func (s *Selective) Launch(now int64) []*job.Job {
+	s.profile.Trim(now)
+	sortQueue(s.queue, s.pol, now)
+	s.promote(now)
+
+	var out []*job.Job
+	kept := s.queue[:0]
+	for _, j := range s.queue {
+		start, promoted := s.resv[j.ID]
+		switch {
+		case promoted && start <= now:
+			if start < now {
+				s.violations = append(s.violations,
+					fmt.Sprintf("%v launched at %d after its reservation %d", j, now, start))
+				if rem := start + j.Estimate - now; rem > 0 {
+					s.profile.Release(now, rem, j.Width)
+				}
+				s.profile.Reserve(now, j.Estimate, j.Width)
+			}
+			delete(s.resv, j.ID)
+			s.start(j, now)
+			out = append(out, j)
+		case promoted:
+			kept = append(kept, j)
+		case s.profile.FindStart(now, j.Estimate, j.Width) == now:
+			s.profile.Reserve(now, j.Estimate, j.Width)
+			s.start(j, now)
+			out = append(out, j)
+		default:
+			kept = append(kept, j)
+		}
+	}
+	s.queue = kept
+	return out
+}
+
+// start records the running window and the start-time expansion factor that
+// feeds the adaptive threshold.
+func (s *Selective) start(j *job.Job, now int64) {
+	s.running[j.ID] = runInfo{j: j, start: now, estEnd: now + j.Estimate}
+	s.sumXF += XFactor(j, now)
+	s.nStarted++
+}
+
+// QueuedJobs returns the jobs still waiting.
+func (s *Selective) QueuedJobs() []*job.Job {
+	return append([]*job.Job(nil), s.queue...)
+}

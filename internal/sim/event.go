@@ -1,0 +1,131 @@
+// Package sim contains the discrete-event simulation engine that drives the
+// backfilling schedulers: a deterministic event queue (arrivals and
+// completions), the virtual clock, and the run loop that feeds events to a
+// Scheduler and records job placements.
+//
+// The engine is deliberately small and single-threaded: supercomputer
+// scheduling simulations are dominated by scheduler logic, not event
+// dispatch, and single-threaded execution with total event ordering is what
+// makes runs bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+
+	"repro/internal/job"
+)
+
+// EventKind discriminates the two event types the engine knows about.
+type EventKind int
+
+const (
+	// Completion events fire when a running job releases its processors.
+	// Completions sort before arrivals at the same instant so that a job
+	// arriving exactly when another finishes sees the freed processors.
+	Completion EventKind = iota
+	// Arrival events fire when a job is submitted.
+	Arrival
+	// Timer events carry no job; they exist only to wake the scheduler at
+	// a time it asked for via the Waker interface (e.g. a reservation
+	// instant that coincides with no completion).
+	Timer
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case Completion:
+		return "completion"
+	case Arrival:
+		return "arrival"
+	case Timer:
+		return "timer"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scheduled occurrence in virtual time. For completion
+// events, epoch identifies which dispatch of the job the event belongs to:
+// suspending a job increments its epoch, so the stale completion is dropped
+// when popped.
+type Event struct {
+	Time  int64
+	Kind  EventKind
+	Job   *job.Job
+	epoch int
+	seq   int64 // insertion order, the final tie-breaker
+}
+
+// eventHeap implements container/heap ordering by (Time, Kind, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// EventQueue is a deterministic priority queue of events. Ties on time break
+// by kind (completions first) and then by insertion order, so identical
+// inputs always replay identically.
+type EventQueue struct {
+	h    eventHeap
+	next int64
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue {
+	return &EventQueue{}
+}
+
+// Push enqueues an event at time t.
+func (q *EventQueue) Push(t int64, kind EventKind, j *job.Job) {
+	q.PushEpoch(t, kind, j, 0)
+}
+
+// PushEpoch enqueues an event tagged with a dispatch epoch (see Event).
+func (q *EventQueue) PushEpoch(t int64, kind EventKind, j *job.Job, epoch int) {
+	e := &Event{Time: t, Kind: kind, Job: j, epoch: epoch, seq: q.next}
+	q.next++
+	heap.Push(&q.h, e)
+}
+
+// Pop removes and returns the earliest event, or nil when empty.
+func (q *EventQueue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Peek returns the earliest event without removing it, or nil when empty.
+func (q *EventQueue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue()
+	j := &job.Job{ID: 1}
+	q.Push(10, Arrival, j)
+	q.Push(5, Arrival, j)
+	q.Push(5, Completion, j)
+	q.Push(20, Completion, j)
+
+	var got []struct {
+		t int64
+		k EventKind
+	}
+	for q.Len() > 0 {
+		e := q.Pop()
+		got = append(got, struct {
+			t int64
+			k EventKind
+		}{e.Time, e.Kind})
+	}
+	want := []struct {
+		t int64
+		k EventKind
+	}{
+		{5, Completion}, // completions before arrivals at the same instant
+		{5, Arrival},
+		{10, Arrival},
+		{20, Completion},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEventQueueFIFOAmongTies(t *testing.T) {
+	q := NewEventQueue()
+	for i := 1; i <= 10; i++ {
+		q.Push(7, Arrival, &job.Job{ID: i})
+	}
+	for i := 1; i <= 10; i++ {
+		e := q.Pop()
+		if e.Job.ID != i {
+			t.Fatalf("tie order broken: popped %d, want %d", e.Job.ID, i)
+		}
+	}
+}
+
+func TestEventQueueEmpty(t *testing.T) {
+	q := NewEventQueue()
+	if q.Pop() != nil || q.Peek() != nil || q.Len() != 0 {
+		t.Fatal("empty queue misbehaves")
+	}
+}
+
+func TestEventQueuePeekDoesNotRemove(t *testing.T) {
+	q := NewEventQueue()
+	q.Push(3, Arrival, &job.Job{ID: 1})
+	if q.Peek().Time != 3 || q.Len() != 1 {
+		t.Fatal("peek broken")
+	}
+	if q.Pop().Time != 3 || q.Len() != 0 {
+		t.Fatal("pop after peek broken")
+	}
+}
+
+func TestEventQueueSortedProperty(t *testing.T) {
+	f := func(times []int64) bool {
+		q := NewEventQueue()
+		for i, tt := range times {
+			if tt < 0 {
+				tt = -tt
+			}
+			q.Push(tt, Arrival, &job.Job{ID: i + 1})
+		}
+		var popped []int64
+		for q.Len() > 0 {
+			popped = append(popped, q.Pop().Time)
+		}
+		return sort.SliceIsSorted(popped, func(i, j int) bool { return popped[i] < popped[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Completion.String() != "completion" || Arrival.String() != "arrival" {
+		t.Fatal("kind names wrong")
+	}
+	if EventKind(5).String() != "unknown" {
+		t.Fatal("unknown kind name")
+	}
+}

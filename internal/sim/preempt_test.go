@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// stubPreemptor drives the engine's suspend/resume mechanics directly: it
+// runs jobs FIFO on a 1-slot machine but suspends the running job whenever
+// a new arrival appears (round-robin-by-arrival, width 1 only).
+type stubPreemptor struct {
+	queue   []*job.Job
+	running *job.Job
+	bad     string // inject a protocol violation: "suspend-idle", "double-start", "suspend-done"
+}
+
+func (p *stubPreemptor) Name() string               { return "stubPreemptor" }
+func (p *stubPreemptor) Arrive(_ int64, j *job.Job) { p.queue = append(p.queue, j) }
+func (p *stubPreemptor) Complete(_ int64, j *job.Job) {
+	if p.running != nil && p.running.ID == j.ID {
+		p.running = nil
+	}
+}
+func (p *stubPreemptor) Launch(now int64) []*job.Job {
+	s, _ := p.LaunchAndPreempt(now)
+	return s
+}
+
+func (p *stubPreemptor) LaunchAndPreempt(now int64) (starts, suspends []*job.Job) {
+	switch p.bad {
+	case "suspend-idle":
+		if len(p.queue) > 0 {
+			return nil, []*job.Job{p.queue[0]} // suspending a queued job: invalid
+		}
+	case "double-start":
+		if p.running != nil {
+			return []*job.Job{p.running}, nil // starting a running job: invalid
+		}
+	}
+	if p.running != nil && len(p.queue) > 0 {
+		// Preempt in favour of the longest-waiting queued job.
+		suspends = append(suspends, p.running)
+		p.queue = append(p.queue, p.running)
+		p.running = nil
+	}
+	if p.running == nil && len(p.queue) > 0 {
+		p.running = p.queue[0]
+		p.queue = p.queue[1:]
+		starts = append(starts, p.running)
+	}
+	return starts, suspends
+}
+
+func (p *stubPreemptor) QueuedJobs() []*job.Job { return p.queue }
+
+// wakerFIFO holds every job until a fixed wake time, exercising the Timer
+// event path directly: nothing else creates an event at that instant.
+type wakerFIFO struct {
+	wakeAt int64
+	free   int
+	queue  []*job.Job
+}
+
+func (w *wakerFIFO) Name() string                 { return "wakerFIFO" }
+func (w *wakerFIFO) Arrive(_ int64, j *job.Job)   { w.queue = append(w.queue, j) }
+func (w *wakerFIFO) Complete(_ int64, j *job.Job) { w.free += j.Width }
+func (w *wakerFIFO) Launch(now int64) []*job.Job {
+	if now < w.wakeAt {
+		return nil
+	}
+	var out []*job.Job
+	for len(w.queue) > 0 && w.queue[0].Width <= w.free {
+		j := w.queue[0]
+		w.queue = w.queue[1:]
+		w.free -= j.Width
+		out = append(out, j)
+	}
+	return out
+}
+func (w *wakerFIFO) QueuedJobs() []*job.Job { return w.queue }
+func (w *wakerFIFO) NextWake(now int64) int64 {
+	if now < w.wakeAt && len(w.queue) > 0 {
+		return w.wakeAt
+	}
+	return 0
+}
+
+func TestEngineTimerWake(t *testing.T) {
+	// One job arrives at 10; the scheduler refuses to start anything until
+	// t=500. Without the Waker timer the run would deadlock (no events
+	// after the arrival); with it, the job starts exactly at 500.
+	jobs := []*job.Job{{ID: 1, Arrival: 10, Runtime: 50, Estimate: 50, Width: 1}}
+	s := &wakerFIFO{wakeAt: 500, free: 4}
+	ps, err := Run(Machine{Procs: 4}, jobs, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Start != 500 {
+		t.Fatalf("start = %d, want 500 (timer wake)", ps[0].Start)
+	}
+}
+
+func TestEngineSuspendResume(t *testing.T) {
+	// j1 runs [0, ...); j2 arrives at 10 and preempts it; j1 resumes when
+	// j2 finishes. j1: runtime 100 total → runs [0,10) then [60,150).
+	jobs := []*job.Job{
+		{ID: 1, Arrival: 0, Runtime: 100, Estimate: 100, Width: 1},
+		{ID: 2, Arrival: 10, Runtime: 50, Estimate: 50, Width: 1},
+	}
+	var suspends, resumes int
+	obs := &Observer{
+		OnSuspend: func(now int64, j *job.Job) {
+			suspends++
+			if j.ID != 1 || now != 10 {
+				t.Errorf("unexpected suspend: job %d at %d", j.ID, now)
+			}
+		},
+		OnStart: func(now int64, j *job.Job) {
+			if j.ID == 1 && now > 0 {
+				resumes++
+				if now != 60 {
+					t.Errorf("j1 resumed at %d, want 60", now)
+				}
+			}
+		},
+	}
+	ps, err := Run(Machine{Procs: 1}, jobs, &stubPreemptor{}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suspends != 1 || resumes != 1 {
+		t.Fatalf("suspends=%d resumes=%d", suspends, resumes)
+	}
+	byID := map[int]Placement{}
+	for _, p := range ps {
+		byID[p.Job.ID] = p
+	}
+	if p := byID[1]; p.Start != 0 || p.End != 150 {
+		t.Fatalf("j1 placement %+v, want [0,150]", p)
+	}
+	if p := byID[2]; p.Start != 10 || p.End != 60 {
+		t.Fatalf("j2 placement %+v, want [10,60]", p)
+	}
+}
+
+func TestEngineStaleCompletionDropped(t *testing.T) {
+	// j1's original completion (scheduled for t=100) must not complete the
+	// job after it was suspended at 10. The stale event still *wakes the
+	// scheduler* at t=100 — where the round-robin stub swaps the jobs
+	// again — but j1 must accumulate exactly its 100s of runtime:
+	// j1 [0,10), j2 [10,100), j1 [100,190), j2 resumes [190,600).
+	jobs := []*job.Job{
+		{ID: 1, Arrival: 0, Runtime: 100, Estimate: 100, Width: 1},
+		{ID: 2, Arrival: 10, Runtime: 500, Estimate: 500, Width: 1},
+	}
+	ps, err := Run(Machine{Procs: 1}, jobs, &stubPreemptor{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Placement{}
+	for _, p := range ps {
+		byID[p.Job.ID] = p
+	}
+	if p := byID[1]; p.End != 190 {
+		t.Fatalf("j1 end = %d, want 190 (stale completion only wakes, never completes)", p.End)
+	}
+	if p := byID[2]; p.End != 600 {
+		t.Fatalf("j2 end = %d, want 600", p.End)
+	}
+}
+
+func TestEngineRejectsSuspendOfIdleJob(t *testing.T) {
+	jobs := []*job.Job{{ID: 1, Arrival: 0, Runtime: 10, Estimate: 10, Width: 1}}
+	_, err := Run(Machine{Procs: 1}, jobs, &stubPreemptor{bad: "suspend-idle"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "not running") {
+		t.Fatalf("want not-running error, got %v", err)
+	}
+}
+
+func TestEngineRejectsDoubleStartOfRunningJob(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, Arrival: 0, Runtime: 100, Estimate: 100, Width: 1},
+		{ID: 2, Arrival: 10, Runtime: 100, Estimate: 100, Width: 1},
+	}
+	p := &stubPreemptor{bad: "double-start"}
+	_, err := Run(Machine{Procs: 1}, jobs, p, nil)
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("want double-start error, got %v", err)
+	}
+}
+
+// chaosPreemptor preempts the runner pseudo-randomly at every scheduling
+// opportunity, maximising suspend/resume churn on a 1-slot machine.
+type chaosPreemptor struct {
+	queue   []*job.Job
+	running *job.Job
+	flip    uint64
+}
+
+func (p *chaosPreemptor) Name() string                 { return "chaos" }
+func (p *chaosPreemptor) Arrive(_ int64, j *job.Job)   { p.queue = append(p.queue, j) }
+func (p *chaosPreemptor) Complete(_ int64, j *job.Job) { p.running = nil }
+func (p *chaosPreemptor) Launch(now int64) []*job.Job {
+	s, _ := p.LaunchAndPreempt(now)
+	return s
+}
+func (p *chaosPreemptor) LaunchAndPreempt(now int64) (starts, suspends []*job.Job) {
+	p.flip = p.flip*6364136223846793005 + 1442695040888963407
+	if p.running != nil && len(p.queue) > 0 && p.flip%3 == 0 {
+		suspends = append(suspends, p.running)
+		p.queue = append(p.queue, p.running)
+		p.running = nil
+	}
+	if p.running == nil && len(p.queue) > 0 {
+		p.running = p.queue[0]
+		p.queue = p.queue[1:]
+		starts = append(starts, p.running)
+	}
+	return starts, suspends
+}
+func (p *chaosPreemptor) QueuedJobs() []*job.Job { return p.queue }
+
+// TestEnginePreemptionChaos churns suspend/resume heavily and checks the
+// engine's ground truth: every job's total elapsed time covers exactly its
+// runtime plus non-negative suspension, and all jobs finish.
+func TestEnginePreemptionChaos(t *testing.T) {
+	var jobs []*job.Job
+	clock := int64(0)
+	for i := 1; i <= 60; i++ {
+		clock += int64((i * 37) % 90)
+		jobs = append(jobs, &job.Job{
+			ID: i, Arrival: clock,
+			Runtime:  int64((i*53)%400 + 1),
+			Estimate: int64((i*53)%400 + 1),
+			Width:    1,
+		})
+	}
+	ps, err := Run(Machine{Procs: 1}, jobs, &chaosPreemptor{flip: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != len(jobs) {
+		t.Fatalf("placements = %d, want %d", len(ps), len(jobs))
+	}
+	for _, p := range ps {
+		if p.End-p.Start < p.Job.Runtime {
+			t.Fatalf("%v finished in %ds, needs %ds", p.Job, p.End-p.Start, p.Job.Runtime)
+		}
+		if p.Start < p.Job.Arrival {
+			t.Fatalf("%v started before arrival", p.Job)
+		}
+	}
+	// On a 1-slot machine total busy time equals total runtime: the last
+	// completion can be no earlier than first start + sum of runtimes.
+	var total int64
+	first, last := ps[0].Start, ps[0].End
+	for _, p := range ps {
+		total += p.Job.Runtime
+		if p.Start < first {
+			first = p.Start
+		}
+		if p.End > last {
+			last = p.End
+		}
+	}
+	if last-first < total {
+		t.Fatalf("schedule span %d shorter than total work %d — work was lost", last-first, total)
+	}
+}
+
+func TestEngineMultiplePreemptionsOfSameJob(t *testing.T) {
+	// j1 is preempted twice (by j2 and then j3) and still completes with
+	// exactly its runtime of execution.
+	jobs := []*job.Job{
+		{ID: 1, Arrival: 0, Runtime: 100, Estimate: 100, Width: 1},
+		{ID: 2, Arrival: 10, Runtime: 20, Estimate: 20, Width: 1},
+		{ID: 3, Arrival: 40, Runtime: 20, Estimate: 20, Width: 1},
+	}
+	// stubPreemptor preempts the runner on every arrival and round-robins:
+	// j1 [0,10), j2 [10,30), j1 [30,40), j3 [40,60), j1 [60,140).
+	ps, err := Run(Machine{Procs: 1}, jobs, &stubPreemptor{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Placement{}
+	for _, p := range ps {
+		byID[p.Job.ID] = p
+	}
+	if p := byID[1]; p.Start != 0 || p.End != 140 {
+		t.Fatalf("j1 placement %+v, want [0,140]", p)
+	}
+	if p := byID[3]; p.Start != 40 || p.End != 60 {
+		t.Fatalf("j3 placement %+v, want [40,60]", p)
+	}
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// greedyFIFO is a minimal correct scheduler for engine tests: strict FIFO,
+// start the head whenever it fits, no backfilling.
+type greedyFIFO struct {
+	procs int
+	free  int
+	queue []*job.Job
+}
+
+func newGreedyFIFO(procs int) *greedyFIFO {
+	return &greedyFIFO{procs: procs, free: procs}
+}
+
+func (g *greedyFIFO) Name() string { return "greedyFIFO" }
+
+func (g *greedyFIFO) Arrive(now int64, j *job.Job) { g.queue = append(g.queue, j) }
+
+func (g *greedyFIFO) Complete(now int64, j *job.Job) { g.free += j.Width }
+
+func (g *greedyFIFO) Launch(now int64) []*job.Job {
+	var out []*job.Job
+	for len(g.queue) > 0 && g.queue[0].Width <= g.free {
+		j := g.queue[0]
+		g.queue = g.queue[1:]
+		g.free -= j.Width
+		out = append(out, j)
+	}
+	return out
+}
+
+func (g *greedyFIFO) QueuedJobs() []*job.Job { return g.queue }
+
+// brokenScheduler never launches anything, to exercise deadlock detection.
+type brokenScheduler struct{ queue []*job.Job }
+
+func (b *brokenScheduler) Name() string                 { return "broken" }
+func (b *brokenScheduler) Arrive(_ int64, j *job.Job)   { b.queue = append(b.queue, j) }
+func (b *brokenScheduler) Complete(_ int64, _ *job.Job) {}
+func (b *brokenScheduler) Launch(_ int64) []*job.Job    { return nil }
+func (b *brokenScheduler) QueuedJobs() []*job.Job       { return b.queue }
+
+// doubleScheduler launches the same job twice.
+type doubleScheduler struct {
+	j    *job.Job
+	done bool
+}
+
+func (d *doubleScheduler) Name() string                 { return "double" }
+func (d *doubleScheduler) Arrive(_ int64, j *job.Job)   { d.j = j }
+func (d *doubleScheduler) Complete(_ int64, _ *job.Job) {}
+func (d *doubleScheduler) Launch(_ int64) []*job.Job {
+	if d.j == nil || d.done {
+		return nil
+	}
+	d.done = true
+	return []*job.Job{d.j, d.j}
+}
+func (d *doubleScheduler) QueuedJobs() []*job.Job { return nil }
+
+func mkJob(id int, arr, rt int64, w int) *job.Job {
+	return &job.Job{ID: id, Arrival: arr, Runtime: rt, Estimate: rt + 1, Width: w}
+}
+
+func TestRunSingleJob(t *testing.T) {
+	j := mkJob(1, 5, 100, 4)
+	ps, err := Run(Machine{Procs: 8}, []*job.Job{j}, newGreedyFIFO(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 {
+		t.Fatalf("placements = %d", len(ps))
+	}
+	if ps[0].Start != 5 || ps[0].End != 105 {
+		t.Fatalf("placement = %+v", ps[0])
+	}
+}
+
+func TestRunSerializesWhenFull(t *testing.T) {
+	// Two 8-wide jobs on an 8-proc machine must run back to back.
+	jobs := []*job.Job{mkJob(1, 0, 50, 8), mkJob(2, 0, 30, 8)}
+	ps, err := Run(Machine{Procs: 8}, jobs, newGreedyFIFO(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Start != 0 || ps[0].End != 50 {
+		t.Fatalf("first placement %+v", ps[0])
+	}
+	if ps[1].Start != 50 || ps[1].End != 80 {
+		t.Fatalf("second placement %+v", ps[1])
+	}
+}
+
+func TestRunParallelWhenFits(t *testing.T) {
+	jobs := []*job.Job{mkJob(1, 0, 50, 4), mkJob(2, 0, 30, 4)}
+	ps, err := Run(Machine{Procs: 8}, jobs, newGreedyFIFO(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Start != 0 || ps[1].Start != 0 {
+		t.Fatalf("both should start at 0: %+v %+v", ps[0], ps[1])
+	}
+}
+
+func TestRunArrivalSeesSimultaneousCompletion(t *testing.T) {
+	// Job 2 arrives exactly when job 1 completes; completions are delivered
+	// first, so job 2 starts immediately.
+	jobs := []*job.Job{mkJob(1, 0, 100, 8), mkJob(2, 100, 10, 8)}
+	ps, err := Run(Machine{Procs: 8}, jobs, newGreedyFIFO(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[1].Start != 100 {
+		t.Fatalf("job 2 start = %d, want 100", ps[1].Start)
+	}
+}
+
+func TestRunZeroRuntimeJob(t *testing.T) {
+	// Zero-runtime jobs complete at their start instant; the engine must
+	// process the same-time completion and let a blocked successor run.
+	jobs := []*job.Job{mkJob(1, 0, 0, 8), mkJob(2, 0, 10, 8)}
+	ps, err := Run(Machine{Procs: 8}, jobs, newGreedyFIFO(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Start != 0 || ps[0].End != 0 {
+		t.Fatalf("zero-runtime placement %+v", ps[0])
+	}
+	if ps[1].Start != 0 {
+		t.Fatalf("successor start = %d, want 0 (after same-instant completion)", ps[1].Start)
+	}
+}
+
+func TestRunRejectsInvalidMachine(t *testing.T) {
+	if _, err := Run(Machine{Procs: 0}, nil, newGreedyFIFO(1), nil); err == nil {
+		t.Fatal("want error for zero-proc machine")
+	}
+}
+
+func TestRunRejectsInvalidJob(t *testing.T) {
+	bad := &job.Job{ID: 1, Runtime: 10, Estimate: 5, Width: 1} // estimate < runtime
+	if _, err := Run(Machine{Procs: 4}, []*job.Job{bad}, newGreedyFIFO(4), nil); err == nil {
+		t.Fatal("want error for invalid job")
+	}
+}
+
+func TestRunRejectsTooWideJob(t *testing.T) {
+	wide := mkJob(1, 0, 10, 16)
+	_, err := Run(Machine{Procs: 8}, []*job.Job{wide}, newGreedyFIFO(8), nil)
+	if err == nil || !strings.Contains(err.Error(), "16 processors") {
+		t.Fatalf("want too-wide error, got %v", err)
+	}
+}
+
+func TestRunDetectsDeadlock(t *testing.T) {
+	jobs := []*job.Job{mkJob(1, 0, 10, 1)}
+	_, err := Run(Machine{Procs: 4}, jobs, &brokenScheduler{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestRunDetectsDoubleLaunch(t *testing.T) {
+	jobs := []*job.Job{mkJob(1, 0, 10, 1)}
+	_, err := Run(Machine{Procs: 4}, jobs, &doubleScheduler{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("want double-launch error, got %v", err)
+	}
+}
+
+func TestRunObserverHooks(t *testing.T) {
+	var starts, completes int
+	obs := &Observer{
+		OnStart:    func(now int64, j *job.Job) { starts++ },
+		OnComplete: func(now int64, j *job.Job) { completes++ },
+	}
+	jobs := []*job.Job{mkJob(1, 0, 10, 1), mkJob(2, 1, 10, 1)}
+	if _, err := Run(Machine{Procs: 4}, jobs, newGreedyFIFO(4), obs); err != nil {
+		t.Fatal(err)
+	}
+	if starts != 2 || completes != 2 {
+		t.Fatalf("observer saw %d starts, %d completes", starts, completes)
+	}
+}
+
+func TestRunPlacementsSorted(t *testing.T) {
+	jobs := []*job.Job{
+		mkJob(3, 20, 10, 1), mkJob(1, 0, 10, 1), mkJob(2, 10, 10, 1),
+	}
+	ps, err := Run(Machine{Procs: 1}, jobs, newGreedyFIFO(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Start < ps[i-1].Start {
+			t.Fatal("placements not sorted by start")
+		}
+	}
+}
+
+func TestRunEmptyWorkload(t *testing.T) {
+	ps, err := Run(Machine{Procs: 4}, nil, newGreedyFIFO(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 0 {
+		t.Fatal("placements for empty workload")
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	if (Machine{Procs: 1}).Validate() != nil {
+		t.Fatal("1-proc machine should be valid")
+	}
+	if (Machine{Procs: -1}).Validate() == nil {
+		t.Fatal("negative machine should be invalid")
+	}
+}

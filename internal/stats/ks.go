@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSStatistic computes the two-sample Kolmogorov–Smirnov statistic: the
+// maximum vertical distance between the empirical CDFs of a and b. It is
+// how workload fits are validated — a fitted model's samples should sit
+// close (small D) to the source trace's.
+func KSStatistic(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, fmt.Errorf("stats: KSStatistic with empty sample (%d, %d)", len(a), len(b))
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(sa)), float64(len(sb))
+	for i < len(sa) && j < len(sb) {
+		// Step past every observation equal to the smaller current value
+		// in BOTH samples before comparing CDFs, so ties do not create
+		// phantom gaps.
+		v := math.Min(sa[i], sb[j])
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// KSCriticalValue returns the approximate two-sample critical D at
+// significance alpha (supported: 0.10, 0.05, 0.01) for sample sizes na and
+// nb: c(α)·sqrt((na+nb)/(na·nb)). Samples with D below this are consistent
+// with one distribution at that level.
+func KSCriticalValue(na, nb int, alpha float64) (float64, error) {
+	if na < 1 || nb < 1 {
+		return 0, fmt.Errorf("stats: KSCriticalValue with sizes %d, %d", na, nb)
+	}
+	var c float64
+	switch alpha {
+	case 0.10:
+		c = 1.22
+	case 0.05:
+		c = 1.36
+	case 0.01:
+		c = 1.63
+	default:
+		return 0, fmt.Errorf("stats: KSCriticalValue alpha %v unsupported (want 0.10, 0.05 or 0.01)", alpha)
+	}
+	n1, n2 := float64(na), float64(nb)
+	return c * math.Sqrt((n1+n2)/(n1*n2)), nil
+}

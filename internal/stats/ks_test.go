@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSStatisticIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	d, err := KSStatistic(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-12 {
+		t.Fatalf("identical samples D = %v, want 0", d)
+	}
+}
+
+func TestKSStatisticDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	d, err := KSStatistic(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("disjoint samples D = %v, want 1", d)
+	}
+}
+
+func TestKSStatisticKnownValue(t *testing.T) {
+	// a = {1,2}, b = {1.5}: CDF_a jumps 0.5 at 1 and 2; CDF_b jumps 1 at
+	// 1.5. Max gap = 0.5 just above 1.5? CDF_a(1.5)=0.5, CDF_b(1.5)=1 →
+	// D = 0.5.
+	d, err := KSStatistic([]float64{1, 2}, []float64{1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("D = %v, want 0.5", d)
+	}
+}
+
+func TestKSStatisticErrors(t *testing.T) {
+	if _, err := KSStatistic(nil, []float64{1}); err == nil {
+		t.Fatal("empty a should error")
+	}
+	if _, err := KSStatistic([]float64{1}, nil); err == nil {
+		t.Fatal("empty b should error")
+	}
+}
+
+func TestKSSameDistributionStaysUnderCritical(t *testing.T) {
+	r := NewRNG(7)
+	dist := LognormalFromMoments(100, 1)
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = dist.Sample(r)
+		b[i] = dist.Sample(r)
+	}
+	d, err := KSStatistic(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := KSCriticalValue(len(a), len(b), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d >= crit {
+		t.Fatalf("same-distribution D = %v exceeds critical %v", d, crit)
+	}
+}
+
+func TestKSDifferentDistributionsExceedCritical(t *testing.T) {
+	r := NewRNG(9)
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	d1 := LognormalFromMoments(100, 1)
+	d2 := LognormalFromMoments(200, 1)
+	for i := range a {
+		a[i] = d1.Sample(r)
+		b[i] = d2.Sample(r)
+	}
+	d, err := KSStatistic(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := KSCriticalValue(len(a), len(b), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= crit {
+		t.Fatalf("2x-shifted distribution D = %v below critical %v", d, crit)
+	}
+}
+
+func TestKSCriticalValueErrors(t *testing.T) {
+	if _, err := KSCriticalValue(0, 10, 0.05); err == nil {
+		t.Fatal("zero size should error")
+	}
+	if _, err := KSCriticalValue(10, 10, 0.2); err == nil {
+		t.Fatal("unsupported alpha should error")
+	}
+	v, err := KSCriticalValue(100, 100, 0.05)
+	if err != nil || v <= 0 {
+		t.Fatalf("critical value = %v, %v", v, err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package sweep runs factorial simulation studies: the cross product of
+// workloads × schedulers × policies × estimate models × loads, each cell a
+// full deterministic simulation, emitted as long-form records ready for any
+// analysis tool. The paper's evaluation is one such factorial design; this
+// package generalises it so downstream users can define their own.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Workload names one workload axis value: a base job set at a target load.
+type Workload struct {
+	// Name labels the workload in records.
+	Name string
+	// Jobs are the base jobs (with exact estimates; estimate models are a
+	// separate axis).
+	Jobs []*job.Job
+	// Procs is the machine size.
+	Procs int
+	// BaseLoad is the offered load the base jobs realise; used to derive
+	// scale factors for the Loads axis (0 means "measure it").
+	BaseLoad float64
+}
+
+// Design declares the full factorial space.
+type Design struct {
+	Workloads []Workload
+	// Schedulers are sched.MakerFor kind strings.
+	Schedulers []string
+	// Policies are priority policy names.
+	Policies []string
+	// Estimates are workload.EstimateModelByName strings; empty means
+	// {"exact"}.
+	Estimates []string
+	// Loads are target offered loads; empty means "as generated".
+	Loads []float64
+	// Seed drives estimate-model randomness.
+	Seed int64
+}
+
+// Record is one cell's outcome.
+type Record struct {
+	Workload    string
+	Load        float64
+	Scheduler   string
+	Policy      string
+	Estimates   string
+	Jobs        int
+	Slowdown    float64
+	P95Slowdown float64
+	Turnaround  float64
+	MaxTurn     int64
+	Wait        float64
+	Utilization float64
+	Gini        float64
+	// ByCategory holds mean slowdown per SN/SW/LN/LW.
+	ByCategory [job.NumCategories]float64
+}
+
+// Run executes every cell and returns records in deterministic axis order.
+// Progress, if non-nil, receives one line per completed cell.
+func Run(d Design, progress io.Writer) ([]Record, error) {
+	if len(d.Workloads) == 0 || len(d.Schedulers) == 0 || len(d.Policies) == 0 {
+		return nil, fmt.Errorf("sweep: design needs at least one workload, scheduler and policy")
+	}
+	estimates := d.Estimates
+	if len(estimates) == 0 {
+		estimates = []string{"exact"}
+	}
+	loads := d.Loads
+	if len(loads) == 0 {
+		loads = []float64{0} // sentinel: as generated
+	}
+
+	var out []Record
+	for _, w := range d.Workloads {
+		if len(w.Jobs) == 0 || w.Procs < 1 {
+			return nil, fmt.Errorf("sweep: workload %q is empty or has no machine", w.Name)
+		}
+		base := w.BaseLoad
+		if base == 0 {
+			base = trace.OfferedLoad(w.Jobs, w.Procs)
+		}
+		for _, load := range loads {
+			jobsAtLoad := w.Jobs
+			effLoad := base
+			if load > 0 && base > 0 {
+				var err error
+				jobsAtLoad, err = trace.ScaleLoad(w.Jobs, base/load)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: %q at load %v: %w", w.Name, load, err)
+				}
+				effLoad = load
+			}
+			for _, est := range estimates {
+				em, err := workload.EstimateModelByName(est)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: %w", err)
+				}
+				jobsFinal := workload.ApplyEstimates(jobsAtLoad, em, d.Seed+1)
+				for _, kind := range d.Schedulers {
+					for _, pol := range d.Policies {
+						res, err := core.Run(core.Config{
+							Procs: w.Procs, Scheduler: kind, Policy: pol, Audit: true,
+						}, jobsFinal)
+						if err != nil {
+							return nil, fmt.Errorf("sweep: %s/%s/%s/%s: %w", w.Name, kind, pol, est, err)
+						}
+						rec := toRecord(w.Name, effLoad, est, res)
+						out = append(out, rec)
+						if progress != nil {
+							fmt.Fprintf(progress, "%s load=%.2f %s est=%s: slowdown %.2f\n",
+								w.Name, effLoad, res.Report.Scheduler, est, rec.Slowdown)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func toRecord(name string, load float64, est string, res *core.Result) Record {
+	r := res.Report
+	rec := Record{
+		Workload:    name,
+		Load:        load,
+		Scheduler:   res.Config.Scheduler,
+		Policy:      res.Config.Policy,
+		Estimates:   est,
+		Jobs:        r.Overall.N,
+		Slowdown:    r.Overall.MeanSlowdown,
+		P95Slowdown: r.Overall.P95Slowdown,
+		Turnaround:  r.Overall.MeanTurnaround,
+		MaxTurn:     r.Overall.MaxTurnaround,
+		Wait:        r.Overall.MeanWait,
+		Utilization: r.Utilization,
+		Gini:        metrics.ComputeFairness(res.Outcomes).GiniSlowdown,
+	}
+	for _, c := range job.Categories() {
+		rec.ByCategory[c] = r.ByCategory[c].MeanSlowdown
+	}
+	return rec
+}
+
+// CSVHeader returns the column names WriteCSV emits.
+func CSVHeader() []string {
+	cols := []string{
+		"workload", "load", "scheduler", "policy", "estimates", "jobs",
+		"slowdown", "p95_slowdown", "turnaround", "max_turnaround", "wait",
+		"utilization", "gini",
+	}
+	for _, c := range job.Categories() {
+		cols = append(cols, "slowdown_"+strings.ToLower(c.String()))
+	}
+	return cols
+}
+
+// WriteCSV emits records in long form, one row per cell.
+func WriteCSV(w io.Writer, recs []Record) error {
+	if _, err := fmt.Fprintln(w, strings.Join(CSVHeader(), ",")); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		cells := []string{
+			r.Workload,
+			fmt.Sprintf("%.3f", r.Load),
+			r.Scheduler,
+			r.Policy,
+			r.Estimates,
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%.4f", r.Slowdown),
+			fmt.Sprintf("%.4f", r.P95Slowdown),
+			fmt.Sprintf("%.1f", r.Turnaround),
+			fmt.Sprintf("%d", r.MaxTurn),
+			fmt.Sprintf("%.1f", r.Wait),
+			fmt.Sprintf("%.4f", r.Utilization),
+			fmt.Sprintf("%.4f", r.Gini),
+		}
+		for _, c := range job.Categories() {
+			cells = append(cells, fmt.Sprintf("%.4f", r.ByCategory[c]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

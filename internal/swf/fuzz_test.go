@@ -1,0 +1,66 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the non-strict parser never panics and never emits an
+// invalid job, whatever bytes it is fed. Run with `go test -fuzz=FuzzParse`
+// to explore; the seed corpus below runs as a normal test.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sampleSWF))
+	f.Add([]byte(""))
+	f.Add([]byte("; MaxProcs: 10\n"))
+	f.Add([]byte("1 0 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("1 0 -1 60 4\n"))
+	f.Add([]byte("-1 -2 -3 -4 -5 -6 -7 -8 -9 -10 -11 -12 -13 -14 -15 -16 -17 -18\n"))
+	f.Add([]byte("9223372036854775807 0 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("\x1f\x8b garbage that looks gzipped"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // corrupt gzip header: fine, reported as an error
+		}
+		tr, err := Parse(r, Options{})
+		if err != nil {
+			return // read errors are fine; panics are not
+		}
+		for _, j := range tr.Jobs {
+			if err := j.Validate(); err != nil {
+				t.Fatalf("parser emitted invalid job from %q: %v", data, err)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip asserts that whatever the parser accepts, the writer can
+// serialise and the parser re-reads identically.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(sampleSWF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Parse(strings.NewReader(string(data)), Options{})
+		if err != nil || len(tr.Jobs) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("write failed on parsed trace: %v", err)
+		}
+		back, err := Parse(&buf, Options{Strict: true})
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(back.Jobs) != len(tr.Jobs) {
+			t.Fatalf("round trip lost jobs: %d -> %d", len(tr.Jobs), len(back.Jobs))
+		}
+		for i := range tr.Jobs {
+			a, b := tr.Jobs[i], back.Jobs[i]
+			if a.ID != b.ID || a.Arrival != b.Arrival || a.Runtime != b.Runtime ||
+				a.Estimate != b.Estimate || a.Width != b.Width {
+				t.Fatalf("round trip changed job %d: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package swf
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// gzipMagic is the two-byte gzip header.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// NewReader wraps r, transparently decompressing gzip input — the Parallel
+// Workloads Archive distributes traces as .swf.gz files. Plain text passes
+// through untouched.
+func NewReader(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil {
+		// Shorter than two bytes: nothing gzip could fit in; hand the
+		// buffered bytes through (Parse will report emptiness sensibly).
+		if err == io.EOF {
+			return br, nil
+		}
+		return nil, fmt.Errorf("swf: peek: %w", err)
+	}
+	if head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("swf: gzip: %w", err)
+		}
+		return zr, nil
+	}
+	return br, nil
+}
+
+// Open reads and parses an SWF file from disk, decompressing .gz content
+// automatically (detected by magic bytes, not the file name).
+func Open(path string, opts Options) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("swf: %w", err)
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(r, opts)
+}

@@ -1,0 +1,104 @@
+package swf
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNewReaderPlain(t *testing.T) {
+	tr, err := Parse(mustReader(t, strings.NewReader(sampleSWF)), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 3 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+}
+
+func TestNewReaderGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(sampleSWF)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Parse(mustReader(t, &buf), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 3 || tr.MaxProcs != 128 {
+		t.Fatalf("gzip parse: jobs=%d procs=%d", len(tr.Jobs), tr.MaxProcs)
+	}
+}
+
+func TestNewReaderEmpty(t *testing.T) {
+	tr, err := Parse(mustReader(t, strings.NewReader("")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 0 {
+		t.Fatal("empty input should parse to no jobs")
+	}
+}
+
+func TestNewReaderOneByte(t *testing.T) {
+	// A single byte (shorter than the gzip magic) must not error.
+	tr, err := Parse(mustReader(t, strings.NewReader(";")), Options{})
+	if err != nil || len(tr.Jobs) != 0 {
+		t.Fatalf("one-byte input: %v, %d jobs", err, len(tr.Jobs))
+	}
+}
+
+func TestNewReaderCorruptGzip(t *testing.T) {
+	// Valid magic, garbage body.
+	corrupt := append([]byte{0x1f, 0x8b}, []byte("not really gzip")...)
+	if _, err := NewReader(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupt gzip should error")
+	}
+}
+
+func TestOpenPlainAndGzip(t *testing.T) {
+	dir := t.TempDir()
+
+	plain := filepath.Join(dir, "t.swf")
+	if err := os.WriteFile(plain, []byte(sampleSWF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Open(plain, Options{Strict: true})
+	if err != nil || len(tr.Jobs) != 3 {
+		t.Fatalf("Open plain: %v, %d jobs", err, len(tr.Jobs))
+	}
+
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte(sampleSWF))
+	zw.Close()
+	gz := filepath.Join(dir, "t.swf.gz")
+	if err := os.WriteFile(gz, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = Open(gz, Options{Strict: true})
+	if err != nil || len(tr.Jobs) != 3 {
+		t.Fatalf("Open gzip: %v, %d jobs", err, len(tr.Jobs))
+	}
+
+	if _, err := Open(filepath.Join(dir, "missing.swf"), Options{}); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func mustReader(t *testing.T, r io.Reader) io.Reader {
+	t.Helper()
+	out, err := NewReader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/job"
+)
+
+// Record is one raw SWF data line: all 18 fields, unknowns as -1. Raw
+// records let trace tools transform a log without destroying the fields the
+// simulator itself does not model (status, queue, partition, think time…).
+type Record [NumFields]int64
+
+// Job converts the record with the same normalisation rules Parse applies,
+// or nil if the record describes no schedulable work.
+func (r Record) Job() (*job.Job, error) {
+	fields := make([]string, NumFields)
+	for i, v := range r {
+		fields[i] = strconv.FormatInt(v, 10)
+	}
+	return parseRecord(strings.Join(fields, " "))
+}
+
+// RawTrace is a parsed workload keeping full per-record fidelity.
+type RawTrace struct {
+	Records []Record
+	Header  map[string]string
+	// Skipped counts malformed lines dropped in non-strict mode.
+	Skipped int
+}
+
+// ParseRecords reads an SWF stream without any normalisation: every
+// 18-field line becomes a Record verbatim.
+func ParseRecords(r io.Reader, strict bool) (*RawTrace, error) {
+	tr := &RawTrace{Header: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			parseHeaderComment(tr.Header, line)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != NumFields {
+			if strict {
+				return nil, fmt.Errorf("swf: line %d: record has %d fields, want %d", lineNo, len(fields), NumFields)
+			}
+			tr.Skipped++
+			continue
+		}
+		var rec Record
+		bad := false
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				if strict {
+					return nil, fmt.Errorf("swf: line %d field %d: %w", lineNo, i+1, err)
+				}
+				bad = true
+				break
+			}
+			rec[i] = v
+		}
+		if bad {
+			tr.Skipped++
+			continue
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("swf: read: %w", err)
+	}
+	sort.SliceStable(tr.Records, func(i, k int) bool {
+		if tr.Records[i][FieldSubmitTime] != tr.Records[k][FieldSubmitTime] {
+			return tr.Records[i][FieldSubmitTime] < tr.Records[k][FieldSubmitTime]
+		}
+		return tr.Records[i][FieldJobNumber] < tr.Records[k][FieldJobNumber]
+	})
+	return tr, nil
+}
+
+// WriteRecords serialises raw records with the header, preserving every
+// field byte-for-value.
+func WriteRecords(w io.Writer, tr *RawTrace) error {
+	bw := bufio.NewWriter(w)
+	keys := make([]string, 0, len(tr.Header))
+	for k := range tr.Header {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(bw, "; %s: %s\n", k, tr.Header[k]); err != nil {
+			return fmt.Errorf("swf: write header: %w", err)
+		}
+	}
+	for _, rec := range tr.Records {
+		parts := make([]string, NumFields)
+		for i, v := range rec {
+			parts[i] = strconv.FormatInt(v, 10)
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(parts, " ")); err != nil {
+			return fmt.Errorf("swf: write record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("swf: flush: %w", err)
+	}
+	return nil
+}
+
+// ApplyJob writes a transformed job's scheduler-relevant fields back into
+// the record, leaving every other field (status, queue, memory, …) intact.
+func (r *Record) ApplyJob(j *job.Job) {
+	r[FieldJobNumber] = int64(j.ID)
+	r[FieldSubmitTime] = j.Arrival
+	r[FieldRunTime] = j.Runtime
+	r[FieldReqProcs] = int64(j.Width)
+	r[FieldAllocProcs] = int64(j.Width)
+	r[FieldReqTime] = j.Estimate
+	r[FieldUserID] = int64(j.User)
+}

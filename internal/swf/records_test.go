@@ -1,0 +1,111 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+)
+
+func TestParseRecordsKeepsAllFields(t *testing.T) {
+	line := "7 100 33 60 4 55 1024 4 120 2048 1 9 3 2 5 1 6 30\n"
+	tr, err := ParseRecords(strings.NewReader("; MaxProcs: 64\n"+line), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 {
+		t.Fatalf("records = %d", len(tr.Records))
+	}
+	r := tr.Records[0]
+	want := Record{7, 100, 33, 60, 4, 55, 1024, 4, 120, 2048, 1, 9, 3, 2, 5, 1, 6, 30}
+	if r != want {
+		t.Fatalf("record = %v, want %v", r, want)
+	}
+	if tr.Header["MaxProcs"] != "64" {
+		t.Fatal("header lost")
+	}
+}
+
+func TestParseRecordsStrictAndLoose(t *testing.T) {
+	input := "garbage\n1 0 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+	if _, err := ParseRecords(strings.NewReader(input), true); err == nil {
+		t.Fatal("strict mode should reject garbage")
+	}
+	tr, err := ParseRecords(strings.NewReader(input), false)
+	if err != nil || len(tr.Records) != 1 || tr.Skipped != 1 {
+		t.Fatalf("loose mode: %v, records=%d skipped=%d", err, len(tr.Records), tr.Skipped)
+	}
+	bad := "1 0 -1 x 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+	if _, err := ParseRecords(strings.NewReader(bad), true); err == nil {
+		t.Fatal("strict mode should reject non-integer field")
+	}
+}
+
+func TestRecordsRoundTripLossless(t *testing.T) {
+	input := "; Version: 2\n" +
+		"2 50 1 30 2 99 512 2 40 256 5 8 7 6 4 3 1 12\n" +
+		"1 10 33 60 4 55 1024 4 120 2048 1 9 3 2 5 1 6 30\n"
+	tr, err := ParseRecords(strings.NewReader(input), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRecords(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 2 {
+		t.Fatalf("records = %d", len(back.Records))
+	}
+	// Sorted by submit time: job 1 (t=10) first.
+	if back.Records[0][FieldJobNumber] != 1 || back.Records[1][FieldJobNumber] != 2 {
+		t.Fatal("records not sorted by submit time")
+	}
+	for i := range back.Records {
+		if back.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d changed: %v -> %v", i, tr.Records[i], back.Records[i])
+		}
+	}
+	if back.Header["Version"] != "2" {
+		t.Fatal("header lost in round trip")
+	}
+}
+
+func TestRecordJobMatchesParse(t *testing.T) {
+	line := "1 0 10 3600 16 -1 -1 16 7200 -1 1 12 -1 -1 -1 -1 -1 -1"
+	tr, err := ParseRecords(strings.NewReader(line+"\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := tr.Records[0].Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Parse(strings.NewReader(line+"\n"), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *j != *full.Jobs[0] {
+		t.Fatalf("Record.Job %+v != Parse %+v", j, full.Jobs[0])
+	}
+}
+
+func TestRecordApplyJob(t *testing.T) {
+	rec := Record{7, 100, 33, 60, 4, 55, 1024, 4, 120, 2048, 1, 9, 3, 2, 5, 1, 6, 30}
+	j := &job.Job{ID: 42, Arrival: 500, Runtime: 90, Estimate: 200, Width: 8, User: 77}
+	rec.ApplyJob(j)
+	if rec[FieldJobNumber] != 42 || rec[FieldSubmitTime] != 500 ||
+		rec[FieldRunTime] != 90 || rec[FieldReqProcs] != 8 ||
+		rec[FieldReqTime] != 200 || rec[FieldUserID] != 77 {
+		t.Fatalf("scheduler fields not applied: %v", rec)
+	}
+	// Untouched fields survive.
+	if rec[FieldWaitTime] != 33 || rec[FieldUsedMemory] != 1024 ||
+		rec[FieldStatus] != 1 || rec[FieldQueue] != 5 || rec[FieldThinkTime] != 30 {
+		t.Fatalf("non-scheduler fields clobbered: %v", rec)
+	}
+}

@@ -1,0 +1,258 @@
+// Package swf reads and writes the Standard Workload Format (SWF) used by
+// the Parallel Workloads Archive — the format of the CTC and SDSC traces
+// the paper's experiments run on. The archive itself is unreachable from an
+// offline build, so this package is the drop-in point for real traces: any
+// archive .swf file parses into the same []*job.Job the synthetic models
+// produce.
+//
+// An SWF file is a sequence of lines: comments begin with ';' (header
+// comments of the form "; Key: Value" are preserved), and each data line
+// has 18 whitespace-separated integer fields. Unknown or missing values are
+// -1 by convention.
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/job"
+)
+
+// NumFields is the number of columns in an SWF record.
+const NumFields = 18
+
+// Field indices within an SWF record (0-based).
+const (
+	FieldJobNumber = iota
+	FieldSubmitTime
+	FieldWaitTime
+	FieldRunTime
+	FieldAllocProcs
+	FieldAvgCPUTime
+	FieldUsedMemory
+	FieldReqProcs
+	FieldReqTime
+	FieldReqMemory
+	FieldStatus
+	FieldUserID
+	FieldGroupID
+	FieldExecutable
+	FieldQueue
+	FieldPartition
+	FieldPrecedingJob
+	FieldThinkTime
+)
+
+// Trace is a parsed workload: jobs plus the header metadata.
+type Trace struct {
+	// Jobs in submit order, all valid per job.Validate.
+	Jobs []*job.Job
+	// Header holds "; Key: Value" comments, e.g. "MaxProcs" -> "430".
+	Header map[string]string
+	// MaxProcs is the machine size from the header, or the widest job seen
+	// when the header does not say.
+	MaxProcs int
+	// Skipped counts data lines dropped by option filters or because they
+	// were unusable (non-positive width, negative times).
+	Skipped int
+}
+
+// Options control parsing.
+type Options struct {
+	// Strict makes any malformed data line a fatal parse error instead of
+	// counting it in Skipped.
+	Strict bool
+	// KeepFailed keeps jobs whose status field says cancelled/failed
+	// (status 0 or 5). Default drops only jobs with no usable runtime.
+	KeepFailed bool
+	// MaxJobs, when > 0, stops after that many parsed jobs.
+	MaxJobs int
+}
+
+// Parse reads an SWF stream.
+func Parse(r io.Reader, opts Options) (*Trace, error) {
+	tr := &Trace{Header: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			parseHeaderComment(tr.Header, line)
+			continue
+		}
+		j, err := parseRecord(line)
+		if err != nil {
+			if opts.Strict {
+				return nil, fmt.Errorf("swf: line %d: %w", lineNo, err)
+			}
+			tr.Skipped++
+			continue
+		}
+		if j == nil { // unusable record (filtered)
+			tr.Skipped++
+			continue
+		}
+		tr.Jobs = append(tr.Jobs, j)
+		if opts.MaxJobs > 0 && len(tr.Jobs) >= opts.MaxJobs {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("swf: read: %w", err)
+	}
+	tr.MaxProcs = headerInt(tr.Header, "MaxProcs")
+	if tr.MaxProcs <= 0 {
+		tr.MaxProcs = headerInt(tr.Header, "MaxNodes")
+	}
+	for _, j := range tr.Jobs {
+		if j.Width > tr.MaxProcs {
+			tr.MaxProcs = j.Width
+		}
+	}
+	// SWF does not promise submit order; schedulers assume it.
+	sort.SliceStable(tr.Jobs, func(i, k int) bool {
+		if tr.Jobs[i].Arrival != tr.Jobs[k].Arrival {
+			return tr.Jobs[i].Arrival < tr.Jobs[k].Arrival
+		}
+		return tr.Jobs[i].ID < tr.Jobs[k].ID
+	})
+	return tr, nil
+}
+
+// parseHeaderComment records "; Key: Value" lines.
+func parseHeaderComment(h map[string]string, line string) {
+	body := strings.TrimSpace(strings.TrimLeft(line, "; "))
+	i := strings.Index(body, ":")
+	if i <= 0 {
+		return
+	}
+	key := strings.TrimSpace(body[:i])
+	val := strings.TrimSpace(body[i+1:])
+	if key != "" && val != "" {
+		if _, dup := h[key]; !dup {
+			h[key] = val
+		}
+	}
+}
+
+func headerInt(h map[string]string, key string) int {
+	v, ok := h[key]
+	if !ok {
+		return 0
+	}
+	// Headers sometimes carry trailing prose ("430 nodes"); take the
+	// leading integer.
+	fields := strings.Fields(v)
+	if len(fields) == 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// parseRecord converts one data line. It returns (nil, nil) for records
+// that parse but describe no schedulable work (zero processors).
+func parseRecord(line string) (*job.Job, error) {
+	fields := strings.Fields(line)
+	if len(fields) != NumFields {
+		return nil, fmt.Errorf("record has %d fields, want %d", len(fields), NumFields)
+	}
+	v := make([]int64, NumFields)
+	for i, f := range fields {
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("field %d: %w", i+1, err)
+		}
+		v[i] = n
+	}
+
+	width := v[FieldReqProcs]
+	if width <= 0 {
+		width = v[FieldAllocProcs] // requested unknown: fall back to allocated
+	}
+	if width <= 0 {
+		return nil, nil // no processors: not schedulable
+	}
+	runtime := v[FieldRunTime]
+	if runtime < 0 {
+		runtime = 0
+	}
+	estimate := v[FieldReqTime]
+	if estimate < 1 {
+		estimate = runtime // no estimate recorded: treat as exact
+	}
+	if estimate < runtime {
+		// Real traces contain jobs that overran their limit (grace
+		// periods, logging artifacts). Schedulers kill at the limit, so
+		// clamp the runtime as the archive's own cleaning scripts do.
+		runtime = estimate
+	}
+	if estimate < 1 {
+		estimate = 1
+	}
+	arrival := v[FieldSubmitTime]
+	if arrival < 0 {
+		return nil, fmt.Errorf("negative submit time %d", arrival)
+	}
+	id := int(v[FieldJobNumber])
+	if id <= 0 {
+		return nil, fmt.Errorf("non-positive job number %d", v[FieldJobNumber])
+	}
+	user := int(v[FieldUserID])
+	if user < 0 {
+		user = 0
+	}
+	return &job.Job{
+		ID:       id,
+		Arrival:  arrival,
+		Runtime:  runtime,
+		Estimate: estimate,
+		Width:    int(width),
+		User:     user,
+	}, nil
+}
+
+// Write serialises a trace in SWF. Header keys are emitted sorted; fields
+// the Job type does not carry are written as -1 (unknown) except wait time
+// and status, which are -1 and 1 ("completed").
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	keys := make([]string, 0, len(tr.Header))
+	for k := range tr.Header {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(bw, "; %s: %s\n", k, tr.Header[k]); err != nil {
+			return fmt.Errorf("swf: write header: %w", err)
+		}
+	}
+	if _, ok := tr.Header["MaxProcs"]; !ok && tr.MaxProcs > 0 {
+		if _, err := fmt.Fprintf(bw, "; MaxProcs: %d\n", tr.MaxProcs); err != nil {
+			return fmt.Errorf("swf: write header: %w", err)
+		}
+	}
+	for _, j := range tr.Jobs {
+		_, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 1 %d -1 -1 -1 -1 -1 -1\n",
+			j.ID, j.Arrival, j.Runtime, j.Width, j.Width, j.Estimate, j.User)
+		if err != nil {
+			return fmt.Errorf("swf: write record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("swf: flush: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+const sampleSWF = `; Version: 2
+; Computer: IBM SP2
+; MaxProcs: 128
+; MaxNodes: 128
+; Note: synthetic fixture
+
+1 0 10 3600 16 -1 -1 16 7200 -1 1 12 -1 -1 -1 -1 -1 -1
+2 100 -1 60 -1 -1 -1 4 120 -1 1 7 -1 -1 -1 -1 -1 -1
+3 200 0 500 8 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+`
+
+func TestParseSample(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleSWF), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3", len(tr.Jobs))
+	}
+	if tr.MaxProcs != 128 {
+		t.Fatalf("MaxProcs = %d, want 128", tr.MaxProcs)
+	}
+	if tr.Header["Computer"] != "IBM SP2" {
+		t.Fatalf("Computer header = %q", tr.Header["Computer"])
+	}
+
+	j1 := tr.Jobs[0]
+	if j1.ID != 1 || j1.Arrival != 0 || j1.Runtime != 3600 || j1.Estimate != 7200 || j1.Width != 16 || j1.User != 12 {
+		t.Fatalf("job 1 = %+v", j1)
+	}
+	// Job 2: requested procs 4 (alloc unknown), estimate 120.
+	j2 := tr.Jobs[1]
+	if j2.Width != 4 || j2.Estimate != 120 {
+		t.Fatalf("job 2 = %+v", j2)
+	}
+	// Job 3: no requested procs -> allocated 8; no estimate -> runtime.
+	j3 := tr.Jobs[2]
+	if j3.Width != 8 || j3.Estimate != 500 || j3.User != 0 {
+		t.Fatalf("job 3 = %+v", j3)
+	}
+	for _, j := range tr.Jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("parsed job invalid: %v", err)
+		}
+	}
+}
+
+func TestParseClampsOverrun(t *testing.T) {
+	// Runtime 200 with estimate 100: the job overran its limit; parser
+	// clamps runtime to the estimate.
+	line := "1 0 -1 200 4 -1 -1 4 100 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+	tr, err := Parse(strings.NewReader(line), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].Runtime != 100 || tr.Jobs[0].Estimate != 100 {
+		t.Fatalf("job = %+v, want runtime clamped to 100", tr.Jobs[0])
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	input := "garbage line\n1 0 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+	tr, err := Parse(strings.NewReader(input), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 1 || tr.Skipped != 1 {
+		t.Fatalf("jobs=%d skipped=%d", len(tr.Jobs), tr.Skipped)
+	}
+}
+
+func TestParseStrictFailsOnMalformed(t *testing.T) {
+	input := "not an swf record\n"
+	if _, err := Parse(strings.NewReader(input), Options{Strict: true}); err == nil {
+		t.Fatal("want error in strict mode")
+	}
+}
+
+func TestParseStrictErrors(t *testing.T) {
+	cases := []string{
+		"1 0 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1\n",       // 17 fields
+		"1 0 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1 -1\n", // 19 fields
+		"x 0 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1\n",    // non-integer
+		"1 -5 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1\n",   // negative submit
+		"0 0 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1\n",    // job number 0
+	}
+	for i, in := range cases {
+		if _, err := Parse(strings.NewReader(in), Options{Strict: true}); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestParseDropsZeroWidth(t *testing.T) {
+	input := "1 0 -1 60 -1 -1 -1 -1 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+	tr, err := Parse(strings.NewReader(input), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 0 || tr.Skipped != 1 {
+		t.Fatalf("zero-width record should be skipped: jobs=%d skipped=%d", len(tr.Jobs), tr.Skipped)
+	}
+}
+
+func TestParseMaxJobs(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleSWF), Options{MaxJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(tr.Jobs))
+	}
+}
+
+func TestParseSortsByArrival(t *testing.T) {
+	input := `2 500 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1
+1 100 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1
+`
+	tr, err := Parse(strings.NewReader(input), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].ID != 1 || tr.Jobs[1].ID != 2 {
+		t.Fatal("jobs not sorted by arrival")
+	}
+}
+
+func TestParseMaxProcsFromWidestJob(t *testing.T) {
+	input := "1 0 -1 60 256 -1 -1 256 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+	tr, err := Parse(strings.NewReader(input), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxProcs != 256 {
+		t.Fatalf("MaxProcs = %d, want 256 (from widest job)", tr.MaxProcs)
+	}
+}
+
+func TestHeaderParsingQuirks(t *testing.T) {
+	input := `;MaxProcs: 430 nodes in total
+; NoColonHeader
+; Empty:
+1 0 -1 60 4 -1 -1 4 60 -1 1 1 -1 -1 -1 -1 -1 -1
+`
+	tr, err := Parse(strings.NewReader(input), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxProcs != 430 {
+		t.Fatalf("MaxProcs = %d, want 430 (leading integer of prose value)", tr.MaxProcs)
+	}
+	if _, ok := tr.Header["NoColonHeader"]; ok {
+		t.Fatal("colon-less comment should not become a header")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	r := stats.NewRNG(71)
+	f := func(n uint8) bool {
+		jobs := make([]*job.Job, 0, int(n)%40)
+		clock := int64(0)
+		for i := 0; i < int(n)%40; i++ {
+			clock += int64(r.Intn(100))
+			rt := int64(r.Intn(5000))
+			jobs = append(jobs, &job.Job{
+				ID:       i + 1,
+				Arrival:  clock,
+				Runtime:  rt,
+				Estimate: rt + int64(r.Intn(1000)) + 1,
+				Width:    r.Intn(64) + 1,
+				User:     r.Intn(50),
+			})
+		}
+		var buf bytes.Buffer
+		in := &Trace{Jobs: jobs, Header: map[string]string{"MaxProcs": "64"}, MaxProcs: 64}
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Parse(&buf, Options{Strict: true})
+		if err != nil {
+			return false
+		}
+		if len(out.Jobs) != len(jobs) {
+			return false
+		}
+		for i, j := range jobs {
+			g := out.Jobs[i]
+			if g.ID != j.ID || g.Arrival != j.Arrival || g.Runtime != j.Runtime ||
+				g.Estimate != j.Estimate || g.Width != j.Width || g.User != j.User {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteEmitsMaxProcsWhenMissing(t *testing.T) {
+	var buf bytes.Buffer
+	tr := &Trace{Jobs: nil, Header: map[string]string{}, MaxProcs: 99}
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "; MaxProcs: 99") {
+		t.Fatalf("output missing MaxProcs header: %q", buf.String())
+	}
+}

@@ -1,0 +1,132 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// BarChart describes a grouped bar chart: one group per label, one bar per
+// series within each group — the shape of the paper's Figures 1–4.
+type BarChart struct {
+	Title  string
+	Labels []string    // group labels (x axis)
+	Series []string    // bar names within a group (legend)
+	Values [][]float64 // Values[group][series]
+	// YLabel annotates the value axis.
+	YLabel string
+	// Width and Height are the drawing size in pixels (defaults 640×320).
+	Width, Height int
+}
+
+// validate checks the chart's shape.
+func (c *BarChart) validate() error {
+	if len(c.Labels) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("viz: BarChart needs labels and series")
+	}
+	if len(c.Values) != len(c.Labels) {
+		return fmt.Errorf("viz: BarChart has %d value groups for %d labels", len(c.Values), len(c.Labels))
+	}
+	for i, g := range c.Values {
+		if len(g) != len(c.Series) {
+			return fmt.Errorf("viz: BarChart group %d has %d values for %d series", i, len(g), len(c.Series))
+		}
+		for _, v := range g {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("viz: BarChart value %v not renderable", v)
+			}
+		}
+	}
+	return nil
+}
+
+// RenderBarChartSVG draws the chart as a self-contained SVG.
+func RenderBarChartSVG(w io.Writer, c BarChart) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	if c.Width <= 0 {
+		c.Width = 640
+	}
+	if c.Height <= 0 {
+		c.Height = 320
+	}
+
+	maxV := 0.0
+	for _, g := range c.Values {
+		for _, v := range g {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	const leftPad, rightPad, topPad, bottomPad = 56, 10, 40, 46
+	plotW := float64(c.Width - leftPad - rightPad)
+	plotH := float64(c.Height - topPad - bottomPad)
+	groupW := plotW / float64(len(c.Labels))
+	barW := groupW * 0.8 / float64(len(c.Series))
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`+"\n",
+		c.Width, c.Height); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, `<text x="4" y="14" font-size="12">%s</text>`+"\n", c.Title); err != nil {
+		return err
+	}
+	if c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, `<text x="4" y="28">%s</text>`+"\n", c.YLabel); err != nil {
+			return err
+		}
+	}
+
+	// Y gridlines at quarters.
+	for q := 0; q <= 4; q++ {
+		v := maxV * float64(q) / 4
+		y := float64(topPad) + plotH - plotH*float64(q)/4
+		if _, err := fmt.Fprintf(w,
+			`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/><text x="4" y="%.1f">%.4g</text>`+"\n",
+			leftPad, y, c.Width-rightPad, y, y+3, v); err != nil {
+			return err
+		}
+	}
+
+	// Bars.
+	for gi := range c.Labels {
+		gx := float64(leftPad) + groupW*float64(gi) + groupW*0.1
+		for si, v := range c.Values[gi] {
+			h := plotH * v / maxV
+			x := gx + barW*float64(si)
+			y := float64(topPad) + plotH - h
+			if _, err := fmt.Fprintf(w,
+				`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s / %s: %.4g</title></rect>`+"\n",
+				x, y, barW*0.92, h, laneColors[si%len(laneColors)],
+				c.Labels[gi], c.Series[si], v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, `<text x="%.1f" y="%d">%s</text>`+"\n",
+			gx, c.Height-bottomPad+14, c.Labels[gi]); err != nil {
+			return err
+		}
+	}
+
+	// Legend.
+	lx := leftPad
+	ly := c.Height - 16
+	for si, name := range c.Series {
+		if _, err := fmt.Fprintf(w,
+			`<rect x="%d" y="%d" width="9" height="9" fill="%s"/><text x="%d" y="%d">%s</text>`+"\n",
+			lx, ly-8, laneColors[si%len(laneColors)], lx+12, ly, name); err != nil {
+			return err
+		}
+		lx += 12 + 7*len(name) + 16
+	}
+
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

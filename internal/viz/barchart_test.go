@@ -1,0 +1,63 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleChart() BarChart {
+	return BarChart{
+		Title:  "demo",
+		Labels: []string{"FCFS", "SJF"},
+		Series: []string{"conservative", "easy"},
+		Values: [][]float64{{21.3, 24.4}, {21.3, 5.7}},
+		YLabel: "avg slowdown",
+	}
+}
+
+func TestRenderBarChartSVG(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderBarChartSVG(&sb, sampleChart()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"<svg", "</svg>", "demo", "avg slowdown",
+		"FCFS", "SJF", "conservative", "easy",
+		"SJF / easy: 5.7",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("chart missing %q", frag)
+		}
+	}
+	// 4 bars + 2 legend swatches.
+	if got := strings.Count(out, "<rect"); got != 6 {
+		t.Errorf("rects = %d, want 6", got)
+	}
+}
+
+func TestRenderBarChartSVGValidation(t *testing.T) {
+	cases := []BarChart{
+		{}, // empty
+		{Labels: []string{"a"}, Series: []string{"s"}},                              // missing values
+		{Labels: []string{"a"}, Series: []string{"s"}, Values: [][]float64{{1, 2}}}, // wrong arity
+		{Labels: []string{"a"}, Series: []string{"s"}, Values: [][]float64{{-1}}},   // negative
+	}
+	for i, c := range cases {
+		if err := RenderBarChartSVG(&strings.Builder{}, c); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestRenderBarChartSVGAllZero(t *testing.T) {
+	c := sampleChart()
+	c.Values = [][]float64{{0, 0}, {0, 0}}
+	var sb strings.Builder
+	if err := RenderBarChartSVG(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "</svg>") {
+		t.Fatal("all-zero chart should still render")
+	}
+}

@@ -1,0 +1,129 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// SVGOptions configure vector rendering.
+type SVGOptions struct {
+	// Procs is the machine size (required).
+	Procs int
+	// Width is the drawing width in pixels (default 900).
+	Width int
+	// RowHeight is the per-job lane height in pixels (default 14).
+	RowHeight int
+	// MaxJobs caps the number of lanes (default 60); larger schedules are
+	// truncated to the earliest arrivals with a note.
+	MaxJobs int
+}
+
+func (o SVGOptions) withDefaults() SVGOptions {
+	if o.Width <= 0 {
+		o.Width = 900
+	}
+	if o.RowHeight <= 0 {
+		o.RowHeight = 14
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 60
+	}
+	return o
+}
+
+// laneColors cycles per job; waiting segments render grey.
+var laneColors = []string{
+	"#4477aa", "#66ccee", "#228833", "#ccbb44", "#ee6677", "#aa3377",
+}
+
+// RenderSVG draws the schedule as a self-contained SVG Gantt chart: one
+// lane per job, a grey bar while it waits, a coloured bar (height scaled by
+// width) while it runs — the figure style scheduling papers use.
+func RenderSVG(w io.Writer, ps []sim.Placement, opts SVGOptions) error {
+	opts = opts.withDefaults()
+	if opts.Procs < 1 {
+		return fmt.Errorf("viz: SVGOptions.Procs = %d", opts.Procs)
+	}
+	if len(ps) == 0 {
+		_, err := fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="200" height="20"><text x="4" y="14">empty schedule</text></svg>`)
+		return err
+	}
+
+	sorted := append([]sim.Placement(nil), ps...)
+	sort.Slice(sorted, func(i, k int) bool {
+		if sorted[i].Job.Arrival != sorted[k].Job.Arrival {
+			return sorted[i].Job.Arrival < sorted[k].Job.Arrival
+		}
+		return sorted[i].Job.ID < sorted[k].Job.ID
+	})
+	truncated := false
+	if len(sorted) > opts.MaxJobs {
+		sorted = sorted[:opts.MaxJobs]
+		truncated = true
+	}
+
+	minT, maxT := sorted[0].Job.Arrival, sorted[0].End
+	for _, p := range sorted {
+		if p.Job.Arrival < minT {
+			minT = p.Job.Arrival
+		}
+		if p.End > maxT {
+			maxT = p.End
+		}
+	}
+	span := maxT - minT
+	if span < 1 {
+		span = 1
+	}
+
+	const leftPad, topPad = 60, 24
+	plotW := opts.Width - leftPad - 10
+	x := func(t int64) float64 {
+		return float64(leftPad) + float64(t-minT)*float64(plotW)/float64(span)
+	}
+	height := topPad + len(sorted)*opts.RowHeight + 20
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`+"\n",
+		opts.Width, height); err != nil {
+		return err
+	}
+	title := fmt.Sprintf("%d jobs, %d procs, span %ds", len(ps), opts.Procs, span)
+	if truncated {
+		title += fmt.Sprintf(" (first %d lanes shown)", opts.MaxJobs)
+	}
+	if _, err := fmt.Fprintf(w, `<text x="4" y="14">%s</text>`+"\n", title); err != nil {
+		return err
+	}
+
+	for i, p := range sorted {
+		y := topPad + i*opts.RowHeight
+		barH := opts.RowHeight - 3
+		// Lane label.
+		if _, err := fmt.Fprintf(w, `<text x="4" y="%d">%d w%d</text>`+"\n", y+barH-2, p.Job.ID, p.Job.Width); err != nil {
+			return err
+		}
+		// Waiting segment.
+		if p.Start > p.Job.Arrival {
+			if _, err := fmt.Fprintf(w,
+				`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#cccccc"/>`+"\n",
+				x(p.Job.Arrival), y, x(p.Start)-x(p.Job.Arrival), barH); err != nil {
+				return err
+			}
+		}
+		// Running segment; opacity hints at job width relative to machine.
+		op := 0.35 + 0.65*float64(p.Job.Width)/float64(opts.Procs)
+		if _, err := fmt.Fprintf(w,
+			`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" fill-opacity="%.2f"><title>job %d: arr %d, start %d, end %d, w %d</title></rect>`+"\n",
+			x(p.Start), y, x(p.End)-x(p.Start), barH,
+			laneColors[i%len(laneColors)], op,
+			p.Job.ID, p.Job.Arrival, p.Start, p.End, p.Job.Width); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

@@ -1,0 +1,84 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRenderSVGBasics(t *testing.T) {
+	ps := []sim.Placement{
+		vp(1, 0, 0, 100, 8),
+		vp(2, 10, 100, 50, 4),
+	}
+	var sb strings.Builder
+	if err := RenderSVG(&sb, ps, SVGOptions{Procs: 8}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"<svg", "</svg>", "2 jobs, 8 procs",
+		`fill="#cccccc"`, // job 2's waiting bar
+		"job 2: arr 10, start 100, end 150, w 4",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("svg missing %q", frag)
+		}
+	}
+	// Two running rects + one waiting rect.
+	if got := strings.Count(out, "<rect"); got != 3 {
+		t.Errorf("rects = %d, want 3", got)
+	}
+}
+
+func TestRenderSVGEmptyAndErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderSVG(&sb, nil, SVGOptions{Procs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty schedule") {
+		t.Fatal("empty message missing")
+	}
+	if err := RenderSVG(&sb, []sim.Placement{vp(1, 0, 0, 1, 1)}, SVGOptions{}); err == nil {
+		t.Fatal("missing Procs should error")
+	}
+}
+
+func TestRenderSVGTruncatesLargeSchedules(t *testing.T) {
+	var ps []sim.Placement
+	for i := 0; i < 100; i++ {
+		ps = append(ps, vp(i+1, int64(i), int64(i), 100, 1))
+	}
+	var sb strings.Builder
+	if err := RenderSVG(&sb, ps, SVGOptions{Procs: 128, MaxJobs: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "first 10 lanes shown") {
+		t.Fatal("truncation note missing")
+	}
+	if got := strings.Count(out, "<rect"); got > 20 {
+		t.Errorf("rects = %d after truncation to 10 lanes", got)
+	}
+}
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	// Cheap well-formedness check: every opened rect is self-closed and
+	// the tag counts balance.
+	ps := []sim.Placement{vp(1, 0, 5, 10, 2), vp(2, 1, 15, 10, 2)}
+	var sb strings.Builder
+	if err := RenderSVG(&sb, ps, SVGOptions{Procs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "<svg") != strings.Count(out, "</svg>") {
+		t.Fatal("svg tags unbalanced")
+	}
+	if strings.Count(out, "<text") != strings.Count(out, "</text>") {
+		t.Fatal("text tags unbalanced")
+	}
+	if strings.Count(out, "<title>") != strings.Count(out, "</title>") {
+		t.Fatal("title tags unbalanced")
+	}
+}

@@ -1,0 +1,200 @@
+// Package viz renders finished schedules as plain-text charts: a
+// processor-utilization strip, a queue-depth strip, and — for small
+// schedules — a per-job Gantt chart. Text output keeps the tool usable over
+// ssh on the head node, which is where scheduling questions get debugged.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// shades maps a 0..1 fill fraction onto ASCII density.
+var shades = []byte(" .:-=+*#%@")
+
+// shade returns the character for a fraction in [0,1].
+func shade(frac float64) byte {
+	if frac <= 0 {
+		return shades[0]
+	}
+	if frac >= 1 {
+		return shades[len(shades)-1]
+	}
+	return shades[int(frac*float64(len(shades)-1)+0.5)]
+}
+
+// Options configure rendering.
+type Options struct {
+	// Width is the chart width in columns (default 100).
+	Width int
+	// Procs is the machine size; required for utilization scaling.
+	Procs int
+	// MaxGanttJobs caps the Gantt chart (default 40); larger schedules
+	// render only the strips.
+	MaxGanttJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 100
+	}
+	if o.MaxGanttJobs <= 0 {
+		o.MaxGanttJobs = 40
+	}
+	return o
+}
+
+// Render writes the full visualization: header, utilization strip, queue
+// strip, and (for small schedules) the Gantt chart.
+func Render(w io.Writer, ps []sim.Placement, opts Options) error {
+	opts = opts.withDefaults()
+	if opts.Procs < 1 {
+		return fmt.Errorf("viz: Options.Procs = %d", opts.Procs)
+	}
+	if len(ps) == 0 {
+		_, err := fmt.Fprintln(w, "viz: empty schedule")
+		return err
+	}
+
+	minT, maxT := span(ps)
+	dur := maxT - minT
+	if dur < 1 {
+		dur = 1
+	}
+	step := dur / int64(opts.Width)
+	if step < 1 {
+		step = 1
+	}
+	tl, err := metrics.Timeline(ps, step)
+	if err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprintf(w, "%d jobs, %d procs, span %s (each column ~ %s)\n",
+		len(ps), opts.Procs, time.Duration(dur)*time.Second, time.Duration(step)*time.Second); err != nil {
+		return err
+	}
+	if err := renderStrip(w, "busy", tl, opts.Width, func(p metrics.TimelinePoint) float64 {
+		return float64(p.Busy) / float64(opts.Procs)
+	}); err != nil {
+		return err
+	}
+	peak := metrics.PeakQueueDepth(ps)
+	if peak < 1 {
+		peak = 1
+	}
+	if err := renderStrip(w, "queue", tl, opts.Width, func(p metrics.TimelinePoint) float64 {
+		return float64(p.Queued) / float64(peak)
+	}); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "queue peak: %d jobs\n", metrics.PeakQueueDepth(ps)); err != nil {
+		return err
+	}
+
+	if len(ps) <= opts.MaxGanttJobs {
+		return renderGantt(w, ps, minT, maxT, opts)
+	}
+	return nil
+}
+
+func span(ps []sim.Placement) (int64, int64) {
+	minT, maxT := ps[0].Start, ps[0].End
+	for _, p := range ps {
+		if p.Job.Arrival < minT {
+			minT = p.Job.Arrival
+		}
+		if p.End > maxT {
+			maxT = p.End
+		}
+	}
+	return minT, maxT
+}
+
+// renderStrip draws one labelled density strip.
+func renderStrip(w io.Writer, label string, tl []metrics.TimelinePoint, width int, f func(metrics.TimelinePoint) float64) error {
+	var sb strings.Builder
+	for i := 0; i < width && i < len(tl); i++ {
+		sb.WriteByte(shade(f(tl[i])))
+	}
+	_, err := fmt.Fprintf(w, "%-6s|%s|\n", label, sb.String())
+	return err
+}
+
+// RenderHeatmap draws a 7×24 week grid as shaded characters, normalising to
+// the heatmap's max cell. Empty cells (no samples) render as '·'.
+func RenderHeatmap(w io.Writer, h *metrics.Heatmap, title string) error {
+	if _, err := fmt.Fprintf(w, "%s (rows: day of week, cols: hour 00-23; scale max %.2f)\n", title, h.Max()); err != nil {
+		return err
+	}
+	max := h.Max()
+	for d := 0; d < 7; d++ {
+		row := make([]byte, 24)
+		for hr := 0; hr < 24; hr++ {
+			if h.Samples[d][hr] == 0 {
+				row[hr] = '-'
+				continue
+			}
+			frac := 0.0
+			if max > 0 {
+				frac = h.Values[d][hr] / max
+			}
+			row[hr] = shade(frac)
+		}
+		if _, err := fmt.Fprintf(w, "  d%d |%s|\n", d, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderGantt draws one row per job: '.' waiting, '#' running.
+func renderGantt(w io.Writer, ps []sim.Placement, minT, maxT int64, opts Options) error {
+	if _, err := fmt.Fprintln(w, "\ngantt ('.' waiting, '#' running):"); err != nil {
+		return err
+	}
+	sorted := append([]sim.Placement(nil), ps...)
+	sort.Slice(sorted, func(i, k int) bool {
+		if sorted[i].Job.Arrival != sorted[k].Job.Arrival {
+			return sorted[i].Job.Arrival < sorted[k].Job.Arrival
+		}
+		return sorted[i].Job.ID < sorted[k].Job.ID
+	})
+	dur := maxT - minT
+	if dur < 1 {
+		dur = 1
+	}
+	col := func(t int64) int {
+		c := int((t - minT) * int64(opts.Width) / dur)
+		if c < 0 {
+			c = 0
+		}
+		if c >= opts.Width {
+			c = opts.Width - 1
+		}
+		return c
+	}
+	for _, p := range sorted {
+		row := make([]byte, opts.Width)
+		for i := range row {
+			row[i] = ' '
+		}
+		a, s, e := col(p.Job.Arrival), col(p.Start), col(p.End)
+		for i := a; i < s; i++ {
+			row[i] = '.'
+		}
+		for i := s; i <= e && i < opts.Width; i++ {
+			row[i] = '#'
+		}
+		if _, err := fmt.Fprintf(w, "%5d w%-4d|%s|\n", p.Job.ID, p.Job.Width, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func vp(id int, arr, start, rt int64, w int) sim.Placement {
+	return sim.Placement{
+		Job:   &job.Job{ID: id, Arrival: arr, Runtime: rt, Estimate: rt, Width: w},
+		Start: start,
+		End:   start + rt,
+	}
+}
+
+func TestShadeBounds(t *testing.T) {
+	if shade(0) != ' ' {
+		t.Fatalf("shade(0) = %q", shade(0))
+	}
+	if shade(1) != '@' {
+		t.Fatalf("shade(1) = %q", shade(1))
+	}
+	if shade(-5) != ' ' || shade(7) != '@' {
+		t.Fatal("out-of-range shades should clamp")
+	}
+	if c := shade(0.5); c == ' ' || c == '@' {
+		t.Fatalf("shade(0.5) = %q, want an intermediate density character", c)
+	}
+}
+
+func TestRenderSmallSchedule(t *testing.T) {
+	ps := []sim.Placement{
+		vp(1, 0, 0, 100, 8),
+		vp(2, 10, 100, 50, 4),
+	}
+	var sb strings.Builder
+	if err := Render(&sb, ps, Options{Procs: 8, Width: 40}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"2 jobs, 8 procs", "busy", "queue", "gantt", "w8", "w4", "#"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	// Job 2 waits [10,100): its gantt row must contain '.' before '#'.
+	lines := strings.Split(out, "\n")
+	var row2 string
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "2 w4") {
+			row2 = l
+		}
+	}
+	if row2 == "" {
+		t.Fatalf("no gantt row for job 2:\n%s", out)
+	}
+	if !strings.Contains(row2, ".") || !strings.Contains(row2, "#") {
+		t.Fatalf("job 2 row should show waiting then running: %q", row2)
+	}
+	if strings.Index(row2, ".") > strings.Index(row2, "#") {
+		t.Fatalf("waiting must precede running: %q", row2)
+	}
+}
+
+func TestRenderLargeScheduleSkipsGantt(t *testing.T) {
+	var ps []sim.Placement
+	for i := 0; i < 100; i++ {
+		ps = append(ps, vp(i+1, int64(i), int64(i), 100, 1))
+	}
+	var sb strings.Builder
+	if err := Render(&sb, ps, Options{Procs: 128, Width: 40, MaxGanttJobs: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "gantt") {
+		t.Fatal("large schedule should not render a gantt chart")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if err := Render(&strings.Builder{}, []sim.Placement{vp(1, 0, 0, 1, 1)}, Options{}); err == nil {
+		t.Fatal("missing Procs should error")
+	}
+	var sb strings.Builder
+	if err := Render(&sb, nil, Options{Procs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty schedule") {
+		t.Fatal("empty schedule message missing")
+	}
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	var h metrics.Heatmap
+	h.Add(0, 1.0)    // day 0, hour 0: hottest
+	h.Add(3600, 0.5) // day 0, hour 1
+	var sb strings.Builder
+	if err := RenderHeatmap(&sb, &h, "utilization"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "utilization") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8 { // title + 7 day rows
+		t.Fatalf("lines = %d", len(lines))
+	}
+	day0 := lines[1]
+	if !strings.Contains(day0, "@") {
+		t.Fatalf("hottest cell not rendered at max shade: %q", day0)
+	}
+	// Unsampled cells must show as '-'.
+	if !strings.Contains(day0, "-") || !strings.Contains(lines[7], "-") {
+		t.Fatal("unsampled cells should render '-'")
+	}
+}
+
+func TestRenderRealSimulation(t *testing.T) {
+	m, err := workload.NewSDSC(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := m.Generate(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.Config{Procs: m.Procs, Scheduler: "easy"}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Render(&sb, res.Placements, Options{Procs: m.Procs, Width: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "300 jobs") {
+		t.Fatalf("header missing:\n%s", sb.String())
+	}
+	// The busy strip must show variation (not all blank).
+	busyLine := ""
+	for _, l := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(l, "busy") {
+			busyLine = l
+		}
+	}
+	if strings.TrimSpace(strings.Trim(busyLine, "busy |")) == "" {
+		t.Fatalf("busy strip is blank: %q", busyLine)
+	}
+}

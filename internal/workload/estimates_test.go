@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+func estJobs() []*job.Job {
+	return []*job.Job{
+		{ID: 1, Arrival: 0, Runtime: 100, Estimate: 100, Width: 4, User: 1},
+		{ID: 2, Arrival: 10, Runtime: 3600, Estimate: 3600, Width: 16, User: 2},
+		{ID: 3, Arrival: 20, Runtime: 0, Estimate: 1, Width: 1, User: 3},
+		{ID: 4, Arrival: 30, Runtime: 7200, Estimate: 7200, Width: 64, User: 1},
+	}
+}
+
+func TestExactModel(t *testing.T) {
+	out := ApplyEstimates(estJobs(), Exact{}, 1)
+	for _, j := range out {
+		want := j.Runtime
+		if want < 1 {
+			want = 1
+		}
+		if j.Estimate != want {
+			t.Errorf("job %d estimate = %d, want %d", j.ID, j.Estimate, want)
+		}
+		if err := j.Validate(); err != nil {
+			t.Errorf("job %d invalid: %v", j.ID, err)
+		}
+	}
+	if (Exact{}).Name() != "exact" {
+		t.Error("Exact name")
+	}
+}
+
+func TestSystematicModel(t *testing.T) {
+	out := ApplyEstimates(estJobs(), Systematic{R: 2}, 1)
+	if out[0].Estimate != 200 {
+		t.Errorf("R=2 on 100s job: estimate = %d", out[0].Estimate)
+	}
+	if out[1].Estimate != 7200 {
+		t.Errorf("R=2 on 3600s job: estimate = %d", out[1].Estimate)
+	}
+	if out[2].Estimate != 2 { // runtime 0 treated as 1s
+		t.Errorf("R=2 on 0s job: estimate = %d", out[2].Estimate)
+	}
+	if (Systematic{R: 4}).Name() != "R=4" {
+		t.Error("Systematic name")
+	}
+}
+
+func TestSystematicR1IsExact(t *testing.T) {
+	a := ApplyEstimates(estJobs(), Systematic{R: 1}, 1)
+	b := ApplyEstimates(estJobs(), Exact{}, 1)
+	for i := range a {
+		if a[i].Estimate != b[i].Estimate {
+			t.Fatalf("R=1 differs from exact on job %d", a[i].ID)
+		}
+	}
+}
+
+func TestApplyEstimatesDoesNotMutateInput(t *testing.T) {
+	in := estJobs()
+	ApplyEstimates(in, Systematic{R: 4}, 1)
+	if in[0].Estimate != 100 {
+		t.Fatal("ApplyEstimates mutated its input")
+	}
+}
+
+func TestApplyEstimatesDeterministic(t *testing.T) {
+	a := ApplyEstimates(estJobs(), Actual{}, 9)
+	b := ApplyEstimates(estJobs(), Actual{}, 9)
+	for i := range a {
+		if a[i].Estimate != b[i].Estimate {
+			t.Fatal("Actual estimates not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestActualEstimatesValid(t *testing.T) {
+	m := testModel()
+	jobs, err := m.Generate(3000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ApplyEstimates(jobs, Actual{}, 17)
+	for _, j := range out {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("actual-estimate job invalid: %v", err)
+		}
+		if j.Estimate < j.Runtime {
+			t.Fatalf("estimate below runtime: %v", j)
+		}
+	}
+}
+
+func TestActualEstimatesMixOfQualities(t *testing.T) {
+	// The actual model must produce both well and poorly estimated jobs in
+	// non-trivial proportions — the split §5.2 depends on.
+	m := testModel()
+	jobs, err := m.Generate(5000, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ApplyEstimates(jobs, Actual{}, 23)
+	var well, poor int
+	for _, j := range out {
+		if job.ClassifyEstimate(j) == job.WellEstimated {
+			well++
+		} else {
+			poor++
+		}
+	}
+	wellFrac := float64(well) / float64(len(out))
+	if wellFrac < 0.25 || wellFrac > 0.85 {
+		t.Fatalf("well-estimated fraction = %.3f; the model should produce a real mix", wellFrac)
+	}
+}
+
+func TestActualExactFraction(t *testing.T) {
+	jobs := make([]*job.Job, 4000)
+	for i := range jobs {
+		jobs[i] = &job.Job{ID: i + 1, Runtime: 1000, Estimate: 1000, Width: 1, User: i % 50}
+	}
+	out := ApplyEstimates(jobs, Actual{ExactFraction: 0.3}, 29)
+	exact := 0
+	for _, j := range out {
+		if j.Estimate == j.Runtime {
+			exact++
+		}
+	}
+	got := float64(exact) / float64(len(out))
+	if math.Abs(got-0.3) > 0.04 {
+		t.Fatalf("exact fraction = %.3f, want ~0.3", got)
+	}
+}
+
+func TestActualPerUserConsistency(t *testing.T) {
+	// Same-user jobs should share a padding habit: the model must be
+	// deterministic in the user ID component.
+	if userPadFactor(7) != userPadFactor(7) {
+		t.Fatal("userPadFactor not deterministic")
+	}
+	if userPadFactor(7) < 1 || userPadFactor(7) > 2 {
+		t.Fatalf("userPadFactor out of [1,2]: %v", userPadFactor(7))
+	}
+	diff := false
+	for u := 0; u < 20; u++ {
+		if userPadFactor(u) != userPadFactor(0) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("all users share the same pad factor")
+	}
+}
+
+func TestRoundUpHuman(t *testing.T) {
+	cases := []struct {
+		est, floor, want int64
+	}{
+		{50, 1, 60},
+		{60, 1, 60},
+		{61, 1, 120},
+		{3000, 1, 3600},
+		{3601, 1, 2 * 3600},
+		{100 * 3600, 1, 100 * 3600},   // beyond table: whole hours
+		{100*3600 + 1, 1, 101 * 3600}, // rounds up to next hour
+		{30, 45, 60},                  // floor respected via next human value
+		{50, 100, 120},                // floor pushes past 60
+	}
+	for _, tc := range cases {
+		if got := roundUpHuman(tc.est, tc.floor); got != tc.want {
+			t.Errorf("roundUpHuman(%d, %d) = %d, want %d", tc.est, tc.floor, got, tc.want)
+		}
+	}
+}
+
+func TestRoundUpHumanProperty(t *testing.T) {
+	f := func(est uint32, floor uint16) bool {
+		e, fl := int64(est%1000000), int64(floor)
+		got := roundUpHuman(e, fl)
+		return got >= e && got >= fl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateModelByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"exact", "exact"},
+		{"actual", "actual"},
+		{"R=2", "R=2"},
+		{"R=4.5", "R=4.5"},
+	}
+	for _, tc := range cases {
+		m, err := EstimateModelByName(tc.in)
+		if err != nil {
+			t.Errorf("EstimateModelByName(%q): %v", tc.in, err)
+			continue
+		}
+		if m.Name() != tc.want {
+			t.Errorf("EstimateModelByName(%q).Name() = %q", tc.in, m.Name())
+		}
+	}
+	for _, bad := range []string{"", "bogus", "R=", "R=abc", "R=0.5"} {
+		if _, err := EstimateModelByName(bad); err == nil {
+			t.Errorf("EstimateModelByName(%q): want error", bad)
+		}
+	}
+}
+
+func TestActualOverestimationHeavyTail(t *testing.T) {
+	// The 1/f shape implies a mean overestimation factor well above 2.
+	jobs := make([]*job.Job, 5000)
+	for i := range jobs {
+		jobs[i] = &job.Job{ID: i + 1, Runtime: 1000, Estimate: 1000, Width: 1, User: i % 50}
+	}
+	out := ApplyEstimates(jobs, Actual{}, 31)
+	var acc stats.Accumulator
+	for _, j := range out {
+		acc.Add(j.OverestimationFactor())
+	}
+	if acc.Mean() < 2 {
+		t.Fatalf("mean overestimation factor = %.2f; expected a heavy tail > 2", acc.Mean())
+	}
+	if acc.Max() < 5 {
+		t.Fatalf("max overestimation factor = %.2f; tail too light", acc.Max())
+	}
+}

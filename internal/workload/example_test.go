@@ -1,0 +1,42 @@
+package workload_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+// ExampleApplyEstimates shows the estimate models the paper studies:
+// systematic overestimation multiplies every runtime, while the Actual
+// model mimics real user behaviour.
+func ExampleApplyEstimates() {
+	jobs := []*job.Job{
+		{ID: 1, Arrival: 0, Runtime: 1000, Estimate: 1000, Width: 4},
+	}
+	r2 := workload.ApplyEstimates(jobs, workload.Systematic{R: 2}, 1)
+	fmt.Println(r2[0].Estimate)
+	exact := workload.ApplyEstimates(r2, workload.Exact{}, 1)
+	fmt.Println(exact[0].Estimate)
+	// Output:
+	// 2000
+	// 1000
+}
+
+// ExampleModel_Generate builds the paper's CTC stand-in and checks its
+// category mix against Table 2.
+func ExampleModel_Generate() {
+	model, err := workload.NewCTC(0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := model.Generate(5000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix := job.CategoryMix(jobs, job.PaperThresholds())
+	fmt.Printf("SN within 2%% of Table 2: %v\n", mix[job.ShortNarrow] > 0.43 && mix[job.ShortNarrow] < 0.47)
+	// Output:
+	// SN within 2% of Table 2: true
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+// FitOptions tune trace fitting.
+type FitOptions struct {
+	// ReservoirSize bounds the per-category sample kept for the empirical
+	// distributions (default 4096). Larger is more faithful.
+	ReservoirSize int
+	// Seed drives reservoir sampling (default 1).
+	Seed int64
+	// Smooth interpolates between observed runtimes when resampling
+	// (widths are always resampled exactly — processor counts are
+	// discrete).
+	Smooth bool
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.ReservoirSize == 0 {
+		o.ReservoirSize = 4096
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Fit builds a synthetic Model from an observed trace: per-category
+// empirical runtime and width distributions, the observed category mix, and
+// an exponential interarrival process matching the observed mean gap. The
+// result generates statistically similar — but fresh — workloads, the
+// standard methodology for capacity studies when replaying the log itself
+// is too rigid (you cannot scale a replay's job mix independently of its
+// arrival pattern).
+//
+// Jobs must be non-empty and sorted or sortable by arrival; procs is the
+// machine size the trace ran on.
+func Fit(name string, jobs []*job.Job, procs int, opts FitOptions) (*Model, error) {
+	if len(jobs) < 2 {
+		return nil, fmt.Errorf("workload: Fit needs at least 2 jobs, got %d", len(jobs))
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("workload: Fit with %d processors", procs)
+	}
+	opts = opts.withDefaults()
+	th := job.PaperThresholds()
+
+	var rtRes, wRes [job.NumCategories]*stats.Reservoir
+	for _, c := range job.Categories() {
+		var err error
+		if rtRes[c], err = stats.NewReservoir(opts.ReservoirSize, opts.Seed+int64(c)); err != nil {
+			return nil, err
+		}
+		if wRes[c], err = stats.NewReservoir(opts.ReservoirSize, opts.Seed+100+int64(c)); err != nil {
+			return nil, err
+		}
+	}
+
+	var counts [job.NumCategories]int64
+	maxRuntime := int64(0)
+	var gapAcc stats.Accumulator
+	prev := int64(-1)
+	maxEst := int64(0)
+	for _, j := range jobs {
+		c := th.Classify(j)
+		counts[c]++
+		rtRes[c].Add(float64(j.Runtime))
+		wRes[c].Add(float64(j.Width))
+		if j.Runtime > maxRuntime {
+			maxRuntime = j.Runtime
+		}
+		if j.Estimate > maxEst {
+			maxEst = j.Estimate
+		}
+		if prev >= 0 {
+			gap := j.Arrival - prev
+			if gap < 0 {
+				return nil, fmt.Errorf("workload: Fit input not sorted by arrival (job %d)", j.ID)
+			}
+			gapAcc.Add(float64(gap))
+		}
+		prev = j.Arrival
+	}
+	if maxRuntime <= th.MaxShortRuntime {
+		// Degenerate trace with no long jobs: still give the model a
+		// valid long-runtime range.
+		maxRuntime = th.MaxShortRuntime * 2
+	}
+
+	m := &Model{
+		Name:         name,
+		Procs:        procs,
+		Thresholds:   th,
+		MaxRuntime:   maxRuntime,
+		Users:        200,
+		Interarrival: stats.Exponential{M: gapAcc.Mean()},
+	}
+	total := float64(len(jobs))
+	for _, c := range job.Categories() {
+		m.Mix[c] = float64(counts[c]) / total
+		m.Runtime[c] = fittedDist(rtRes[c], opts.Smooth, c, th, maxRuntime)
+		m.Width[c] = fittedWidthDist(wRes[c], c, th, procs)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: fitted model invalid: %w", err)
+	}
+	return m, nil
+}
+
+// fittedDist returns the empirical runtime distribution for a category, or
+// a sensible fallback when the trace had no jobs there.
+func fittedDist(res *stats.Reservoir, smooth bool, c job.Category, th job.Thresholds, maxRuntime int64) stats.Dist {
+	sample := res.Sample()
+	if len(sample) == 0 {
+		if c.Short() {
+			return stats.Uniform{Lo: 1, Hi: float64(th.MaxShortRuntime)}
+		}
+		return stats.Uniform{Lo: float64(th.MaxShortRuntime + 1), Hi: float64(maxRuntime)}
+	}
+	e, err := stats.NewEmpirical(sample, smooth)
+	if err != nil {
+		panic(err) // unreachable: sample is non-empty
+	}
+	return e
+}
+
+// fittedWidthDist returns the empirical width distribution for a category,
+// or a fallback covering the category's range.
+func fittedWidthDist(res *stats.Reservoir, c job.Category, th job.Thresholds, procs int) stats.Dist {
+	sample := res.Sample()
+	if len(sample) == 0 {
+		if c.Narrow() {
+			return stats.Uniform{Lo: 1, Hi: float64(th.MaxNarrowWidth + 1)}
+		}
+		return stats.Uniform{Lo: float64(th.MaxNarrowWidth + 1), Hi: float64(procs + 1)}
+	}
+	e, err := stats.NewEmpirical(sample, false)
+	if err != nil {
+		panic(err) // unreachable: sample is non-empty
+	}
+	return e
+}

@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+func TestFitRoundTripsCategoryMix(t *testing.T) {
+	src := testModel()
+	jobs, err := src.Generate(8000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := Fit("refit", jobs, src.Procs, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regen, err := fitted.Generate(8000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcMix := job.CategoryMix(jobs, src.Thresholds)
+	reMix := job.CategoryMix(regen, src.Thresholds)
+	for _, c := range job.Categories() {
+		if math.Abs(srcMix[c]-reMix[c]) > 0.03 {
+			t.Errorf("%v: source %.3f vs refit %.3f", c, srcMix[c], reMix[c])
+		}
+	}
+}
+
+func TestFitPreservesMeanGap(t *testing.T) {
+	src := testModel()
+	jobs, err := src.Generate(5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := Fit("refit", jobs, src.Procs, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcGap := float64(jobs[len(jobs)-1].Arrival-jobs[0].Arrival) / float64(len(jobs)-1)
+	if math.Abs(fitted.Interarrival.Mean()-srcGap)/srcGap > 0.02 {
+		t.Fatalf("fitted mean gap %v vs source %v", fitted.Interarrival.Mean(), srcGap)
+	}
+}
+
+func TestFitPreservesRuntimeScale(t *testing.T) {
+	src := testModel()
+	jobs, err := src.Generate(5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := Fit("refit", jobs, src.Procs, FitOptions{Smooth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regen, err := fitted.Generate(5000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(js []*job.Job) float64 {
+		var s float64
+		for _, j := range js {
+			s += float64(j.Runtime)
+		}
+		return s / float64(len(js))
+	}
+	a, b := mean(jobs), mean(regen)
+	if math.Abs(a-b)/a > 0.12 {
+		t.Fatalf("mean runtime drifted: source %.0f vs refit %.0f", a, b)
+	}
+}
+
+func TestFitRuntimeDistributionKS(t *testing.T) {
+	// The fitted model's regenerated runtimes must be statistically close
+	// to the source's: two-sample KS below the 1% critical value per
+	// category.
+	src := testModel()
+	jobs, err := src.Generate(6000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := Fit("refit", jobs, src.Procs, FitOptions{Smooth: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regen, err := fitted.Generate(6000, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := src.Thresholds
+	for _, c := range job.Categories() {
+		var a, b []float64
+		for _, j := range jobs {
+			if th.Classify(j) == c {
+				a = append(a, float64(j.Runtime))
+			}
+		}
+		for _, j := range regen {
+			if th.Classify(j) == c {
+				b = append(b, float64(j.Runtime))
+			}
+		}
+		if len(a) < 50 || len(b) < 50 {
+			continue // category too thin for a meaningful test
+		}
+		d, err := stats.KSStatistic(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crit, err := stats.KSCriticalValue(len(a), len(b), 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d >= crit {
+			t.Errorf("%v: KS D = %.4f exceeds 1%% critical %.4f — fitted runtimes drifted", c, d, crit)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit("x", nil, 10, FitOptions{}); err == nil {
+		t.Error("empty trace should error")
+	}
+	one := []*job.Job{{ID: 1, Runtime: 10, Estimate: 10, Width: 1}}
+	if _, err := Fit("x", one, 10, FitOptions{}); err == nil {
+		t.Error("single job should error")
+	}
+	two := []*job.Job{
+		{ID: 1, Arrival: 100, Runtime: 10, Estimate: 10, Width: 1},
+		{ID: 2, Arrival: 50, Runtime: 10, Estimate: 10, Width: 1},
+	}
+	if _, err := Fit("x", two, 10, FitOptions{}); err == nil {
+		t.Error("unsorted trace should error")
+	}
+	sorted := []*job.Job{two[1], two[0]}
+	if _, err := Fit("x", sorted, 0, FitOptions{}); err == nil {
+		t.Error("zero procs should error")
+	}
+}
+
+func TestFitDegenerateAllShortTrace(t *testing.T) {
+	// A trace with only short narrow jobs must still fit into a valid
+	// model (fallback distributions for the empty categories).
+	var jobs []*job.Job
+	for i := 1; i <= 100; i++ {
+		jobs = append(jobs, &job.Job{
+			ID: i, Arrival: int64(i * 60), Runtime: 120, Estimate: 120, Width: 2,
+		})
+	}
+	m, err := Fit("short-only", jobs, 64, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Generate(50, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDailyCycleValidation(t *testing.T) {
+	m := testModel()
+	m.Daily = []float64{1, 2}
+	if err := m.Validate(); err == nil {
+		t.Error("short Daily should fail validation")
+	}
+	m.Daily = make([]float64, 24)
+	if err := m.Validate(); err == nil {
+		t.Error("zero weights should fail validation")
+	}
+	m.Daily = StandardDaily()
+	if err := m.Validate(); err != nil {
+		t.Errorf("StandardDaily should validate: %v", err)
+	}
+}
+
+func TestStandardDailyNormalised(t *testing.T) {
+	w := StandardDaily()
+	if len(w) != 24 {
+		t.Fatalf("len = %d", len(w))
+	}
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-24) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 24 (mean 1)", sum)
+	}
+}
+
+func TestWeeklyCycleValidation(t *testing.T) {
+	m := testModel()
+	m.Weekly = []float64{1, 2}
+	if err := m.Validate(); err == nil {
+		t.Error("short Weekly should fail validation")
+	}
+	m.Weekly = make([]float64, 7)
+	if err := m.Validate(); err == nil {
+		t.Error("zero weekly weights should fail validation")
+	}
+	m.Weekly = StandardWeekly()
+	if err := m.Validate(); err != nil {
+		t.Errorf("StandardWeekly should validate: %v", err)
+	}
+}
+
+func TestStandardWeeklyNormalised(t *testing.T) {
+	w := StandardWeekly()
+	if len(w) != 7 {
+		t.Fatalf("len = %d", len(w))
+	}
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-7) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 7 (mean 1)", sum)
+	}
+	if w[5] >= w[0] || w[6] >= w[0] {
+		t.Fatal("weekend should be quieter than Monday")
+	}
+}
+
+func TestWeeklyCycleShapesArrivals(t *testing.T) {
+	m := testModel()
+	m.Weekly = StandardWeekly()
+	jobs, err := m.Generate(20000, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weekday, weekend int
+	for _, j := range jobs {
+		d := (j.Arrival / (24 * 3600)) % 7
+		if d >= 5 {
+			weekend++
+		} else {
+			weekday++
+		}
+	}
+	weekdayRate := float64(weekday) / 5
+	weekendRate := float64(weekend) / 2
+	if weekdayRate < 1.5*weekendRate {
+		t.Fatalf("weekly cycle too weak: weekday %.0f vs weekend %.0f per day-slot", weekdayRate, weekendRate)
+	}
+}
+
+func TestDailyCycleShapesArrivals(t *testing.T) {
+	m := testModel()
+	m.Daily = StandardDaily()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := m.Generate(20000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count arrivals by hour of day: working hours (9-16) must receive
+	// clearly more than night hours (0-5).
+	var day, night int
+	for _, j := range jobs {
+		h := (j.Arrival / 3600) % 24
+		switch {
+		case h >= 9 && h < 17:
+			day++
+		case h < 6:
+			night++
+		}
+	}
+	dayRate := float64(day) / 8
+	nightRate := float64(night) / 6
+	if dayRate < 2*nightRate {
+		t.Fatalf("diurnal cycle too weak: day rate %.0f vs night rate %.0f per hour-slot", dayRate, nightRate)
+	}
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+func testModel() *Model {
+	return newSP2Model("test", 64, job.Mix{0.4, 0.2, 0.3, 0.1}, 12*3600)
+}
+
+func TestModelValidateOK(t *testing.T) {
+	if err := testModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidateFailures(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"zero procs", func(m *Model) { m.Procs = 0 }},
+		{"mix does not sum", func(m *Model) { m.Mix = job.Mix{0.9, 0, 0, 0} }},
+		{"negative mix", func(m *Model) { m.Mix = job.Mix{1.2, 0.2, -0.4, 0} }},
+		{"missing runtime dist", func(m *Model) { m.Runtime[job.ShortNarrow] = nil }},
+		{"missing width dist", func(m *Model) { m.Width[job.LongWide] = nil }},
+		{"missing interarrival", func(m *Model) { m.Interarrival = nil }},
+		{"max runtime too small", func(m *Model) { m.MaxRuntime = 3600 }},
+		{"no users", func(m *Model) { m.Users = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := testModel()
+			tc.mutate(m)
+			if err := m.Validate(); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	m := testModel()
+	jobs, err := m.Generate(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 500 {
+		t.Fatalf("generated %d jobs", len(jobs))
+	}
+	prevArrival := int64(-1)
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", i, err)
+		}
+		if j.ID != i+1 {
+			t.Fatalf("job %d has ID %d", i, j.ID)
+		}
+		if j.Arrival < prevArrival {
+			t.Fatal("arrivals not monotone")
+		}
+		prevArrival = j.Arrival
+		if j.Width > m.Procs {
+			t.Fatalf("job wider than machine: %v", j)
+		}
+		if j.Estimate != j.Runtime {
+			t.Fatalf("Generate should produce exact estimates, got %v", j)
+		}
+		if j.Runtime > m.MaxRuntime {
+			t.Fatalf("runtime beyond cap: %v", j)
+		}
+		if j.User < 1 || j.User > m.Users {
+			t.Fatalf("user out of range: %v", j)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := testModel()
+	a, err := m.Generate(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Generate(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("job %d differs across same-seed runs", i)
+		}
+	}
+	c, err := m.Generate(200, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if *a[i] != *c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateRespectsCategoryBounds(t *testing.T) {
+	m := testModel()
+	jobs, err := m.Generate(2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := m.Thresholds
+	for _, j := range jobs {
+		c := th.Classify(j)
+		// Every job must land in *some* category with consistent bounds —
+		// i.e. widths/runtimes never straddle: a short job is <= 3600 etc.
+		switch c {
+		case job.ShortNarrow:
+			if j.Runtime > 3600 || j.Width > 8 {
+				t.Fatalf("misclassified %v", j)
+			}
+		case job.LongWide:
+			if j.Runtime <= 3600 || j.Width <= 8 {
+				t.Fatalf("misclassified %v", j)
+			}
+		}
+	}
+}
+
+func TestGenerateMatchesTargetMix(t *testing.T) {
+	m := testModel()
+	jobs, err := m.Generate(20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := job.CategoryMix(jobs, m.Thresholds)
+	for _, c := range job.Categories() {
+		if math.Abs(mix[c]-m.Mix[c]) > 0.02 {
+			t.Errorf("%v fraction = %.4f, target %.4f", c, mix[c], m.Mix[c])
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	m := testModel()
+	if _, err := m.Generate(-1, 0); err == nil {
+		t.Error("negative n should error")
+	}
+	bad := testModel()
+	bad.Procs = 0
+	if _, err := bad.Generate(10, 0); err == nil {
+		t.Error("invalid model should error")
+	}
+}
+
+func TestCalibrateLoad(t *testing.T) {
+	m := testModel()
+	if err := m.CalibrateLoad(0.9, 20000); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := m.Generate(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical offered load = total work / (procs × span).
+	var work float64
+	for _, j := range jobs {
+		work += float64(j.Width) * float64(j.Runtime)
+	}
+	span := float64(jobs[len(jobs)-1].Arrival - jobs[0].Arrival)
+	load := work / (float64(m.Procs) * span)
+	if math.Abs(load-0.9) > 0.15 {
+		t.Fatalf("calibrated offered load = %.3f, want ~0.9", load)
+	}
+}
+
+func TestCalibrateLoadRejectsBadTarget(t *testing.T) {
+	m := testModel()
+	for _, bad := range []float64{0, -0.5, 2.0} {
+		if err := m.CalibrateLoad(bad, 100); err == nil {
+			t.Errorf("CalibrateLoad(%v) should error", bad)
+		}
+	}
+}
+
+func TestNewCTC(t *testing.T) {
+	m, err := NewCTC(0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Procs != 430 || m.Name != "CTC" {
+		t.Fatalf("model = %+v", m)
+	}
+	jobs, err := m.Generate(10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := job.CategoryMix(jobs, m.Thresholds)
+	for _, c := range job.Categories() {
+		if math.Abs(mix[c]-CTCMix[c]) > 0.02 {
+			t.Errorf("CTC %v fraction = %.4f, target %.4f (Table 2)", c, mix[c], CTCMix[c])
+		}
+	}
+}
+
+func TestNewSDSC(t *testing.T) {
+	m, err := NewSDSC(0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Procs != 128 || m.Name != "SDSC" {
+		t.Fatalf("model = %+v", m)
+	}
+	jobs, err := m.Generate(10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := job.CategoryMix(jobs, m.Thresholds)
+	for _, c := range job.Categories() {
+		if math.Abs(mix[c]-SDSCMix[c]) > 0.02 {
+			t.Errorf("SDSC %v fraction = %.4f, target %.4f (Table 3)", c, mix[c], SDSCMix[c])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"CTC", "ctc", "SDSC", "sdsc"} {
+		if _, err := ByName(name, 0.8); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("LANL", 0.8); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestMeanWorkPositive(t *testing.T) {
+	m := testModel()
+	mw, err := m.MeanWork(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mw <= 0 {
+		t.Fatalf("MeanWork = %v", mw)
+	}
+	// Mean work should be stable across calls (fixed internal seed).
+	mw2, _ := m.MeanWork(5000)
+	if mw != mw2 {
+		t.Fatal("MeanWork not deterministic")
+	}
+}
+
+func TestPaperMixesSumToOne(t *testing.T) {
+	for name, mix := range map[string]job.Mix{"CTC": CTCMix, "SDSC": SDSCMix} {
+		sum := 0.0
+		for _, v := range mix {
+			sum += v
+		}
+		if math.Abs(sum-1) > 0.005 {
+			t.Errorf("%s mix sums to %v", name, sum)
+		}
+	}
+}
+
+func TestWideWidthsSmallMachine(t *testing.T) {
+	// A 12-proc machine has no powers of two above 8; the distribution
+	// must still produce valid wide widths (9..12).
+	d := wideWidths(12)
+	r := stats.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(r)
+		if v < 1 {
+			t.Fatalf("bad width sample %v", v)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+// Target category mixes reconstructed from Tables 2 and 3 of the paper
+// (fractions of jobs in SN/SW/LN/LW; see DESIGN.md for the OCR
+// reconstruction).
+var (
+	// CTCMix is Table 2: the Cornell Theory Center trace.
+	CTCMix = job.Mix{0.4506, 0.1184, 0.3026, 0.1284}
+	// SDSCMix is Table 3: the SDSC SP2 trace. Wide jobs are rare (1.38 %
+	// of jobs are long-wide) because the machine is only 128 nodes.
+	SDSCMix = job.Mix{0.4724, 0.2144, 0.2994, 0.0138}
+)
+
+// Machine sizes from §3 of the paper.
+const (
+	CTCProcs  = 430
+	SDSCProcs = 128
+)
+
+// narrowWidths builds the narrow-category width distribution: serial jobs
+// dominate, powers of two are favored — the shape reported for both SP2
+// traces.
+func narrowWidths() stats.Dist {
+	return stats.MustDiscrete(
+		[]float64{1, 2, 3, 4, 5, 6, 7, 8},
+		[]float64{34, 14, 3, 17, 2, 4, 2, 24},
+	)
+}
+
+// wideWidths builds the wide-category width distribution for a machine
+// with procs processors: mass on powers of two up to the machine size,
+// decaying roughly as 1/width (very wide jobs are rare in the archive
+// traces), mixed with a log-uniform body for the odd sizes concentrated at
+// the small end of the wide range.
+func wideWidths(procs int) stats.Dist {
+	var values, weights []float64
+	for w := 16; w <= procs; w *= 2 {
+		values = append(values, float64(w))
+		weights = append(weights, 1024/float64(w))
+	}
+	if len(values) == 0 {
+		values, weights = []float64{float64(procs)}, []float64{1}
+	}
+	powers := stats.MustDiscrete(values, weights)
+	bodyHi := float64(procs) / 4
+	if bodyHi < 16 {
+		bodyHi = 16
+	}
+	body := stats.LogUniformDist{Lo: 9, Hi: bodyHi}
+	return stats.MustMixture([]stats.Dist{powers, body}, []float64{0.55, 0.45})
+}
+
+// shortRuntimes: a heavy mix of very short jobs (aborts, test runs) and
+// sub-hour production jobs. Bounded to (0, 1h] by the generator.
+func shortRuntimes() stats.Dist {
+	return stats.MustMixture(
+		[]stats.Dist{
+			stats.LogUniformDist{Lo: 1, Hi: 120}, // seconds-scale debris
+			stats.LognormalFromMoments(900, 0.9), // minutes-scale body
+		},
+		[]float64{0.35, 0.65},
+	)
+}
+
+// longRuntimes: lognormal body over (1h, maxRuntime] with mass piling near
+// common wall limits via truncation.
+func longRuntimes(maxRuntime int64) stats.Dist {
+	return stats.Truncated{
+		Inner: stats.LognormalFromMoments(4*3600, 1.2),
+		Lo:    3601,
+		Hi:    float64(maxRuntime),
+	}
+}
+
+// newSP2Model assembles a model for an SP2-class machine.
+func newSP2Model(name string, procs int, mix job.Mix, maxRuntime int64) *Model {
+	m := &Model{
+		Name:       name,
+		Procs:      procs,
+		Thresholds: job.PaperThresholds(),
+		Mix:        mix,
+		MaxRuntime: maxRuntime,
+		Users:      200,
+		// Placeholder; callers calibrate to a target load.
+		Interarrival: stats.Exponential{M: 600},
+	}
+	for _, c := range job.Categories() {
+		if c.Short() {
+			m.Runtime[c] = shortRuntimes()
+		} else {
+			m.Runtime[c] = longRuntimes(maxRuntime)
+		}
+		if c.Narrow() {
+			m.Width[c] = narrowWidths()
+		} else {
+			m.Width[c] = wideWidths(procs)
+		}
+	}
+	return m
+}
+
+// NewCTC returns the synthetic stand-in for the 430-node Cornell Theory
+// Center SP2 trace, calibrated to the Table 2 category mix and the given
+// offered load.
+func NewCTC(load float64) (*Model, error) {
+	m := newSP2Model("CTC", CTCProcs, CTCMix, 18*3600)
+	if err := m.CalibrateLoad(load, 20000); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewSDSC returns the synthetic stand-in for the 128-node SDSC SP2 trace,
+// calibrated to the Table 3 category mix and the given offered load.
+func NewSDSC(load float64) (*Model, error) {
+	m := newSP2Model("SDSC", SDSCProcs, SDSCMix, 18*3600)
+	if err := m.CalibrateLoad(load, 20000); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ByName returns a calibrated model by trace name ("CTC" or "SDSC").
+func ByName(name string, load float64) (*Model, error) {
+	switch name {
+	case "CTC", "ctc":
+		return NewCTC(load)
+	case "SDSC", "sdsc":
+		return NewSDSC(load)
+	default:
+		return nil, errUnknownModel(name)
+	}
+}
+
+type errUnknownModel string
+
+func (e errUnknownModel) Error() string {
+	return "workload: unknown trace model \"" + string(e) + "\" (want CTC or SDSC)"
+}

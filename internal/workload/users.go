@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+// SessionModel generates workloads through a population of simulated users
+// instead of a memoryless renewal process. Each user alternates between
+// idle periods and working sessions; within a session, submissions follow
+// think times and are frequently *repetitions* of the user's previous job
+// (parameter sweeps, restarted crashes). Session structure produces the
+// burstiness and temporal locality real logs show and renewal processes
+// miss (Zilber/Talby-style user modeling), which stresses backfilling very
+// differently: bursts of near-identical jobs arrive together.
+type SessionModel struct {
+	// Base supplies the machine, category mix and per-category runtime and
+	// width distributions.
+	Base *Model
+	// Users is the active population size (>= 1).
+	Users int
+	// ThinkMean is the mean think time between a session's submissions,
+	// seconds (> 0).
+	ThinkMean float64
+	// IdleMean is the mean gap between a user's sessions, seconds (> 0).
+	IdleMean float64
+	// JobsPerSession is the mean session length in jobs (>= 1); session
+	// lengths are geometric.
+	JobsPerSession float64
+	// RepeatP is the probability a submission repeats the user's previous
+	// job shape with jittered runtime, in [0, 1].
+	RepeatP float64
+}
+
+// Validate reports the first problem with the configuration.
+func (s *SessionModel) Validate() error {
+	if s.Base == nil {
+		return fmt.Errorf("workload: SessionModel without base model")
+	}
+	if err := s.Base.Validate(); err != nil {
+		return err
+	}
+	if s.Users < 1 {
+		return fmt.Errorf("workload: SessionModel with %d users", s.Users)
+	}
+	if s.ThinkMean <= 0 || s.IdleMean <= 0 {
+		return fmt.Errorf("workload: SessionModel think/idle means must be positive (%v, %v)", s.ThinkMean, s.IdleMean)
+	}
+	if s.JobsPerSession < 1 {
+		return fmt.Errorf("workload: SessionModel JobsPerSession %v < 1", s.JobsPerSession)
+	}
+	if s.RepeatP < 0 || s.RepeatP > 1 {
+		return fmt.Errorf("workload: SessionModel RepeatP %v out of [0,1]", s.RepeatP)
+	}
+	return nil
+}
+
+// userState tracks one simulated user's submission process.
+type userState struct {
+	id      int
+	next    int64 // next submission time
+	last    *job.Job
+	inBurst bool
+}
+
+// Generate produces n jobs, deterministically for a given seed, merged from
+// all users' submission streams in arrival order.
+func (s *SessionModel) Generate(n int, seed int64) ([]*job.Job, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: Generate(%d)", n)
+	}
+	root := stats.NewRNG(seed)
+	timingRNG := root.Fork()
+	shapeRNG := root.Fork()
+	catRNG := root.Fork()
+
+	catDist := stats.MustDiscrete(
+		[]float64{float64(job.ShortNarrow), float64(job.ShortWide), float64(job.LongNarrow), float64(job.LongWide)},
+		[]float64{s.Base.Mix[job.ShortNarrow], s.Base.Mix[job.ShortWide], s.Base.Mix[job.LongNarrow], s.Base.Mix[job.LongWide]},
+	)
+
+	users := make([]*userState, s.Users)
+	for i := range users {
+		users[i] = &userState{
+			id: i + 1,
+			// Stagger initial sessions across one idle period.
+			next: int64(timingRNG.Float64() * s.IdleMean),
+		}
+	}
+
+	continueP := 1 - 1/s.JobsPerSession // geometric continuation probability
+
+	jobs := make([]*job.Job, 0, n)
+	for len(jobs) < n {
+		// Next submitting user (linear scan: populations are small).
+		u := users[0]
+		for _, cand := range users[1:] {
+			if cand.next < u.next || (cand.next == u.next && cand.id < u.id) {
+				u = cand
+			}
+		}
+
+		j := s.drawJob(u, catDist, catRNG, shapeRNG)
+		j.ID = len(jobs) + 1
+		j.Arrival = u.next
+		j.User = u.id
+		jobs = append(jobs, j)
+		u.last = j
+
+		// Schedule the user's next submission.
+		if timingRNG.Bool(continueP) {
+			u.inBurst = true
+			u.next += int64(math.Ceil(stats.Exponential{M: s.ThinkMean}.Sample(timingRNG))) + 1
+		} else {
+			u.inBurst = false
+			u.next += int64(math.Ceil(stats.Exponential{M: s.IdleMean}.Sample(timingRNG))) + 1
+		}
+	}
+
+	sort.SliceStable(jobs, func(i, k int) bool {
+		if jobs[i].Arrival != jobs[k].Arrival {
+			return jobs[i].Arrival < jobs[k].Arrival
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	for i, j := range jobs {
+		j.ID = i + 1
+	}
+	return jobs, nil
+}
+
+// drawJob produces the next job for a user: either a jittered repeat of the
+// user's previous job or a fresh draw from the base model.
+func (s *SessionModel) drawJob(u *userState, catDist *stats.Discrete, catRNG, shapeRNG *stats.RNG) *job.Job {
+	if u.last != nil && u.inBurst && shapeRNG.Bool(s.RepeatP) {
+		rt := int64(float64(u.last.Runtime) * shapeRNG.Range(0.8, 1.25))
+		if rt < 1 {
+			rt = 1
+		}
+		if rt > s.Base.MaxRuntime {
+			rt = s.Base.MaxRuntime
+		}
+		return &job.Job{Runtime: rt, Estimate: rt, Width: u.last.Width}
+	}
+	c := job.Category(int(catDist.Sample(catRNG)))
+	rlo, rhi := s.Base.runtimeRange(c)
+	rt := sampleDuration(s.Base.Runtime[c], shapeRNG, rlo, rhi)
+	wlo, whi := s.Base.widthRange(c)
+	w := sampleWidth(s.Base.Width[c], shapeRNG, wlo, whi)
+	return &job.Job{Runtime: rt, Estimate: rt, Width: w}
+}
+
+// NewSessionCTC returns a session-based CTC-like model with typical user
+// parameters, roughly calibrated to the target offered load by sizing the
+// user population.
+func NewSessionCTC(load float64) (*SessionModel, error) {
+	base, err := NewCTC(load)
+	if err != nil {
+		return nil, err
+	}
+	s := &SessionModel{
+		Base:           base,
+		ThinkMean:      600,      // 10 min between a session's submissions
+		IdleMean:       6 * 3600, // 6 h between sessions
+		JobsPerSession: 6,
+		RepeatP:        0.6,
+	}
+	if err := s.CalibrateUsers(load); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// CalibrateUsers sizes the user population so the generated offered load
+// approximates the target: mean work per job divided by the per-user
+// submission rate.
+func (s *SessionModel) CalibrateUsers(load float64) error {
+	if load <= 0 || load > 1.5 {
+		return fmt.Errorf("workload: CalibrateUsers(%v) out of (0, 1.5]", load)
+	}
+	if s.Base == nil {
+		return fmt.Errorf("workload: CalibrateUsers without base model")
+	}
+	mw, err := s.Base.MeanWork(20000)
+	if err != nil {
+		return err
+	}
+	// A user submits JobsPerSession jobs per (session + idle) cycle; the
+	// session lasts (JobsPerSession-1)·ThinkMean.
+	cycle := (s.JobsPerSession-1)*s.ThinkMean + s.IdleMean
+	ratePerUser := s.JobsPerSession / cycle     // jobs per second per user
+	target := load * float64(s.Base.Procs) / mw // total jobs per second needed
+	users := int(math.Round(target / ratePerUser))
+	if users < 1 {
+		users = 1
+	}
+	s.Users = users
+	return nil
+}

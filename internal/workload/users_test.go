@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func testSessionModel(t *testing.T) *SessionModel {
+	t.Helper()
+	s := &SessionModel{
+		Base:           testModel(),
+		Users:          40,
+		ThinkMean:      300,
+		IdleMean:       4 * 3600,
+		JobsPerSession: 5,
+		RepeatP:        0.5,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionModelValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*SessionModel)
+	}{
+		{"nil base", func(s *SessionModel) { s.Base = nil }},
+		{"invalid base", func(s *SessionModel) { s.Base.Procs = 0 }},
+		{"no users", func(s *SessionModel) { s.Users = 0 }},
+		{"zero think", func(s *SessionModel) { s.ThinkMean = 0 }},
+		{"zero idle", func(s *SessionModel) { s.IdleMean = 0 }},
+		{"short sessions", func(s *SessionModel) { s.JobsPerSession = 0.5 }},
+		{"bad repeat", func(s *SessionModel) { s.RepeatP = 1.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testSessionModel(t)
+			tc.mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+}
+
+func TestSessionGenerateBasics(t *testing.T) {
+	s := testSessionModel(t)
+	jobs, err := s.Generate(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1000 {
+		t.Fatalf("generated %d", len(jobs))
+	}
+	prev := int64(-1)
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", i, err)
+		}
+		if j.Arrival < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = j.Arrival
+		if j.ID != i+1 {
+			t.Fatalf("IDs not sequential at %d", i)
+		}
+		if j.User < 1 || j.User > s.Users {
+			t.Fatalf("user out of range: %v", j)
+		}
+		if j.Width > s.Base.Procs {
+			t.Fatalf("too wide: %v", j)
+		}
+	}
+}
+
+func TestSessionGenerateDeterministic(t *testing.T) {
+	s := testSessionModel(t)
+	a, err := s.Generate(400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Generate(400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("job %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestSessionBurstiness(t *testing.T) {
+	// Session arrivals must be burstier than a renewal process: the
+	// squared coefficient of variation of inter-arrival gaps should
+	// clearly exceed 1 (exponential gives ~1).
+	s := testSessionModel(t)
+	jobs, err := s.Generate(4000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gaps []float64
+	for i := 1; i < len(jobs); i++ {
+		gaps = append(gaps, float64(jobs[i].Arrival-jobs[i-1].Arrival))
+	}
+	mean, varsum := 0.0, 0.0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	cv2 := varsum / float64(len(gaps)) / (mean * mean)
+	if cv2 < 1.2 {
+		t.Fatalf("interarrival CV² = %.2f; session arrivals should be bursty (> 1.2)", cv2)
+	}
+}
+
+func TestSessionRepetition(t *testing.T) {
+	// Consecutive same-user jobs should frequently share their width
+	// (repeated submissions), far above what independent draws produce.
+	s := testSessionModel(t)
+	jobs, err := s.Generate(3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastWidth := map[int]int{}
+	same, pairs := 0, 0
+	for _, j := range jobs {
+		if w, ok := lastWidth[j.User]; ok {
+			pairs++
+			if w == j.Width {
+				same++
+			}
+		}
+		lastWidth[j.User] = j.Width
+	}
+	frac := float64(same) / float64(pairs)
+	if frac < 0.35 {
+		t.Fatalf("same-user consecutive width match rate %.2f; repetition not happening", frac)
+	}
+}
+
+func TestNewSessionCTCCalibration(t *testing.T) {
+	s, err := NewSessionCTC(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Users < 10 {
+		t.Fatalf("calibrated users = %d, implausibly low", s.Users)
+	}
+	jobs, err := s.Generate(4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := trace.OfferedLoad(jobs, s.Base.Procs)
+	if math.Abs(load-0.7) > 0.25 {
+		t.Fatalf("calibrated offered load %.2f, want ~0.7 (session models are rougher than renewal ones)", load)
+	}
+}
+
+func TestCalibrateUsersErrors(t *testing.T) {
+	s := testSessionModel(t)
+	if err := s.CalibrateUsers(0); err == nil {
+		t.Error("zero load should error")
+	}
+	s.Base = nil
+	if err := s.CalibrateUsers(0.5); err == nil {
+		t.Error("nil base should error")
+	}
+}
+
+func TestSessionGenerateErrors(t *testing.T) {
+	s := testSessionModel(t)
+	if _, err := s.Generate(-1, 0); err == nil {
+		t.Error("negative n should error")
+	}
+	s.Users = 0
+	if _, err := s.Generate(10, 0); err == nil {
+		t.Error("invalid model should error")
+	}
+}
