@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-verbose vet bench experiments results examples cover clean
+.PHONY: all build test test-verbose race vet bench experiments results examples cover clean
 
 all: build vet test
 
@@ -14,6 +14,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the whole tree; internal/runner introduced the
+# repo's first real concurrency, so run this before merging scheduler or
+# runner changes.
+race:
+	$(GO) test -race ./...
 
 # Full test log, as recorded in test_output.txt.
 test-verbose:

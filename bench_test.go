@@ -12,15 +12,19 @@
 package repro
 
 import (
+	"context"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/job"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -311,5 +315,78 @@ func BenchmarkEstimateModels(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Parallel execution engine ---------------------------------------------
+
+// benchSweepDesign is a 24-cell factorial (2 schedulers × 3 policies × 2
+// estimate models × 2 loads) over one SDSC-model workload: the serial vs
+// parallel pair below measures the runner's worker-pool speedup.
+func benchSweepDesign(b *testing.B) sweep.Design {
+	b.Helper()
+	m, err := workload.NewSDSC(0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := m.Generate(500, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sweep.Design{
+		Workloads:  []sweep.Workload{{Name: "SDSC", Jobs: jobs, Procs: m.Procs}},
+		Schedulers: []string{"conservative", "easy"},
+		Policies:   []string{"FCFS", "SJF", "XF"},
+		Estimates:  []string{"exact", "R=2"},
+		Loads:      []float64{0.7, 0.9},
+		Seed:       42,
+	}
+}
+
+func benchSweep(b *testing.B, workers int) {
+	d := benchSweepDesign(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := sweep.RunWith(context.Background(), d, sweep.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != 24 {
+			b.Fatalf("records = %d, want 24", len(recs))
+		}
+	}
+}
+
+func BenchmarkSweep24CellsSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweep24CellsParallel(b *testing.B) { benchSweep(b, runtime.NumCPU()) }
+
+// BenchmarkSweep24CellsCached measures a fully warm cache: every cell is a
+// content-addressed hit, so this is the floor a repeated study pays.
+func BenchmarkSweep24CellsCached(b *testing.B) {
+	d := benchSweepDesign(b)
+	cache, err := runner.OpenCache(b.TempDir(), sweep.CacheSalt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := sweep.Options{Workers: runtime.NumCPU(), Cache: cache}
+	if _, err := sweep.RunWith(context.Background(), d, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := runner.NewJournal(nil)
+		opt.Journal = j
+		recs, err := sweep.RunWith(context.Background(), d, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != 24 {
+			b.Fatalf("records = %d, want 24", len(recs))
+		}
+		if s := j.Summary(); s.CacheHits != 24 {
+			b.Fatalf("cache hits = %d, want 24", s.CacheHits)
+		}
 	}
 }

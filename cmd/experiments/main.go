@@ -6,19 +6,27 @@
 //	experiments -run all
 //	experiments -run Figure1,Table4 -jobs 10000 -seed 7
 //	experiments -run Figure2 -format csv
+//	experiments -run all -j 8 -cache-dir .expcache -journal run.jsonl
 //
 // Each experiment prints one or more tables; EXPERIMENTS.md records the
-// expected shapes and how they compare with the paper.
+// expected shapes and how they compare with the paper. Experiments fan out
+// across -j workers (1 = legacy serial path) and share one memoized Lab;
+// with -cache-dir, finished tables are content-addressed on disk so a
+// repeated run with identical parameters is near-instant.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/runner"
 	"repro/internal/viz"
 )
 
@@ -34,6 +42,10 @@ func main() {
 		outDir     = flag.String("out", "", "also write one file per experiment into this directory")
 		report     = flag.String("report", "", "also write every table into one combined markdown report file")
 		figures    = flag.String("figures", "", "also render chartable tables as SVG bar charts into this directory")
+		workers    = flag.Int("j", runtime.NumCPU(), "parallel workers (1 = legacy serial path)")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed table cache directory (empty: no cache)")
+		journal    = flag.String("journal", "", "append a JSONL run journal to this file")
+		quiet      = flag.Bool("q", false, "suppress the run summary on stderr")
 	)
 	flag.Parse()
 
@@ -63,24 +75,52 @@ func main() {
 		fatal(err)
 	}
 
-	var tables []*exp.Table
+	var exps []exp.Experiment
 	if *runList == "all" {
-		tables, err = exp.RunAll(lab)
-		if err != nil {
-			fatal(err)
-		}
+		exps = exp.All()
 	} else {
 		for _, id := range strings.Split(*runList, ",") {
 			e, err := exp.ByID(strings.TrimSpace(id))
 			if err != nil {
 				fatal(err)
 			}
-			ts, err := e.Run(lab)
-			if err != nil {
-				fatal(fmt.Errorf("%s: %w", e.ID, err))
-			}
-			tables = append(tables, ts...)
+			exps = append(exps, e)
 		}
+	}
+
+	opt := runner.Options{Workers: *workers}
+	if *cacheDir != "" {
+		cache, err := runner.OpenCache(*cacheDir, exp.CacheSalt)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Cache = cache
+	}
+	var journalW io.Writer
+	if *journal != "" {
+		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		journalW = f
+	}
+	// A journal always exists — it carries the run summary — but only
+	// persists when -journal names a file.
+	j := runner.NewJournal(journalW)
+	opt.Journal = j
+	lab.SetJournal(j)
+
+	tables, err := exp.RunExperiments(context.Background(), lab, exps, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "experiments:", j.Summary())
 	}
 
 	for _, t := range tables {

@@ -3,17 +3,26 @@
 //
 //	sweep -models CTC,SDSC -jobs 3000 -loads 0.7,0.85,0.95 \
 //	      -scheds conservative,easy -policies FCFS,SJF,XF -ests exact,actual \
-//	      -o study.csv
+//	      -j 8 -cache-dir .sweepcache -journal run.jsonl -o study.csv
+//
+// Cells fan out across -j workers (default: one per CPU; -j 1 forces the
+// legacy serial path); record order is byte-identical either way. With
+// -cache-dir, finished cells are content-addressed on disk so a repeated
+// sweep is near-instant; with -journal, every cell start/finish and the
+// end-of-run summary are appended as JSON Lines.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"repro/internal/runner"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -29,7 +38,10 @@ func main() {
 		policies = flag.String("policies", "FCFS,SJF,XF", "comma-separated priority policies")
 		ests     = flag.String("ests", "exact", "comma-separated estimate models")
 		out      = flag.String("o", "", "output CSV file (default stdout)")
-		quiet    = flag.Bool("q", false, "suppress per-cell progress on stderr")
+		quiet    = flag.Bool("q", false, "suppress per-cell progress and the run summary on stderr")
+		workers  = flag.Int("j", runtime.NumCPU(), "parallel workers (1 = legacy serial path)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty: no cache)")
+		journal  = flag.String("journal", "", "append a JSONL run journal to this file")
 	)
 	flag.Parse()
 
@@ -62,13 +74,41 @@ func main() {
 		}
 	}
 
-	var progress io.Writer
+	opt := sweep.Options{Workers: *workers}
 	if !*quiet {
-		progress = os.Stderr
+		opt.Progress = os.Stderr
+		opt.ShowETA = true
 	}
-	recs, err := sweep.Run(design, progress)
+	if *cacheDir != "" {
+		cache, err := runner.OpenCache(*cacheDir, sweep.CacheSalt)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Cache = cache
+	}
+	var journalW io.Writer
+	if *journal != "" {
+		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		journalW = f
+	}
+	// Always keep a journal, even writer-less: it carries the run summary.
+	j := runner.NewJournal(journalW)
+	opt.Journal = j
+
+	recs, err := sweep.RunWith(context.Background(), design, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "sweep:", j.Summary())
 	}
 
 	var w io.Writer = os.Stdout

@@ -1,10 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/job"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -427,26 +428,60 @@ func runLoadSweep(l *Lab) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-// RunAll executes every experiment and returns the tables in order.
+// CacheSalt versions the experiment table cache: bump it whenever Table's
+// layout or any experiment's semantics change.
+const CacheSalt = "exp-tables-v1"
+
+// RunAll executes every experiment serially and returns the tables in
+// registry order. It is the legacy entry point, equivalent to
+// RunExperiments over All() with one worker and no cache.
 func RunAll(l *Lab) ([]*Table, error) {
-	var tables []*Table
-	for _, e := range All() {
-		ts, err := e.Run(l)
-		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", e.ID, err)
+	return RunExperiments(context.Background(), l, All(), runner.Options{Workers: 1})
+}
+
+// RunExperiments executes experiments through the runner engine, returning
+// their tables flattened in the given order regardless of completion
+// order. Experiments running in parallel share the Lab's memoized
+// simulations (duplicate configurations are simulated once), and with a
+// cache in opt the finished tables themselves are content-addressed on the
+// experiment ID and the Lab's parameters, so repeated runs are
+// near-instant.
+func RunExperiments(ctx context.Context, l *Lab, exps []Experiment, opt runner.Options) ([]*Table, error) {
+	tasks := make([]runner.Task[[]*Table], len(exps))
+	for i, e := range exps {
+		e := e
+		tasks[i] = runner.Task[[]*Table]{
+			Key:       cacheKey(l.P, e.ID),
+			Cacheable: true,
+			Fn: func(ctx context.Context) ([]*Table, error) {
+				ts, err := e.Run(l)
+				if err != nil {
+					return nil, fmt.Errorf("exp: %s: %w", e.ID, err)
+				}
+				return ts, nil
+			},
 		}
+	}
+	groups, err := runner.Run(ctx, tasks, opt)
+	if err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	for _, ts := range groups {
 		tables = append(tables, ts...)
 	}
 	return tables, nil
 }
 
+// cacheKey is the canonical spec of one experiment's output: the artifact
+// ID plus every Lab parameter that shapes it.
+func cacheKey(p Params, id string) string {
+	return fmt.Sprintf("exp|id=%s|jobs=%d|seed=%d|normal=%g|high=%g",
+		id, p.Jobs, p.Seed, p.NormalLoad, p.HighLoad)
+}
+
 // SortedResultKeys is a test helper exposing which results a lab has
 // cached, sorted.
 func (l *Lab) SortedResultKeys() []string {
-	keys := make([]string, 0, len(l.results))
-	for k := range l.results {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
+	return l.results.keys()
 }

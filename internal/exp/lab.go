@@ -2,9 +2,13 @@ package exp
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/job"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -43,14 +47,68 @@ func (p Params) validate() error {
 	return nil
 }
 
+// group is a minimal memoizing singleflight: concurrent callers of Do with
+// the same key share one execution and — forever after — its result. It is
+// the concurrency-safe version of the lazy maps the Lab used when
+// experiments ran strictly serially.
+type group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+}
+
+type call[V any] struct {
+	ready chan struct{}
+	v     V
+	err   error
+}
+
+// Do runs fn once per key; other callers block until the first finishes.
+// fn runs outside the group lock, so calls for different keys (including
+// nested Do calls from within fn) proceed concurrently.
+func (g *group[V]) Do(key string, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.ready
+		return c.v, c.err
+	}
+	c := &call[V]{ready: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+	c.v, c.err = fn()
+	close(c.ready)
+	return c.v, c.err
+}
+
+// keys returns the keys of completed or in-flight calls, sorted.
+func (g *group[V]) keys() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.calls))
+	for k := range g.calls {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Lab memoizes workloads and simulation results so experiments that share
 // configurations (Figure 1 and Table 4, for instance) pay for each
-// simulation once.
+// simulation once. A Lab is safe for concurrent use: experiments running
+// in parallel (see RunExperiments) that request the same configuration
+// share a single simulation instead of duplicating it.
 type Lab struct {
-	P         Params
-	workloads map[string][]*job.Job
-	results   map[string]*core.Result
-	machines  map[string]int
+	P Params
+
+	workloads group[[]*job.Job]
+	results   group[*core.Result]
+	machines  group[int]
+
+	mu      sync.Mutex
+	journal *runner.Journal
 }
 
 // NewLab builds a Lab, validating the parameters.
@@ -58,12 +116,21 @@ func NewLab(p Params) (*Lab, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	return &Lab{
-		P:         p,
-		workloads: make(map[string][]*job.Job),
-		results:   make(map[string]*core.Result),
-		machines:  make(map[string]int),
-	}, nil
+	return &Lab{P: p}, nil
+}
+
+// SetJournal wires a run journal: every simulation the Lab performs emits
+// one "sim" event with its configuration key and duration.
+func (l *Lab) SetJournal(j *runner.Journal) {
+	l.mu.Lock()
+	l.journal = j
+	l.mu.Unlock()
+}
+
+func (l *Lab) getJournal() *runner.Journal {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.journal
 }
 
 // Load names the two load conditions.
@@ -77,15 +144,13 @@ const (
 
 // Procs returns the machine size for a trace name.
 func (l *Lab) Procs(traceName string) (int, error) {
-	if n, ok := l.machines[traceName]; ok {
-		return n, nil
-	}
-	m, err := workload.ByName(traceName, 0.5)
-	if err != nil {
-		return 0, err
-	}
-	l.machines[traceName] = m.Procs
-	return m.Procs, nil
+	return l.machines.Do(traceName, func() (int, error) {
+		m, err := workload.ByName(traceName, 0.5)
+		if err != nil {
+			return 0, err
+		}
+		return m.Procs, nil
+	})
 }
 
 // Workload returns the jobs for (trace, load, estimate model), generating
@@ -93,63 +158,62 @@ func (l *Lab) Procs(traceName string) (int, error) {
 // high-load variant shrinks inter-arrival gaps, exactly as the paper does.
 func (l *Lab) Workload(traceName string, load Load, estModel string) ([]*job.Job, error) {
 	key := traceName + "|" + string(load) + "|" + estModel
-	if jobs, ok := l.workloads[key]; ok {
-		return jobs, nil
-	}
-
-	baseKey := traceName + "|" + string(load) + "|base"
-	base, ok := l.workloads[baseKey]
-	if !ok {
-		model, err := workload.ByName(traceName, l.P.NormalLoad)
-		if err != nil {
-			return nil, err
-		}
-		jobs, err := model.Generate(l.P.Jobs, l.P.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if load == HighLoad {
-			jobs, err = trace.ScaleLoad(jobs, l.P.NormalLoad/l.P.HighLoad)
+	return l.workloads.Do(key, func() ([]*job.Job, error) {
+		baseKey := traceName + "|" + string(load) + "|base"
+		base, err := l.workloads.Do(baseKey, func() ([]*job.Job, error) {
+			model, err := workload.ByName(traceName, l.P.NormalLoad)
 			if err != nil {
 				return nil, err
 			}
+			jobs, err := model.Generate(l.P.Jobs, l.P.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if load == HighLoad {
+				jobs, err = trace.ScaleLoad(jobs, l.P.NormalLoad/l.P.HighLoad)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return jobs, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		l.workloads[baseKey] = jobs
-		base = jobs
-	}
-
-	em, err := workload.EstimateModelByName(estModel)
-	if err != nil {
-		return nil, err
-	}
-	jobs := workload.ApplyEstimates(base, em, l.P.Seed+1)
-	l.workloads[key] = jobs
-	return jobs, nil
+		em, err := workload.EstimateModelByName(estModel)
+		if err != nil {
+			return nil, err
+		}
+		return workload.ApplyEstimates(base, em, l.P.Seed+1), nil
+	})
 }
 
 // Result runs (or returns the cached run of) one configuration.
 func (l *Lab) Result(traceName string, load Load, estModel, scheduler, policy string) (*core.Result, error) {
 	key := traceName + "|" + string(load) + "|" + estModel + "|" + scheduler + "|" + policy
-	if r, ok := l.results[key]; ok {
-		return r, nil
-	}
-	jobs, err := l.Workload(traceName, load, estModel)
-	if err != nil {
-		return nil, err
-	}
-	procs, err := l.Procs(traceName)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.Run(core.Config{
-		Procs:     procs,
-		Scheduler: scheduler,
-		Policy:    policy,
-		Audit:     true,
-	}, jobs)
-	if err != nil {
-		return nil, fmt.Errorf("exp: %s: %w", key, err)
-	}
-	l.results[key] = res
-	return res, nil
+	return l.results.Do(key, func() (*core.Result, error) {
+		jobs, err := l.Workload(traceName, load, estModel)
+		if err != nil {
+			return nil, err
+		}
+		procs, err := l.Procs(traceName)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := core.Run(core.Config{
+			Procs:     procs,
+			Scheduler: scheduler,
+			Policy:    policy,
+			Audit:     true,
+		}, jobs)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", key, err)
+		}
+		if j := l.getJournal(); j != nil {
+			j.Event(runner.Event{Type: "sim", Task: "lab|" + key,
+				DurMS: float64(time.Since(start)) / float64(time.Millisecond)})
+		}
+		return res, nil
+	})
 }

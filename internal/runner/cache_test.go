@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name string
+	Vals []float64
+}
+
+func TestCachePutGet(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := payload{Name: "cell", Vals: []float64{1.5, 2.25}}
+	if err := c.Put("spec|a=1", in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if !c.Get("spec|a=1", &out) {
+		t.Fatal("want hit")
+	}
+	if out.Name != in.Name || len(out.Vals) != 2 || out.Vals[1] != 2.25 {
+		t.Fatalf("round trip mangled: %+v", out)
+	}
+}
+
+func TestCacheMissOnAbsentAndChangedKey(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if c.Get("never-stored", &out) {
+		t.Error("absent key hit")
+	}
+	if err := c.Put("spec|a=1", payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// Any field change in the canonical spec must change the address.
+	if c.Get("spec|a=2", &out) {
+		t.Error("changed spec hit the old entry")
+	}
+}
+
+func TestCacheSaltSeparatesVersions(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir, "code-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir, "code-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put("k", payload{Name: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if c2.Get("k", &out) {
+		t.Error("new code version read old code version's entry")
+	}
+}
+
+func TestCacheCorruptionIsAMiss(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", payload{Name: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	path := c.Path("k")
+
+	// Truncated entry: a crash mid-write (outside the atomic path) or disk
+	// trouble must read as a miss, not an error.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if c.Get("k", &out) {
+		t.Error("truncated entry hit")
+	}
+
+	// Garbage entry.
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get("k", &out) {
+		t.Error("garbage entry hit")
+	}
+
+	// A fresh Put repairs it.
+	if err := c.Put("k", payload{Name: "repaired"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get("k", &out) || out.Name != "repaired" {
+		t.Fatalf("repair failed: %+v", out)
+	}
+}
+
+func TestCacheNoTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Put("k", payload{Vals: []float64{float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
+}

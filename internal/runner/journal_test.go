@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestJournalIsValidJSONL(t *testing.T) {
+	var sb strings.Builder
+	j := NewJournal(&sb)
+	if _, err := Run(context.Background(), squares(4, false), Options{Workers: 2, Journal: j}); err != nil {
+		t.Fatal(err)
+	}
+
+	var types []string
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad journal line %q: %v", sc.Text(), err)
+		}
+		if e.Time == "" {
+			t.Errorf("event %+v missing timestamp", e)
+		}
+		types = append(types, e.Type)
+	}
+	// run_start + 4×(start+finish) + run_summary.
+	if len(types) != 10 {
+		t.Fatalf("journal lines = %d, want 10:\n%s", len(types), sb.String())
+	}
+	if types[0] != EventRunStart || types[len(types)-1] != EventRunSummary {
+		t.Errorf("journal must open with %s and close with %s: %v", EventRunStart, EventRunSummary, types)
+	}
+	count := map[string]int{}
+	for _, ty := range types {
+		count[ty]++
+	}
+	if count[EventTaskStart] != 4 || count[EventTaskFinish] != 4 {
+		t.Errorf("task events = %+v, want 4 starts and 4 finishes", count)
+	}
+}
+
+func TestJournalSummaryAccumulatesAcrossRuns(t *testing.T) {
+	j := NewJournal(nil)
+	for i := 0; i < 3; i++ {
+		if _, err := Run(context.Background(), squares(5, false), Options{Workers: 2, Journal: j}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := j.Summary()
+	if s.Tasks != 15 || s.Misses != 15 {
+		t.Fatalf("summary = %+v, want 15 tasks over 3 runs", s)
+	}
+}
+
+func TestJournalRecordsErrors(t *testing.T) {
+	var sb strings.Builder
+	j := NewJournal(&sb)
+	tasks := []Task[int]{{
+		Key: "doomed",
+		Fn:  func(ctx context.Context) (int, error) { return 0, fmt.Errorf("kaput") },
+	}}
+	if _, err := Run(context.Background(), tasks, Options{Workers: 1, Journal: j}); err == nil {
+		t.Fatal("want error")
+	}
+	if s := j.Summary(); s.Errors != 1 {
+		t.Errorf("summary errors = %d, want 1", s.Errors)
+	}
+	if !strings.Contains(sb.String(), `"err":"kaput"`) {
+		t.Errorf("journal missing error detail:\n%s", sb.String())
+	}
+}
+
+func TestNilJournalSafe(t *testing.T) {
+	var j *Journal
+	j.Event(Event{Type: EventTaskStart})
+	j.finishRun(RunSummary{})
+	if s := j.Summary(); s.Tasks != 0 {
+		t.Error("nil journal summary should be zero")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := RunSummary{Tasks: 24, CacheHits: 22, Misses: 2}
+	str := s.String()
+	for _, frag := range []string{"24 cells", "22 cache hits", "2 misses"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("summary string missing %q: %q", frag, str)
+		}
+	}
+}

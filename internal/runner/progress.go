@@ -1,0 +1,29 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Printer serializes progress lines from concurrently completing tasks
+// onto one writer, so interleaved output can never shear mid-line. All
+// methods are nil-receiver safe: a nil Printer (or one over a nil writer)
+// is a silent sink, which lets callers wire progress unconditionally.
+type Printer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewPrinter wraps w (which may be nil) in a concurrency-safe printer.
+func NewPrinter(w io.Writer) *Printer { return &Printer{w: w} }
+
+// Printf writes one formatted progress line.
+func (p *Printer) Printf(format string, args ...any) {
+	if p == nil || p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, format, args...)
+}

@@ -1,0 +1,311 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// squares builds n tasks computing i*i, optionally staggered so completion
+// order scrambles relative to task order.
+func squares(n int, stagger bool) []Task[int] {
+	tasks := make([]Task[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = Task[int]{
+			Key: fmt.Sprintf("sq-%d", i),
+			Fn: func(ctx context.Context) (int, error) {
+				if stagger {
+					// Later tasks finish first.
+					time.Sleep(time.Duration(n-i) * time.Millisecond)
+				}
+				return i * i, nil
+			},
+		}
+	}
+	return tasks
+}
+
+func TestSerialOrder(t *testing.T) {
+	got, err := Run(context.Background(), squares(10, false), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Errorf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParallelPreservesOrder(t *testing.T) {
+	got, err := Run(context.Background(), squares(16, true), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Errorf("got[%d] = %d, want %d (order not preserved)", i, v, i*i)
+		}
+	}
+}
+
+func TestWorkerBound(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	tasks := make([]Task[int], 24)
+	for i := range tasks {
+		tasks[i] = Task[int]{
+			Key: fmt.Sprintf("t%d", i),
+			Fn: func(ctx context.Context) (int, error) {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				cur.Add(-1)
+				return 0, nil
+			},
+		}
+	}
+	if _, err := Run(context.Background(), tasks, Options{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, worker bound is %d", p, workers)
+	}
+}
+
+func TestFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	tasks := make([]Task[int], 32)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{
+			Key: fmt.Sprintf("t%d", i),
+			Fn: func(ctx context.Context) (int, error) {
+				ran.Add(1)
+				if i == 3 {
+					return 0, boom
+				}
+				// Honor cancellation so the pool can drain early.
+				select {
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				case <-time.After(5 * time.Millisecond):
+				}
+				return i, nil
+			},
+		}
+	}
+	_, err := Run(context.Background(), tasks, Options{Workers: 4})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	var te *TaskError
+	if !errors.As(err, &te) || te.Key != "t3" {
+		t.Fatalf("err = %#v, want TaskError for t3", err)
+	}
+	if n := ran.Load(); n == 32 {
+		t.Error("fail-fast ran every task")
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	tasks := make([]Task[int], 6)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{
+			Key: fmt.Sprintf("t%d", i),
+			Fn: func(ctx context.Context) (int, error) {
+				if i%2 == 1 {
+					return 0, fmt.Errorf("fail-%d", i)
+				}
+				return i, nil
+			},
+		}
+	}
+	got, err := Run(context.Background(), tasks, Options{Workers: 3, CollectErrors: true})
+	if err == nil {
+		t.Fatal("want joined errors")
+	}
+	for _, want := range []string{"fail-1", "fail-3", "fail-5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+	for i := 0; i < 6; i += 2 {
+		if got[i] != i {
+			t.Errorf("successful result %d lost: got %d", i, got[i])
+		}
+	}
+}
+
+func TestRetriesTransient(t *testing.T) {
+	transient := errors.New("transient glitch")
+	var attempts atomic.Int32
+	tasks := []Task[string]{{
+		Key: "flaky",
+		Fn: func(ctx context.Context) (string, error) {
+			if attempts.Add(1) < 3 {
+				return "", transient
+			}
+			return "ok", nil
+		},
+	}}
+	j := NewJournal(nil)
+	got, err := Run(context.Background(), tasks, Options{
+		Workers:   1,
+		Retries:   5,
+		Transient: func(err error) bool { return errors.Is(err, transient) },
+		Journal:   j,
+	})
+	if err != nil || got[0] != "ok" {
+		t.Fatalf("got %q, %v", got[0], err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Errorf("attempts = %d, want 3", n)
+	}
+	if s := j.Summary(); s.Retries != 2 {
+		t.Errorf("summary retries = %d, want 2", s.Retries)
+	}
+}
+
+func TestNoRetryWithoutClassifier(t *testing.T) {
+	var attempts atomic.Int32
+	tasks := []Task[int]{{
+		Key: "hard",
+		Fn: func(ctx context.Context) (int, error) {
+			attempts.Add(1)
+			return 0, errors.New("permanent")
+		},
+	}}
+	if _, err := Run(context.Background(), tasks, Options{Workers: 1, Retries: 5}); err == nil {
+		t.Fatal("want error")
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Errorf("attempts = %d, want 1 (no Transient classifier)", n)
+	}
+}
+
+func TestPerTaskTimeout(t *testing.T) {
+	tasks := []Task[int]{{
+		Key: "slow",
+		Fn: func(ctx context.Context) (int, error) {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return 1, nil
+			}
+		},
+	}}
+	start := time.Now()
+	_, err := Run(context.Background(), tasks, Options{Workers: 1, Timeout: 20 * time.Millisecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("timeout did not bound the task")
+	}
+}
+
+func TestParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := Run(ctx, squares(8, false), Options{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	_ = got
+}
+
+func TestCacheRoundTripThroughRun(t *testing.T) {
+	cache, err := OpenCache(t.TempDir(), "test-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computed atomic.Int32
+	mk := func() []Task[int] {
+		tasks := make([]Task[int], 5)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task[int]{
+				Key:       fmt.Sprintf("cell-%d", i),
+				Cacheable: true,
+				Fn: func(ctx context.Context) (int, error) {
+					computed.Add(1)
+					return 100 + i, nil
+				},
+			}
+		}
+		return tasks
+	}
+
+	j1 := NewJournal(nil)
+	cold, err := Run(context.Background(), mk(), Options{Workers: 2, Cache: cache, Journal: j1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := j1.Summary(); s.Misses != 5 || s.CacheHits != 0 {
+		t.Fatalf("cold summary = %+v", s)
+	}
+
+	j2 := NewJournal(nil)
+	warm, err := Run(context.Background(), mk(), Options{Workers: 2, Cache: cache, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := j2.Summary(); s.CacheHits != 5 || s.Misses != 0 {
+		t.Fatalf("warm summary = %+v", s)
+	}
+	if n := computed.Load(); n != 5 {
+		t.Errorf("computed %d times, want 5 (warm run must not recompute)", n)
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Errorf("warm[%d] = %d, want %d", i, warm[i], cold[i])
+		}
+	}
+}
+
+func TestProgressLines(t *testing.T) {
+	var sb strings.Builder
+	var mu sync.Mutex
+	p := NewPrinter(writerFunc(func(b []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(b)
+	}))
+	if _, err := Run(context.Background(), squares(6, true), Options{Workers: 3, Progress: p}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 6 {
+		t.Fatalf("progress lines = %d, want 6:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[5], "[6/6]") || !strings.Contains(lines[5], "eta") {
+		t.Errorf("last line missing completion count or eta: %q", lines[5])
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(b []byte) (int, error) { return f(b) }
+
+func TestNilPrinterSafe(t *testing.T) {
+	var p *Printer
+	p.Printf("into the void %d\n", 1)
+	NewPrinter(nil).Printf("also fine\n")
+}

@@ -6,13 +6,19 @@
 package sweep
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/job"
 	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -66,9 +72,107 @@ type Record struct {
 	ByCategory [job.NumCategories]float64
 }
 
-// Run executes every cell and returns records in deterministic axis order.
-// Progress, if non-nil, receives one line per completed cell.
+// CacheSalt versions the sweep's cache entries: bump it whenever Record's
+// layout or the simulation semantics change, so stale caches invalidate
+// wholesale.
+const CacheSalt = "sweep-records-v1"
+
+// Options tune how a sweep executes. The zero value is the legacy serial
+// path with no cache, journal or progress.
+type Options struct {
+	// Workers bounds the pool; <= 0 means one worker per CPU, 1 forces the
+	// legacy serial path (cells run inline, in axis order).
+	Workers int
+	// Cache, when non-nil, short-circuits cells whose canonical spec was
+	// computed before (by any process sharing the directory).
+	Cache *runner.Cache
+	// Journal, when non-nil, receives one JSONL event per cell plus a run
+	// summary.
+	Journal *runner.Journal
+	// Progress, when non-nil, receives one line per simulated cell (the
+	// legacy per-cell format).
+	Progress io.Writer
+	// ShowETA additionally prints the engine's "[done/total] ... eta"
+	// lines to Progress.
+	ShowETA bool
+}
+
+// Run executes every cell serially and returns records in deterministic
+// axis order. Progress, if non-nil, receives one line per completed cell.
+// It is the legacy entry point, equivalent to RunWith with Workers == 1.
 func Run(d Design, progress io.Writer) ([]Record, error) {
+	return RunWith(context.Background(), d, Options{Workers: 1, Progress: progress})
+}
+
+// cell is one point of the factorial space, with a lazily prepared job set
+// shared by every cell of the same (workload, load, estimate) group.
+type cell struct {
+	key      string
+	workload string
+	effLoad  float64
+	est      string
+	sched    string
+	pol      string
+	procs    int
+	prep     func() ([]*job.Job, error)
+}
+
+// RunWith executes every cell of the design through the runner engine and
+// returns records in the same deterministic axis order as Run: parallel
+// and serial sweeps of the same design are byte-identical. Axis values are
+// validated eagerly, so a bad scheduler, policy or estimate model errors
+// before any simulation (or cache lookup) happens.
+func RunWith(ctx context.Context, d Design, opt Options) ([]Record, error) {
+	cells, err := enumerate(d)
+	if err != nil {
+		return nil, err
+	}
+
+	printer := runner.NewPrinter(opt.Progress)
+	var engineProgress *runner.Printer
+	if opt.ShowETA {
+		engineProgress = printer
+	}
+
+	tasks := make([]runner.Task[Record], len(cells))
+	for i, c := range cells {
+		c := c
+		tasks[i] = runner.Task[Record]{
+			Key:       c.key,
+			Cacheable: true,
+			Fn: func(ctx context.Context) (Record, error) {
+				jobs, err := c.prep()
+				if err != nil {
+					return Record{}, err
+				}
+				res, err := core.Run(core.Config{
+					Procs: c.procs, Scheduler: c.sched, Policy: c.pol, Audit: true,
+				}, jobs)
+				if err != nil {
+					return Record{}, fmt.Errorf("sweep: %s/%s/%s/%s: %w", c.workload, c.sched, c.pol, c.est, err)
+				}
+				rec := toRecord(c.workload, c.effLoad, c.est, res)
+				printer.Printf("%s load=%.2f %s est=%s: slowdown %.2f\n",
+					c.workload, c.effLoad, res.Report.Scheduler, c.est, rec.Slowdown)
+				return rec, nil
+			},
+		}
+	}
+
+	return runner.Run(ctx, tasks, runner.Options{
+		Workers:  opt.Workers,
+		Cache:    opt.Cache,
+		Journal:  opt.Journal,
+		Progress: engineProgress,
+	})
+}
+
+// enumerate validates the design and expands it into cells in axis order.
+// Job-set preparation (load scaling, estimate application) is deferred
+// behind sync.OnceValues shared per (workload, load, estimate) group, so a
+// fully cached sweep never rebuilds job sets and a parallel sweep prepares
+// each group exactly once.
+func enumerate(d Design) ([]cell, error) {
 	if len(d.Workloads) == 0 || len(d.Schedulers) == 0 || len(d.Policies) == 0 {
 		return nil, fmt.Errorf("sweep: design needs at least one workload, scheduler and policy")
 	}
@@ -81,52 +185,116 @@ func Run(d Design, progress io.Writer) ([]Record, error) {
 		loads = []float64{0} // sentinel: as generated
 	}
 
-	var out []Record
+	// Eager axis validation, so errors don't depend on cache state.
+	models := make(map[string]workload.EstimateModel, len(estimates))
+	for _, est := range estimates {
+		em, err := workload.EstimateModelByName(est)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		models[est] = em
+	}
+	for _, pol := range d.Policies {
+		if _, err := sched.PolicyByName(pol); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+	refPol, _ := sched.PolicyByName(d.Policies[0])
+	for _, kind := range d.Schedulers {
+		if _, err := sched.MakerFor(kind, refPol); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+
+	var cells []cell
 	for _, w := range d.Workloads {
 		if len(w.Jobs) == 0 || w.Procs < 1 {
 			return nil, fmt.Errorf("sweep: workload %q is empty or has no machine", w.Name)
 		}
+		w := w
 		base := w.BaseLoad
 		if base == 0 {
 			base = trace.OfferedLoad(w.Jobs, w.Procs)
 		}
+		fp := fingerprintJobs(w.Jobs, w.Procs)
 		for _, load := range loads {
-			jobsAtLoad := w.Jobs
+			load, base := load, base
 			effLoad := base
-			if load > 0 && base > 0 {
-				var err error
-				jobsAtLoad, err = trace.ScaleLoad(w.Jobs, base/load)
+			scale := load > 0 && base > 0
+			if scale {
+				effLoad = load
+			}
+			atLoad := sync.OnceValues(func() ([]*job.Job, error) {
+				if !scale {
+					return w.Jobs, nil
+				}
+				jobs, err := trace.ScaleLoad(w.Jobs, base/load)
 				if err != nil {
 					return nil, fmt.Errorf("sweep: %q at load %v: %w", w.Name, load, err)
 				}
-				effLoad = load
-			}
+				return jobs, nil
+			})
 			for _, est := range estimates {
-				em, err := workload.EstimateModelByName(est)
-				if err != nil {
-					return nil, fmt.Errorf("sweep: %w", err)
-				}
-				jobsFinal := workload.ApplyEstimates(jobsAtLoad, em, d.Seed+1)
+				est := est
+				em := models[est]
+				prep := sync.OnceValues(func() ([]*job.Job, error) {
+					jobs, err := atLoad()
+					if err != nil {
+						return nil, err
+					}
+					return workload.ApplyEstimates(jobs, em, d.Seed+1), nil
+				})
 				for _, kind := range d.Schedulers {
 					for _, pol := range d.Policies {
-						res, err := core.Run(core.Config{
-							Procs: w.Procs, Scheduler: kind, Policy: pol, Audit: true,
-						}, jobsFinal)
-						if err != nil {
-							return nil, fmt.Errorf("sweep: %s/%s/%s/%s: %w", w.Name, kind, pol, est, err)
-						}
-						rec := toRecord(w.Name, effLoad, est, res)
-						out = append(out, rec)
-						if progress != nil {
-							fmt.Fprintf(progress, "%s load=%.2f %s est=%s: slowdown %.2f\n",
-								w.Name, effLoad, res.Report.Scheduler, est, rec.Slowdown)
-						}
+						cells = append(cells, cell{
+							key: fmt.Sprintf("sweep|wl=%s|fp=%016x|procs=%d|seed=%d|load=%s|est=%s|sched=%s|pol=%s",
+								w.Name, fp, w.Procs, d.Seed, loadKey(load), est, kind, pol),
+							workload: w.Name,
+							effLoad:  effLoad,
+							est:      est,
+							sched:    kind,
+							pol:      pol,
+							procs:    w.Procs,
+							prep:     prep,
+						})
 					}
 				}
 			}
 		}
 	}
-	return out, nil
+	return cells, nil
+}
+
+// loadKey renders the load axis value for the canonical cell spec.
+func loadKey(load float64) string {
+	if load <= 0 {
+		return "asgen"
+	}
+	return fmt.Sprintf("%g", load)
+}
+
+// fingerprintJobs hashes the full base job set (plus machine size) so the
+// cache key is content-addressed: any change to the generated workload —
+// different seed, job count, arrival pattern, estimates — changes every
+// cell's address.
+func fingerprintJobs(jobs []*job.Job, procs int) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf, uint64(v))
+		h.Write(buf)
+	}
+	put(int64(procs))
+	put(int64(len(jobs)))
+	for _, j := range jobs {
+		put(int64(j.ID))
+		put(j.Arrival)
+		put(j.Runtime)
+		put(j.Estimate)
+		put(int64(j.Width))
+		put(int64(j.User))
+	}
+	return h.Sum64()
 }
 
 func toRecord(name string, load float64, est string, res *core.Result) Record {
