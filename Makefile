@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-verbose race vet bench experiments results examples cover clean
+.PHONY: all build test test-verbose race vet bench experiments results examples cover clean fuzz-smoke check
 
 all: build vet test
+
+# The full pre-merge gate: compile, vet, unit tests, race detector, and a
+# short smoke run of every fuzz target (see fuzz-smoke).
+check: build vet test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +31,18 @@ test-verbose:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over every fuzz target. Each target gets FUZZTIME of
+# coverage-guided input generation on top of its checked-in seed corpus;
+# -run='^$$' skips the unit tests so only the fuzzers execute. Go allows one
+# -fuzz target per invocation, hence one line per target.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test ./internal/swf -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/swf -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzProfileOps -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedulerRun -fuzztime=$(FUZZTIME)
 
 # Regenerate every paper table/figure and the extension studies.
 experiments:

@@ -35,6 +35,7 @@ func main() {
 		sched    = flag.String("sched", "easy", "scheduler: conservative, easy, none, selective:<x>, selective:adaptive")
 		policy   = flag.String("policy", "FCFS", "priority policy: FCFS, SJF, XF, LJF, WFP")
 		procs    = flag.Int("procs", 0, "machine size override (default: model/trace size)")
+		auditOn  = flag.Bool("audit", true, "run under the invariant auditor; any violation fails the run")
 	)
 	flag.Parse()
 
@@ -56,7 +57,7 @@ func main() {
 	}
 	jobs = workload.ApplyEstimates(jobs, em, *seed+1)
 
-	cfg := core.Config{Procs: machprocs, Scheduler: *sched, Policy: *policy, Audit: true}
+	cfg := core.Config{Procs: machprocs, Scheduler: *sched, Policy: *policy, Audit: *auditOn}
 	start := time.Now()
 	res, err := core.Run(cfg, jobs)
 	if err != nil {

@@ -42,6 +42,7 @@ func main() {
 		workers  = flag.Int("j", runtime.NumCPU(), "parallel workers (1 = legacy serial path)")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty: no cache)")
 		journal  = flag.String("journal", "", "append a JSONL run journal to this file")
+		auditOn  = flag.Bool("audit", true, "run every cell under the invariant auditor; any violation fails the sweep")
 	)
 	flag.Parse()
 
@@ -74,7 +75,7 @@ func main() {
 		}
 	}
 
-	opt := sweep.Options{Workers: *workers}
+	opt := sweep.Options{Workers: *workers, NoAudit: !*auditOn}
 	if !*quiet {
 		opt.Progress = os.Stderr
 		opt.ShowETA = true

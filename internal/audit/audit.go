@@ -1,0 +1,586 @@
+// Package audit enforces scheduler-correctness invariants online. The
+// paper's contribution is a characterization of what each backfilling
+// strategy *guarantees* — conservative backfilling promises every job its
+// reservation, EASY promises only the head job, slack-based bounds every
+// delay — and those guarantees deserve machine checks, not eyeballed
+// averages.
+//
+// The package has two layers:
+//
+//   - Auditor wraps any sim.Scheduler, intercepts every Arrive / Complete /
+//     Launch exchange with the event engine, and checks the invariant
+//     catalog after each one (see the Rule* constants). Violations are
+//     recorded for post-run inspection or, in Fail mode, panic immediately
+//     (the mode fuzz targets use).
+//   - Differential (diff.go) runs one workload through many scheduler ×
+//     policy cells, each under an Auditor, plus independent brute-force
+//     oracles (oracle.go), and cross-checks relational invariants between
+//     cells — schedule equalities the design proves and bounds the paper
+//     relies on.
+//
+// The Auditor deliberately imports only sim and job (not sched): its own
+// Policy interface is satisfied structurally by sched.Policy, and the
+// scheduler-family hooks (Reservation, Guarantee) are probed through
+// anonymous interfaces. Scheduler-specific knowledge lives in the caller's
+// Options (see OptionsForKind).
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// Mode selects how the Auditor reacts to a violation.
+type Mode int
+
+const (
+	// Record collects violations for inspection after the run via Err,
+	// Violations or Report. The default.
+	Record Mode = iota
+	// Fail panics on the first violation with the formatted finding. Fuzz
+	// targets use it so a violation surfaces as a reported crash even when
+	// the harness never reaches the post-run check.
+	Fail
+)
+
+// Policy is the queue-priority contract the head-guarantee check needs.
+// sched.Policy satisfies it structurally; it is re-declared here so this
+// package does not import sched's wrapper-facing half.
+type Policy interface {
+	Name() string
+	// Less orders job a before b at time now; it must induce a strict
+	// total order for any fixed now.
+	Less(a, b *job.Job, now int64) bool
+}
+
+// Invariant rule names, used as Violation.Rule. Together they form the
+// auditor's invariant catalog (documented in DESIGN.md §7).
+const (
+	// RuleArrivalTime: Arrive must be delivered exactly at the job's
+	// submission time.
+	RuleArrivalTime = "arrival-time"
+	// RuleDoubleArrive: a job arrives at most once.
+	RuleDoubleArrive = "double-arrive"
+	// RuleLaunchUnknown: only previously arrived jobs may start.
+	RuleLaunchUnknown = "launch-unknown"
+	// RuleLaunchBeforeArrival: no job starts before its arrival time.
+	RuleLaunchBeforeArrival = "launch-before-arrival"
+	// RuleDoubleLaunch: a running job must not be started again.
+	RuleDoubleLaunch = "double-launch"
+	// RuleRelaunchCompleted: a completed job must never run again.
+	RuleRelaunchCompleted = "relaunch-completed"
+	// RuleDuplicateInBatch: one Launch batch must not contain a job twice.
+	RuleDuplicateInBatch = "duplicate-in-batch"
+	// RuleCapacity: the processors in use never exceed the machine size.
+	RuleCapacity = "capacity"
+	// RuleCompleteNotRunning: only running jobs complete.
+	RuleCompleteNotRunning = "complete-not-running"
+	// RuleKillAtEstimate: a job's total running time equals its actual
+	// runtime and never exceeds its estimate (jobs are killed at the wall
+	// limit, and resumed jobs run only their remainder).
+	RuleKillAtEstimate = "kill-at-estimate"
+	// RuleSuspendNotRunning: only running jobs may be preempted.
+	RuleSuspendNotRunning = "suspend-not-running"
+	// RuleReservationMonotone: a conservative reservation never moves
+	// later (compression may only improve it).
+	RuleReservationMonotone = "reservation-monotone"
+	// RuleStartByReservation: a job starts no later than the reservation
+	// granted at its arrival (conservative's no-delay guarantee).
+	RuleStartByReservation = "start-by-reservation"
+	// RuleSlackGuarantee: a slack-based job starts no later than its fixed
+	// guarantee, and its reservation never drifts past the guarantee.
+	RuleSlackGuarantee = "slack-guarantee"
+	// RuleHeadNoDelay: EASY's single guarantee — the blocked head of the
+	// queue starts no later than the shadow time computed from running
+	// jobs' estimates (backfills must never push it past that bound).
+	RuleHeadNoDelay = "head-no-delay"
+)
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	// Time is the simulation instant the breach was observed at.
+	Time int64
+	// Rule is the Rule* constant that was violated.
+	Rule string
+	// Job is the job involved, when there is one.
+	Job *job.Job
+	// Detail is a human-readable account of the breach.
+	Detail string
+}
+
+// String renders the violation for logs and test failures.
+func (v Violation) String() string {
+	if v.Job != nil {
+		return fmt.Sprintf("t=%d [%s] %v: %s", v.Time, v.Rule, v.Job, v.Detail)
+	}
+	return fmt.Sprintf("t=%d [%s] %s", v.Time, v.Rule, v.Detail)
+}
+
+// Report is the structured outcome of an audited run.
+type Report struct {
+	// Scheduler is the wrapped scheduler's Name.
+	Scheduler string
+	// Violations holds every recorded breach, in observation order, up to
+	// the recording cap.
+	Violations []Violation
+	// Truncated counts breaches beyond the cap that were dropped.
+	Truncated int
+}
+
+// Err summarises the report as an error, or nil when the run was clean.
+func (r Report) Err() error {
+	n := len(r.Violations) + r.Truncated
+	if n == 0 {
+		return nil
+	}
+	return fmt.Errorf("audit: %s: %d invariant violations; first: %s",
+		r.Scheduler, n, r.Violations[0])
+}
+
+// Options configure an Auditor.
+type Options struct {
+	// Mode is Record (default) or Fail.
+	Mode Mode
+	// Policy, when set, lets the auditor identify the queue head for the
+	// head-guarantee check. Required for CheckHeadGuarantee.
+	Policy Policy
+	// CheckHeadGuarantee enables the EASY head no-delay check. Only valid
+	// for EASY-family schedulers (the invariant does not hold for
+	// schedulers that deliberately hold startable work, like selective
+	// promotion, or that suspend runners).
+	CheckHeadGuarantee bool
+	// MaxRecorded caps recorded violations (0 means the default of 100).
+	// Further breaches only increment Report.Truncated.
+	MaxRecorded int
+}
+
+// OptionsForKind returns the audit options appropriate for a scheduler
+// kind string as understood by sched.MakerFor: the head-guarantee check is
+// enabled for the EASY family, reservation- and slack-guarantee checks are
+// probed from the scheduler itself and need no configuration.
+func OptionsForKind(kind string, pol Policy) Options {
+	opts := Options{Policy: pol}
+	if kind == "easy" || strings.HasPrefix(kind, "easy:") {
+		opts.CheckHeadGuarantee = true
+	}
+	return opts
+}
+
+// reservist is the conservative-family hook: the guaranteed start of a
+// queued job. Probed, never required.
+type reservist interface {
+	Reservation(id int) (int64, bool)
+}
+
+// guarantor is the slack-family hook: the latest permitted start of a
+// queued job. A scheduler exposing both Reservation and Guarantee is
+// audited under slack semantics (reservations may move later, but never
+// past the guarantee); Reservation alone means conservative semantics
+// (reservations only ever move earlier).
+type guarantor interface {
+	Guarantee(id int) (int64, bool)
+}
+
+// canceler mirrors sched.Canceler for delegation.
+type canceler interface {
+	Cancel(now int64, j *job.Job) bool
+}
+
+// jobState is the auditor's ground-truth mirror for one job.
+type jobState struct {
+	j         *job.Job
+	arrived   bool
+	running   bool
+	suspended bool
+	done      bool
+	cancelled bool
+	lastStart int64
+	consumed  int64 // runtime finished before the current dispatch
+	// Reservation tracking (conservative / slack families).
+	hasResv     bool
+	initialResv int64 // granted at arrival; the no-delay bound
+	lastResv    int64 // most recently observed reservation
+	hasGuar     bool
+	guarantee   int64
+}
+
+// estEnd is when the job's current dispatch ends by its estimate.
+func (st *jobState) estEnd() int64 {
+	return st.lastStart + (st.j.Estimate - st.consumed)
+}
+
+// Auditor wraps a sim.Scheduler and checks the invariant catalog on every
+// engine interaction. It implements sim.Scheduler, sim.Waker and
+// sim.Preemptor (delegating to the wrapped scheduler's capabilities), so
+// wrapping never changes engine behaviour — only observes it.
+type Auditor struct {
+	inner sim.Scheduler
+	procs int
+	opts  Options
+	max   int
+
+	inUse   int
+	jobs    map[int]*jobState
+	queued  map[int]*jobState // arrived, not running/suspended/done/cancelled
+	active  map[int]*jobState // currently running
+	resv    reservist         // non-nil when inner exposes Reservation
+	guar    guarantor         // non-nil when inner exposes Guarantee
+	preempt sim.Preemptor     // non-nil when inner preempts
+	waker   sim.Waker         // non-nil when inner wakes
+
+	// Head-guarantee tracking: the current blocked head and the earliest
+	// shadow bound observed while it has continuously been head.
+	headID    int
+	headBound int64
+
+	violations []Violation
+	truncated  int
+}
+
+// New wraps inner with an auditor for a machine with procs processors. It
+// panics if procs < 1, inner is nil, or CheckHeadGuarantee is requested
+// without a Policy.
+func New(procs int, inner sim.Scheduler, opts Options) *Auditor {
+	if procs < 1 {
+		panic(fmt.Sprintf("audit: New with %d processors", procs))
+	}
+	if inner == nil {
+		panic("audit: New with nil scheduler")
+	}
+	if opts.CheckHeadGuarantee && opts.Policy == nil {
+		panic("audit: CheckHeadGuarantee requires a Policy")
+	}
+	max := opts.MaxRecorded
+	if max <= 0 {
+		max = 100
+	}
+	a := &Auditor{
+		inner:  inner,
+		procs:  procs,
+		opts:   opts,
+		max:    max,
+		jobs:   make(map[int]*jobState),
+		queued: make(map[int]*jobState),
+		active: make(map[int]*jobState),
+	}
+	a.resv, _ = inner.(reservist)
+	a.guar, _ = inner.(guarantor)
+	a.preempt, _ = inner.(sim.Preemptor)
+	a.waker, _ = inner.(sim.Waker)
+	return a
+}
+
+// Inner returns the wrapped scheduler.
+func (a *Auditor) Inner() sim.Scheduler { return a.inner }
+
+// Name delegates to the wrapped scheduler, so reports and metrics are
+// unchanged by auditing.
+func (a *Auditor) Name() string { return a.inner.Name() }
+
+// Violations returns the recorded breaches.
+func (a *Auditor) Violations() []Violation {
+	return append([]Violation(nil), a.violations...)
+}
+
+// Report returns the structured outcome so far.
+func (a *Auditor) Report() Report {
+	return Report{
+		Scheduler:  a.inner.Name(),
+		Violations: a.Violations(),
+		Truncated:  a.truncated,
+	}
+}
+
+// Err returns an error summarising all violations, or nil.
+func (a *Auditor) Err() error { return a.Report().Err() }
+
+// violate records (or, in Fail mode, panics with) one breach.
+func (a *Auditor) violate(now int64, rule string, j *job.Job, format string, args ...any) {
+	v := Violation{Time: now, Rule: rule, Job: j, Detail: fmt.Sprintf(format, args...)}
+	if a.opts.Mode == Fail {
+		panic("audit: " + v.String())
+	}
+	if len(a.violations) >= a.max {
+		a.truncated++
+		return
+	}
+	a.violations = append(a.violations, v)
+}
+
+// Arrive checks arrival invariants, delegates, and snapshots any
+// reservation the scheduler granted.
+func (a *Auditor) Arrive(now int64, j *job.Job) {
+	st := a.jobs[j.ID]
+	if st == nil {
+		st = &jobState{j: j}
+		a.jobs[j.ID] = st
+	}
+	if st.arrived {
+		a.violate(now, RuleDoubleArrive, j, "arrived again")
+	}
+	if now != j.Arrival {
+		a.violate(now, RuleArrivalTime, j, "delivered at %d, submitted at %d", now, j.Arrival)
+	}
+	st.arrived = true
+	a.queued[j.ID] = st
+	a.inner.Arrive(now, j)
+	a.afterEvent(now)
+}
+
+// Complete checks completion invariants (including kill-at-estimate
+// semantics) and delegates.
+func (a *Auditor) Complete(now int64, j *job.Job) {
+	st := a.jobs[j.ID]
+	if st == nil || !st.running {
+		a.violate(now, RuleCompleteNotRunning, j, "completed while not running")
+	} else {
+		ran := st.consumed + (now - st.lastStart)
+		if ran != j.Runtime {
+			a.violate(now, RuleKillAtEstimate, j,
+				"finished after running %d, actual runtime %d", ran, j.Runtime)
+		}
+		if ran > j.Estimate {
+			a.violate(now, RuleKillAtEstimate, j,
+				"ran %d past its %d estimate (jobs are killed at the wall limit)", ran, j.Estimate)
+		}
+		st.running = false
+		st.done = true
+		a.inUse -= j.Width
+		delete(a.active, j.ID)
+	}
+	a.inner.Complete(now, j)
+	a.afterEvent(now)
+}
+
+// Launch delegates one scheduling pass and audits the returned batch.
+func (a *Auditor) Launch(now int64) []*job.Job {
+	starts := a.inner.Launch(now)
+	a.observeBatch(now, starts, nil)
+	return starts
+}
+
+// LaunchAndPreempt implements sim.Preemptor. When the wrapped scheduler
+// does not preempt, it degenerates to a plain Launch with no suspensions —
+// exactly what the engine would have done unwrapped.
+func (a *Auditor) LaunchAndPreempt(now int64) (starts, suspends []*job.Job) {
+	if a.preempt != nil {
+		starts, suspends = a.preempt.LaunchAndPreempt(now)
+	} else {
+		starts = a.inner.Launch(now)
+	}
+	a.observeBatch(now, starts, suspends)
+	return starts, suspends
+}
+
+// observeBatch audits one launch/suspend batch in engine application
+// order: suspensions free processors that the same instant's starts use.
+func (a *Auditor) observeBatch(now int64, starts, suspends []*job.Job) {
+	for _, j := range suspends {
+		st := a.jobs[j.ID]
+		if st == nil || !st.running {
+			a.violate(now, RuleSuspendNotRunning, j, "suspended while not running")
+			continue
+		}
+		st.consumed += now - st.lastStart
+		st.running = false
+		st.suspended = true
+		a.inUse -= j.Width
+		delete(a.active, j.ID)
+		a.queued[j.ID] = st
+	}
+	seen := make(map[int]bool, len(starts))
+	for _, j := range starts {
+		if seen[j.ID] {
+			a.violate(now, RuleDuplicateInBatch, j, "started twice in one batch")
+			continue
+		}
+		seen[j.ID] = true
+		st := a.jobs[j.ID]
+		switch {
+		case st == nil || !st.arrived:
+			a.violate(now, RuleLaunchUnknown, j, "started but never arrived")
+			continue
+		case st.done:
+			a.violate(now, RuleRelaunchCompleted, j, "started again after completing")
+			continue
+		case st.running:
+			a.violate(now, RuleDoubleLaunch, j, "started while already running")
+			continue
+		}
+		if now < j.Arrival {
+			a.violate(now, RuleLaunchBeforeArrival, j, "started at %d before arrival %d", now, j.Arrival)
+		}
+		if st.hasResv {
+			// Conservative semantics: the arrival-time reservation is the
+			// job's no-delay bound. Slack semantics: the fixed guarantee is.
+			if a.guar == nil && now > st.initialResv {
+				a.violate(now, RuleStartByReservation, j,
+					"started at %d, reservation granted at arrival was %d", now, st.initialResv)
+			}
+		}
+		if st.hasGuar && now > st.guarantee {
+			a.violate(now, RuleSlackGuarantee, j,
+				"started at %d past its guarantee %d", now, st.guarantee)
+		}
+		if a.opts.CheckHeadGuarantee && j.ID == a.headID && now > a.headBound {
+			a.violate(now, RuleHeadNoDelay, j,
+				"head started at %d past its shadow bound %d", now, a.headBound)
+		}
+		st.running = true
+		st.suspended = false
+		st.lastStart = now
+		a.inUse += j.Width
+		a.active[j.ID] = st
+		delete(a.queued, j.ID)
+		if a.inUse > a.procs {
+			a.violate(now, RuleCapacity, j,
+				"capacity exceeded: %d of %d processors in use", a.inUse, a.procs)
+		}
+	}
+	a.afterEvent(now)
+}
+
+// NextWake delegates to the wrapped scheduler's Waker capability.
+func (a *Auditor) NextWake(now int64) int64 {
+	if a.waker == nil {
+		return 0
+	}
+	return a.waker.NextWake(now)
+}
+
+// Cancel delegates job withdrawal (the grid extension). A successfully
+// cancelled job leaves the auditor's queue mirror and is never expected to
+// start.
+func (a *Auditor) Cancel(now int64, j *job.Job) bool {
+	c, ok := a.inner.(canceler)
+	if !ok {
+		return false
+	}
+	if !c.Cancel(now, j) {
+		return false
+	}
+	if st := a.jobs[j.ID]; st != nil {
+		st.cancelled = true
+		delete(a.queued, j.ID)
+	}
+	a.afterEvent(now)
+	return true
+}
+
+// QueuedJobs delegates.
+func (a *Auditor) QueuedJobs() []*job.Job { return a.inner.QueuedJobs() }
+
+// afterEvent runs the cross-cutting checks that hold between engine
+// interactions: reservation/guarantee discipline and head tracking.
+func (a *Auditor) afterEvent(now int64) {
+	a.checkReservations(now)
+	a.trackHead(now)
+}
+
+// checkReservations probes the scheduler's per-job guarantees. With only a
+// Reservation hook (conservative family) reservations must be monotone
+// non-increasing; with a Guarantee hook too (slack family) they may move
+// either way but never past the fixed guarantee.
+func (a *Auditor) checkReservations(now int64) {
+	if a.resv == nil {
+		return
+	}
+	for id, st := range a.queued {
+		t, ok := a.resv.Reservation(id)
+		if !ok {
+			continue
+		}
+		if a.guar != nil && !st.hasGuar {
+			if g, gok := a.guar.Guarantee(id); gok {
+				st.hasGuar = true
+				st.guarantee = g
+			}
+		}
+		if !st.hasResv {
+			st.hasResv = true
+			st.initialResv = t
+			st.lastResv = t
+		} else {
+			if a.guar == nil && t > st.lastResv {
+				a.violate(now, RuleReservationMonotone, st.j,
+					"reservation moved later: %d -> %d", st.lastResv, t)
+			}
+			st.lastResv = t
+		}
+		if st.hasGuar && t > st.guarantee {
+			a.violate(now, RuleSlackGuarantee, st.j,
+				"reservation %d past its guarantee %d", t, st.guarantee)
+		}
+	}
+}
+
+// trackHead maintains the EASY head-guarantee bound: whenever a job is the
+// blocked head of the priority queue, its start deadline is the earliest
+// shadow time observed while it has continuously held the head. Estimates
+// are upper bounds on runtimes, so each recomputed shadow is itself a valid
+// bound and the minimum only tightens the check.
+func (a *Auditor) trackHead(now int64) {
+	if !a.opts.CheckHeadGuarantee {
+		return
+	}
+	var head *jobState
+	for _, st := range a.queued {
+		if head == nil || a.opts.Policy.Less(st.j, head.j, now) {
+			head = st
+		}
+	}
+	if head == nil {
+		a.headID = 0
+		return
+	}
+	bound := a.shadow(now, head.j)
+	if head.j.ID != a.headID {
+		a.headID = head.j.ID
+		a.headBound = bound
+	} else if bound < a.headBound {
+		a.headBound = bound
+	}
+}
+
+// shadow computes when, by current estimates, enough processors free up for
+// j — the classic EASY shadow time. A job that already fits is due now.
+func (a *Auditor) shadow(now int64, j *job.Job) int64 {
+	avail := a.procs - a.inUse
+	if avail >= j.Width {
+		return now
+	}
+	runners := make([]*jobState, 0, len(a.active))
+	for _, st := range a.active {
+		runners = append(runners, st)
+	}
+	sort.Slice(runners, func(i, k int) bool {
+		ei, ek := runners[i].estEnd(), runners[k].estEnd()
+		if ei != ek {
+			return ei < ek
+		}
+		return runners[i].j.ID < runners[k].j.ID
+	})
+	for _, st := range runners {
+		avail += st.j.Width
+		if avail >= j.Width {
+			return st.estEnd()
+		}
+	}
+	// Unreachable for valid inputs: draining every runner frees the whole
+	// machine, and the engine rejects jobs wider than it.
+	return now
+}
+
+// Run simulates jobs on a procs-wide machine under s wrapped in an Auditor
+// and returns the placements together with the audit report. It is the
+// one-call entry point tests and fuzzers use; err covers engine failures,
+// rep.Err() covers invariant violations.
+func Run(procs int, jobs []*job.Job, s sim.Scheduler, opts Options) (ps []sim.Placement, rep Report, err error) {
+	a := New(procs, s, opts)
+	ps, err = sim.Run(sim.Machine{Procs: procs}, jobs, a, nil)
+	return ps, a.Report(), err
+}

@@ -1,0 +1,270 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// fake is a scriptable scheduler for violation tests: Launch returns
+// whatever the test queued via pending, and the optional hooks fake the
+// reservation/guarantee interfaces.
+type fake struct {
+	queue   []*job.Job
+	pending []*job.Job
+	resv    map[int]int64
+	guar    map[int]int64
+}
+
+func (f *fake) Name() string                 { return "fake" }
+func (f *fake) Arrive(_ int64, j *job.Job)   { f.queue = append(f.queue, j) }
+func (f *fake) Complete(_ int64, _ *job.Job) {}
+func (f *fake) Launch(_ int64) []*job.Job {
+	out := f.pending
+	f.pending = nil
+	return out
+}
+func (f *fake) QueuedJobs() []*job.Job { return f.queue }
+
+// fakeReserving additionally exposes the conservative Reservation hook.
+type fakeReserving struct{ fake }
+
+func (f *fakeReserving) Reservation(id int) (int64, bool) {
+	t, ok := f.resv[id]
+	return t, ok
+}
+
+// fakeSlack exposes both hooks, so it is audited under slack semantics.
+type fakeSlack struct{ fakeReserving }
+
+func (f *fakeSlack) Guarantee(id int) (int64, bool) {
+	g, ok := f.guar[id]
+	return g, ok
+}
+
+func wantRules(t *testing.T, a *Auditor, rules ...string) {
+	t.Helper()
+	got := make(map[string]bool)
+	for _, v := range a.Violations() {
+		got[v.Rule] = true
+	}
+	for _, r := range rules {
+		if !got[r] {
+			t.Errorf("missing violation %q; recorded: %v", r, a.Violations())
+		}
+	}
+	if a.Err() == nil {
+		t.Errorf("Err() = nil with %d expected violations", len(rules))
+	}
+}
+
+func exact(id int, arr, rt int64, w int) *job.Job {
+	return &job.Job{ID: id, Arrival: arr, Runtime: rt, Estimate: rt, Width: w}
+}
+
+func TestCapacityExceeded(t *testing.T) {
+	f := &fake{}
+	a := New(4, f, Options{})
+	j1, j2 := exact(1, 0, 10, 3), exact(2, 0, 10, 3)
+	a.Arrive(0, j1)
+	a.Arrive(0, j2)
+	f.pending = []*job.Job{j1, j2}
+	a.Launch(0)
+	wantRules(t, a, RuleCapacity)
+}
+
+func TestLaunchDiscipline(t *testing.T) {
+	f := &fake{}
+	a := New(8, f, Options{})
+	j1 := exact(1, 0, 10, 1)
+	ghost := exact(9, 0, 10, 1) // never arrives
+	a.Arrive(0, j1)
+	f.pending = []*job.Job{j1, j1, ghost}
+	a.Launch(0)
+	wantRules(t, a, RuleDuplicateInBatch, RuleLaunchUnknown)
+
+	// Starting an already-running job in a later batch.
+	f.pending = []*job.Job{j1}
+	a.Launch(1)
+	wantRules(t, a, RuleDoubleLaunch)
+
+	// Completing it, then starting it again.
+	a.Complete(10, j1)
+	f.pending = []*job.Job{j1}
+	a.Launch(11)
+	wantRules(t, a, RuleRelaunchCompleted)
+}
+
+func TestArrivalDiscipline(t *testing.T) {
+	f := &fake{}
+	a := New(8, f, Options{})
+	j := exact(1, 5, 10, 1)
+	a.Arrive(0, j) // delivered before its submission time
+	a.Arrive(0, j) // and twice
+	f.pending = []*job.Job{j}
+	a.Launch(0) // started before arrival
+	wantRules(t, a, RuleArrivalTime, RuleDoubleArrive, RuleLaunchBeforeArrival)
+}
+
+func TestCompleteNotRunning(t *testing.T) {
+	f := &fake{}
+	a := New(8, f, Options{})
+	j := exact(1, 0, 10, 1)
+	a.Arrive(0, j)
+	a.Complete(10, j)
+	wantRules(t, a, RuleCompleteNotRunning)
+}
+
+func TestKillAtEstimate(t *testing.T) {
+	f := &fake{}
+	a := New(8, f, Options{})
+	j := exact(1, 0, 10, 1)
+	a.Arrive(0, j)
+	f.pending = []*job.Job{j}
+	a.Launch(0)
+	a.Complete(7, j) // finished after 7s of a 10s runtime: engine bug
+	wantRules(t, a, RuleKillAtEstimate)
+}
+
+func TestReservationMonotone(t *testing.T) {
+	f := &fakeReserving{}
+	f.resv = map[int]int64{1: 20}
+	a := New(8, f, Options{})
+	j := exact(1, 0, 10, 1)
+	a.Arrive(0, j)   // reservation captured: 20
+	f.resv[1] = 35   // a later "compression" moved it backwards
+	a.Complete(5, j) // any event observes the drift (complete-not-running too)
+	wantRules(t, a, RuleReservationMonotone)
+}
+
+func TestStartByReservation(t *testing.T) {
+	f := &fakeReserving{}
+	f.resv = map[int]int64{1: 5}
+	a := New(8, f, Options{})
+	j := exact(1, 0, 30, 1)
+	a.Arrive(0, j)
+	delete(f.resv, 1)
+	f.pending = []*job.Job{j}
+	a.Launch(9) // past the granted reservation
+	wantRules(t, a, RuleStartByReservation)
+}
+
+func TestSlackGuarantee(t *testing.T) {
+	f := &fakeSlack{}
+	f.resv = map[int]int64{1: 5}
+	f.guar = map[int]int64{1: 12}
+	a := New(8, f, Options{})
+	j := exact(1, 0, 30, 1)
+	a.Arrive(0, j)
+	f.resv[1] = 15 // moved later: allowed under slack, but past the guarantee
+	f.pending = nil
+	a.Launch(3)
+	f.pending = []*job.Job{j}
+	a.Launch(20) // and the start itself breaks the guarantee
+	wantRules(t, a, RuleSlackGuarantee)
+	for _, v := range a.Violations() {
+		if v.Rule == RuleReservationMonotone {
+			t.Errorf("slack semantics must allow reservations to move later: %v", v)
+		}
+	}
+}
+
+func TestHeadNoDelay(t *testing.T) {
+	f := &fake{}
+	a := New(2, f, Options{Policy: sched.FCFS{}, CheckHeadGuarantee: true})
+	j1, j2 := exact(1, 0, 10, 2), exact(2, 0, 10, 2)
+	a.Arrive(0, j1)
+	a.Arrive(0, j2)
+	f.pending = []*job.Job{j1}
+	a.Launch(0) // head j2 blocked; shadow bound = 10
+	a.Complete(10, j1)
+	a.Launch(10) // lazy scheduler starts nothing
+	f.pending = []*job.Job{j2}
+	f.queue = nil
+	a.Launch(13) // head started past its bound
+	wantRules(t, a, RuleHeadNoDelay)
+}
+
+func TestFailModePanics(t *testing.T) {
+	f := &fake{}
+	a := New(4, f, Options{Mode: Fail})
+	j1, j2 := exact(1, 0, 10, 3), exact(2, 0, 10, 3)
+	a.Arrive(0, j1)
+	a.Arrive(0, j2)
+	f.pending = []*job.Job{j1, j2}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("Fail mode did not panic on a capacity violation")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, RuleCapacity) {
+			t.Fatalf("panic %v does not name the %s rule", r, RuleCapacity)
+		}
+	}()
+	a.Launch(0)
+}
+
+func TestMaxRecordedTruncates(t *testing.T) {
+	f := &fake{}
+	a := New(8, f, Options{MaxRecorded: 2})
+	for i := 1; i <= 5; i++ {
+		j := exact(i, 3, 10, 1)
+		a.Arrive(0, j) // arrival-time violation each
+	}
+	rep := a.Report()
+	if len(rep.Violations) != 2 || rep.Truncated != 3 {
+		t.Fatalf("recorded %d truncated %d, want 2 and 3", len(rep.Violations), rep.Truncated)
+	}
+	if rep.Err() == nil {
+		t.Fatalf("truncated report must still error")
+	}
+}
+
+// TestCleanRunThroughEngine wraps every registered scheduler and runs a
+// small workload end-to-end through sim.Run: the auditor must stay silent
+// and must not change the schedule.
+func TestCleanRunThroughEngine(t *testing.T) {
+	const procs = 8
+	jobs := []*job.Job{
+		exact(1, 0, 100, 6),
+		exact(2, 1, 100, 6),
+		exact(3, 2, 50, 4),
+		{ID: 4, Arrival: 3, Runtime: 30, Estimate: 90, Width: 2},
+		{ID: 5, Arrival: 40, Runtime: 10, Estimate: 10, Width: 8},
+	}
+	for _, kind := range sched.Kinds() {
+		for _, polName := range []string{"FCFS", "SJF", "XF"} {
+			pol, err := sched.PolicyByName(polName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk, err := sched.MakerFor(kind, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bare, err := sim.Run(sim.Machine{Procs: procs}, jobs, mk(procs), nil)
+			if err != nil {
+				t.Fatalf("%s/%s unwrapped: %v", kind, polName, err)
+			}
+			ps, rep, err := Run(procs, jobs, mk(procs), OptionsForKind(kind, pol))
+			if err != nil {
+				t.Fatalf("%s/%s audited: %v", kind, polName, err)
+			}
+			if err := rep.Err(); err != nil {
+				t.Fatalf("%s/%s: %v", kind, polName, err)
+			}
+			if len(ps) != len(bare) {
+				t.Fatalf("%s/%s: wrapper changed placement count", kind, polName)
+			}
+			for i := range ps {
+				if ps[i].Job.ID != bare[i].Job.ID || ps[i].Start != bare[i].Start || ps[i].End != bare[i].End {
+					t.Fatalf("%s/%s: wrapper changed the schedule at %d: %+v vs %+v",
+						kind, polName, i, ps[i], bare[i])
+				}
+			}
+		}
+	}
+}

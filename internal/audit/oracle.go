@@ -1,0 +1,94 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/job"
+)
+
+// RefConservative is an independent brute-force re-implementation of
+// conservative backfilling used as a differential oracle: per-second
+// free-processor arrays instead of the production step-function profile,
+// and arrival-order placement instead of an event loop. It shares no code
+// with internal/sched, so agreement on random workloads is strong evidence
+// both are right.
+//
+// It models the regime where conservative semantics are unambiguous — FCFS
+// priority and accurate estimates (runtime == estimate) — in which
+// compression never changes anything and every job is simply reserved, in
+// arrival order, at the earliest instant that fits given all earlier
+// reservations.
+//
+// The per-second representation is O(horizon) in memory, so the oracle is
+// for test- and fuzz-scale workloads, not production traces.
+type RefConservative struct {
+	horizon int64
+	free    []int
+}
+
+// NewRefConservative returns an oracle for a procs-wide machine that can
+// place work up to horizon seconds out. It panics if procs < 1 or
+// horizon < 1.
+func NewRefConservative(procs int, horizon int64) *RefConservative {
+	if procs < 1 {
+		panic(fmt.Sprintf("audit: NewRefConservative with %d processors", procs))
+	}
+	if horizon < 1 {
+		panic(fmt.Sprintf("audit: NewRefConservative with horizon %d", horizon))
+	}
+	f := make([]int, horizon)
+	for i := range f {
+		f[i] = procs
+	}
+	return &RefConservative{horizon: horizon, free: f}
+}
+
+// Place reserves the earliest feasible window at or after arrival and
+// returns its start. It panics when the horizon is too small — callers size
+// it with enough headroom (see OracleStarts).
+func (r *RefConservative) Place(arrival, dur int64, width int) int64 {
+search:
+	for s := arrival; s+dur <= r.horizon; s++ {
+		for t := s; t < s+dur; t++ {
+			if r.free[t] < width {
+				continue search
+			}
+		}
+		for t := s; t < s+dur; t++ {
+			r.free[t] -= width
+		}
+		return s
+	}
+	panic("audit: oracle horizon too small")
+}
+
+// OracleStarts computes, per job ID, the start time conservative
+// backfilling under FCFS with exact estimates must produce. Jobs are placed
+// in (arrival, ID) order, matching the simulator's deterministic queue
+// ordering. The horizon is sized so placement can never fail: even fully
+// serialised work fits.
+func OracleStarts(procs int, jobs []*job.Job) map[int]int64 {
+	ordered := append([]*job.Job(nil), jobs...)
+	sort.SliceStable(ordered, func(i, k int) bool {
+		if ordered[i].Arrival != ordered[k].Arrival {
+			return ordered[i].Arrival < ordered[k].Arrival
+		}
+		return ordered[i].ID < ordered[k].ID
+	})
+	horizon := int64(1)
+	for _, j := range ordered {
+		if j.Arrival > horizon {
+			horizon = j.Arrival
+		}
+	}
+	for _, j := range ordered {
+		horizon += j.Estimate
+	}
+	oracle := NewRefConservative(procs, horizon+1)
+	starts := make(map[int]int64, len(ordered))
+	for _, j := range ordered {
+		starts[j.ID] = oracle.Place(j.Arrival, j.Estimate, j.Width)
+	}
+	return starts
+}

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -36,9 +37,10 @@ type Config struct {
 	// Thresholds are the job-category boundaries; zero value means the
 	// paper's Table 1 thresholds (1 hour, 8 processors).
 	Thresholds job.Thresholds
-	// Audit enables online invariant checking (capacity, arrival order);
-	// any violation fails the run. Cheap; on by default in the experiment
-	// harness.
+	// Audit wraps the scheduler in the internal/audit invariant checker
+	// (capacity, launch/arrival discipline, kill-at-estimate, reservation
+	// and guarantee semantics); any violation fails the run. Cheap; on by
+	// default in the experiment harness.
 	Audit bool
 }
 
@@ -101,13 +103,13 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 	}
 	s := mk(cfg.Procs)
 
-	var obs *sim.Observer
-	var aud *sched.Auditor
+	runnable := sim.Scheduler(s)
+	var aud *audit.Auditor
 	if cfg.Audit {
-		aud = sched.NewAuditor(cfg.Procs)
-		obs = aud.Observer()
+		aud = audit.New(cfg.Procs, s, audit.OptionsForKind(cfg.Scheduler, pol))
+		runnable = aud
 	}
-	ps, err := sim.Run(sim.Machine{Procs: cfg.Procs}, jobs, s, obs)
+	ps, err := sim.Run(sim.Machine{Procs: cfg.Procs}, jobs, runnable, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

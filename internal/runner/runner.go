@@ -77,11 +77,11 @@ func (e *TaskError) Unwrap() error { return e.Err }
 
 // RunSummary aggregates one Run call.
 type RunSummary struct {
-	Tasks     int           `json:"tasks"`
-	CacheHits int           `json:"cache_hits"`
-	Misses    int           `json:"cache_misses"`
-	Errors    int           `json:"errors"`
-	Retries   int           `json:"retries"`
+	Tasks     int `json:"tasks"`
+	CacheHits int `json:"cache_hits"`
+	Misses    int `json:"cache_misses"`
+	Errors    int `json:"errors"`
+	Retries   int `json:"retries"`
 	// Wall is the elapsed time of the whole Run call; CPU is the summed
 	// duration of the individual tasks. CPU/Wall approximates the speedup
 	// the pool delivered.

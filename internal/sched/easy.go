@@ -217,11 +217,20 @@ func (s *EASY) headReservation(head *job.Job) (shadow int64, extra int) {
 		return runners[i].j.ID < runners[k].j.ID
 	})
 	avail := s.free
-	for _, r := range runners {
+	for i, r := range runners {
 		avail += r.j.Width
-		if avail >= head.Width {
-			return r.estEnd, avail - head.Width
+		if avail < head.Width {
+			continue
 		}
+		// Processors released by runners ending at the same instant are
+		// also free at the shadow time and count toward extra.
+		for _, rr := range runners[i+1:] {
+			if rr.estEnd != r.estEnd {
+				break
+			}
+			avail += rr.j.Width
+		}
+		return r.estEnd, avail - head.Width
 	}
 	// Unreachable for valid inputs: the head's width is at most the
 	// machine size, so draining every runner always frees enough.

@@ -1,0 +1,94 @@
+// End-to-end fuzzing of every registered scheduler through the event engine
+// under the invariant auditor. This lives in the external test package so it
+// can import internal/audit (which itself imports sched for the
+// differential harness).
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/job"
+	"repro/internal/sched"
+)
+
+// decodeWorkload turns fuzz bytes into a machine size and a small job set:
+// byte 0 picks the processor count, then each 4-byte group is one job
+// (arrival delta, runtime, estimate overrun, width). A zero overrun byte
+// yields an exact estimate, so the fuzzer can reach the regime where the
+// conservative oracle comparison applies.
+func decodeWorkload(data []byte) (int, []*job.Job) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	procs := int(data[0]%13) + 4 // 4..16
+	data = data[1:]
+	const maxJobs = 24
+	var jobs []*job.Job
+	clock := int64(0)
+	for i := 0; i+3 < len(data) && len(jobs) < maxJobs; i += 4 {
+		clock += int64(data[i] % 50)
+		rt := int64(data[i+1]%120) + 1
+		jobs = append(jobs, &job.Job{
+			ID:       len(jobs) + 1,
+			Arrival:  clock,
+			Runtime:  rt,
+			Estimate: rt + int64(data[i+2]%60),
+			Width:    int(data[i+3])%procs + 1,
+		})
+	}
+	return procs, jobs
+}
+
+// FuzzSchedulerRun runs each decoded workload through every registered
+// scheduler kind under the audit wrapper: any invariant violation, engine
+// error, or panic fails the input. When every estimate is exact,
+// conservative backfilling under FCFS is additionally checked against the
+// independent brute-force oracle.
+func FuzzSchedulerRun(f *testing.F) {
+	// The canonical backfill scenario (exact estimates, 10 processors).
+	f.Add([]byte("\x06\x00\x63\x00\x05\x01\x63\x00\x05\x01\x31\x00\x03"))
+	// Overestimated runtimes: compression and kill-at-estimate paths fire.
+	f.Add([]byte("\x0c\x00\x20\x10\x07\x05\x40\x3b\x03\x02\x08\x2c\x01\x09\x50\x1e\x06"))
+	// Degenerate: smallest machine, one unit job.
+	f.Add([]byte("\x00\x00\x00\x00\x00"))
+	pol, err := sched.PolicyByName("FCFS")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		procs, jobs := decodeWorkload(data)
+		if len(jobs) == 0 {
+			t.Skip()
+		}
+		exact := true
+		for _, j := range jobs {
+			if j.Estimate != j.Runtime {
+				exact = false
+				break
+			}
+		}
+		for _, kind := range sched.Kinds() {
+			mk, err := sched.MakerFor(kind, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, rep, err := audit.Run(procs, jobs, mk(procs), audit.OptionsForKind(kind, pol))
+			if err != nil {
+				t.Fatalf("%s: engine: %v\nworkload (procs=%d): %v", kind, err, procs, jobs)
+			}
+			if err := rep.Err(); err != nil {
+				t.Fatalf("%s: %v\nworkload (procs=%d): %v", kind, err, procs, jobs)
+			}
+			if exact && kind == "conservative" {
+				want := audit.OracleStarts(procs, jobs)
+				for _, p := range ps {
+					if p.Start != want[p.Job.ID] {
+						t.Fatalf("conservative/FCFS: job %d starts at %d, oracle says %d\nworkload (procs=%d): %v",
+							p.Job.ID, p.Start, want[p.Job.ID], procs, jobs)
+					}
+				}
+			}
+		}
+	})
+}

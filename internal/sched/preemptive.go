@@ -254,11 +254,20 @@ func (s *Preemptive) headReservation(head *job.Job) (shadow int64, extra int) {
 		return runners[i].j.ID < runners[k].j.ID
 	})
 	avail := s.free
-	for _, r := range runners {
+	for i, r := range runners {
 		avail += r.j.Width
-		if avail >= head.Width {
-			return r.estEnd, avail - head.Width
+		if avail < head.Width {
+			continue
 		}
+		// Runners ending at the same instant also release their
+		// processors by the shadow time; count them toward extra.
+		for _, rr := range runners[i+1:] {
+			if rr.estEnd != r.estEnd {
+				break
+			}
+			avail += rr.j.Width
+		}
+		return r.estEnd, avail - head.Width
 	}
 	panic(fmt.Sprintf("sched: Preemptive cannot place head %v on %d processors", head, s.procs))
 }

@@ -112,6 +112,9 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, obs *Observer) ([]Placement, e
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	// Job IDs must be unique: the engine keys run state by ID, and the final
+	// (Start, ID) placement ordering below is a total order only then.
+	seen := make(map[int]bool, len(jobs))
 	for _, j := range jobs {
 		if err := j.Validate(); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
@@ -119,6 +122,10 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, obs *Observer) ([]Placement, e
 		if j.Width > m.Procs {
 			return nil, fmt.Errorf("sim: %v requests %d processors but the machine has %d", j, j.Width, m.Procs)
 		}
+		if seen[j.ID] {
+			return nil, fmt.Errorf("sim: duplicate job ID %d in workload", j.ID)
+		}
+		seen[j.ID] = true
 	}
 
 	q := NewEventQueue()

@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// TestRunRejectsDuplicateJobIDs: the engine keys run state by job ID and
+// orders the final placements by (Start, ID), which is a total order only
+// for unique IDs. A workload carrying a duplicate must be rejected up
+// front, not silently mis-simulated.
+func TestRunRejectsDuplicateJobIDs(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, Arrival: 0, Runtime: 10, Estimate: 10, Width: 1},
+		{ID: 2, Arrival: 0, Runtime: 10, Estimate: 10, Width: 1},
+		{ID: 1, Arrival: 5, Runtime: 20, Estimate: 20, Width: 1},
+	}
+	_, err := Run(Machine{Procs: 4}, jobs, newGreedyFIFO(4), nil)
+	if err == nil {
+		t.Fatal("duplicate job ID accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate job ID 1") {
+		t.Fatalf("error %q does not name the duplicate ID", err)
+	}
+}

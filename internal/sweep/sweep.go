@@ -95,6 +95,10 @@ type Options struct {
 	// ShowETA additionally prints the engine's "[done/total] ... eta"
 	// lines to Progress.
 	ShowETA bool
+	// NoAudit disables the per-cell invariant auditor (internal/audit).
+	// The zero value keeps auditing on: every cell runs under the checker
+	// and any violation fails the sweep.
+	NoAudit bool
 }
 
 // Run executes every cell serially and returns records in deterministic
@@ -146,7 +150,7 @@ func RunWith(ctx context.Context, d Design, opt Options) ([]Record, error) {
 					return Record{}, err
 				}
 				res, err := core.Run(core.Config{
-					Procs: c.procs, Scheduler: c.sched, Policy: c.pol, Audit: true,
+					Procs: c.procs, Scheduler: c.sched, Policy: c.pol, Audit: !opt.NoAudit,
 				}, jobs)
 				if err != nil {
 					return Record{}, fmt.Errorf("sweep: %s/%s/%s/%s: %w", c.workload, c.sched, c.pol, c.est, err)

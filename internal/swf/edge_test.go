@@ -1,0 +1,129 @@
+package swf
+
+import (
+	"strings"
+	"testing"
+)
+
+// rec builds one 18-field data line from the few fields these tests vary:
+// id, submit, runtime, allocated procs, requested procs, requested time.
+func rec(id, submit, runtime, alloc, req, reqTime string) string {
+	return strings.Join([]string{
+		id, submit, "-1", runtime, alloc, "-1", "-1", req, reqTime,
+		"-1", "1", "-1", "-1", "-1", "-1", "-1", "-1", "-1",
+	}, " ")
+}
+
+// TestParseEdgeCases is the table-driven malformed-input sweep: every case
+// is parsed both leniently (counting Skipped) and strictly (expecting an
+// error for malformed lines, but not for merely unschedulable ones).
+func TestParseEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		input     string
+		wantJobs  int
+		wantSkip  int
+		strictErr bool // Strict mode must reject the input
+	}{
+		{
+			name:     "comment only",
+			input:    "; Version: 2\n; Note: nothing here\n",
+			wantJobs: 0, wantSkip: 0, strictErr: false,
+		},
+		{
+			name:     "blank lines and whitespace",
+			input:    "\n   \n\t\n" + rec("1", "0", "60", "4", "4", "120") + "\n\n",
+			wantJobs: 1, wantSkip: 0, strictErr: false,
+		},
+		{
+			name:     "crlf line endings",
+			input:    "; MaxProcs: 64\r\n" + rec("1", "0", "60", "4", "4", "120") + "\r\n" + rec("2", "5", "30", "2", "2", "60") + "\r\n",
+			wantJobs: 2, wantSkip: 0, strictErr: false,
+		},
+		{
+			name:     "too few fields",
+			input:    "1 0 -1 60 4\n",
+			wantJobs: 0, wantSkip: 1, strictErr: true,
+		},
+		{
+			name:     "too many fields",
+			input:    rec("1", "0", "60", "4", "4", "120") + " 99\n",
+			wantJobs: 0, wantSkip: 1, strictErr: true,
+		},
+		{
+			name:     "non-integer field",
+			input:    rec("1", "0", "sixty", "4", "4", "120") + "\n",
+			wantJobs: 0, wantSkip: 1, strictErr: true,
+		},
+		{
+			name:     "negative submit time",
+			input:    rec("1", "-5", "60", "4", "4", "120") + "\n",
+			wantJobs: 0, wantSkip: 1, strictErr: true,
+		},
+		{
+			name:     "non-positive job number",
+			input:    rec("0", "0", "60", "4", "4", "120") + "\n",
+			wantJobs: 0, wantSkip: 1, strictErr: true,
+		},
+		{
+			// Parses fine but describes no schedulable work: skipped even
+			// under Strict, by design.
+			name:     "no processors requested or allocated",
+			input:    rec("1", "0", "60", "-1", "-1", "120") + "\n",
+			wantJobs: 0, wantSkip: 1, strictErr: false,
+		},
+		{
+			// Missing runtime (-1) clamps to 0; missing estimate falls back
+			// to the runtime and then to the 1-second floor.
+			name:     "missing runtime and estimate",
+			input:    rec("1", "0", "-1", "4", "4", "-1") + "\n",
+			wantJobs: 1, wantSkip: 0, strictErr: false,
+		},
+		{
+			name:     "good line after bad line",
+			input:    "garbage\n" + rec("2", "10", "60", "4", "4", "120") + "\n",
+			wantJobs: 1, wantSkip: 1, strictErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := Parse(strings.NewReader(tc.input), Options{})
+			if err != nil {
+				t.Fatalf("lenient parse: %v", err)
+			}
+			if len(tr.Jobs) != tc.wantJobs || tr.Skipped != tc.wantSkip {
+				t.Errorf("lenient: %d jobs, %d skipped; want %d and %d",
+					len(tr.Jobs), tr.Skipped, tc.wantJobs, tc.wantSkip)
+			}
+			for _, j := range tr.Jobs {
+				if err := j.Validate(); err != nil {
+					t.Errorf("parsed job fails validation: %v", err)
+				}
+			}
+			_, err = Parse(strings.NewReader(tc.input), Options{Strict: true})
+			if tc.strictErr && err == nil {
+				t.Errorf("strict parse accepted malformed input")
+			}
+			if !tc.strictErr && err != nil {
+				t.Errorf("strict parse rejected acceptable input: %v", err)
+			}
+		})
+	}
+}
+
+// TestParseMissingEstimateFloor pins the exact fallback values for the
+// missing-runtime/estimate case separately (the table above only checks it
+// parses).
+func TestParseMissingEstimateFloor(t *testing.T) {
+	tr, err := Parse(strings.NewReader(rec("1", "0", "-1", "4", "4", "-1")+"\n"), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(tr.Jobs))
+	}
+	j := tr.Jobs[0]
+	if j.Runtime != 0 || j.Estimate != 1 {
+		t.Fatalf("runtime/estimate = %d/%d, want 0/1 (clamped floor)", j.Runtime, j.Estimate)
+	}
+}
