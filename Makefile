@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-verbose race vet bench experiments results examples cover clean fuzz-smoke check
+.PHONY: all build test test-verbose race vet bench experiments results examples cover clean fuzz-smoke check serve-smoke
 
 all: build vet test
 
@@ -43,6 +43,12 @@ fuzz-smoke:
 	$(GO) test ./internal/swf -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzProfileOps -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedulerRun -fuzztime=$(FUZZTIME)
+
+# End-to-end smoke test of the online scheduling service: boot schedd on
+# a random port, push three jobs through schedctl, assert completion and
+# a clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 # Regenerate every paper table/figure and the extension studies.
 experiments:

@@ -131,6 +131,60 @@ func benchScheduler(b *testing.B, kind, pol string) {
 	}
 }
 
+// BenchmarkBatchRun and BenchmarkSessionStep measure the same workload
+// through the two faces of the engine: the batch wrapper (sim.Run, what
+// every experiment uses) and the incremental session driven one Step at a
+// time (what the online service does). Batch is the regression guard for
+// the Session refactor: the wrapper must stay within noise of the old
+// monolithic loop, and stepping must not cost materially more than
+// draining.
+func benchSession(b *testing.B, stepwise bool) {
+	b.Helper()
+	jobs, procs := benchWorkload(b)
+	mk, err := sched.MakerFor("easy", sched.FCFS{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ps []sim.Placement
+		if stepwise {
+			ss, err := sim.Open(sim.Machine{Procs: procs}, mk(procs), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, j := range jobs {
+				if err := ss.Submit(j); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for {
+				ok, err := ss.Step()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+			}
+			if ps, err = ss.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if ps, err = sim.Run(sim.Machine{Procs: procs}, jobs, mk(procs), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(ps) != len(jobs) {
+			b.Fatal("lost jobs")
+		}
+	}
+}
+
+func BenchmarkBatchRun(b *testing.B)    { benchSession(b, false) }
+func BenchmarkSessionStep(b *testing.B) { benchSession(b, true) }
+
 func BenchmarkSchedulerNoBackfill(b *testing.B)   { benchScheduler(b, "none", "FCFS") }
 func BenchmarkSchedulerEASY(b *testing.B)         { benchScheduler(b, "easy", "FCFS") }
 func BenchmarkSchedulerEASYSJF(b *testing.B)      { benchScheduler(b, "easy", "SJF") }

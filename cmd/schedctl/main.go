@@ -1,0 +1,254 @@
+// Command schedctl is the command-line client for the schedd scheduling
+// daemon. It mirrors the classic batch-system front-ends: submit a job,
+// query its status (including the predicted start time for queued jobs),
+// cancel it, and inspect the whole queue.
+//
+//	schedctl submit -width 16 -runtime 3600
+//	schedctl stat 42
+//	schedctl cancel 42
+//	schedctl queue
+//
+// The daemon address comes from -addr or the SCHEDD_ADDR environment
+// variable, defaulting to http://127.0.0.1:8080.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "schedctl:", err)
+		os.Exit(1)
+	}
+}
+
+// jobView mirrors serve.JobView; schedctl decodes only what it prints.
+type jobView struct {
+	ID             int      `json:"id"`
+	State          string   `json:"state"`
+	Width          int      `json:"width"`
+	Runtime        int64    `json:"runtime"`
+	Estimate       int64    `json:"estimate"`
+	Arrival        int64    `json:"arrival"`
+	Category       string   `json:"category"`
+	Start          *int64   `json:"start"`
+	End            *int64   `json:"end"`
+	PredictedStart *int64   `json:"predicted_start"`
+	Slowdown       *float64 `json:"slowdown"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("schedctl", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", defaultAddr(), "schedd base URL")
+	fs.Usage = func() {
+		fmt.Fprintf(out, "usage: schedctl [-addr URL] <submit|stat|cancel|queue|health|metrics> [args]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing command")
+	}
+	c := &client{base: strings.TrimRight(*addr, "/"), out: out}
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "submit":
+		return c.submit(rest)
+	case "stat":
+		return c.stat(rest)
+	case "cancel":
+		return c.cancel(rest)
+	case "queue":
+		return c.queue()
+	case "health":
+		return c.passthrough("/healthz")
+	case "metrics":
+		return c.passthrough("/metrics")
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func defaultAddr() string {
+	if v := os.Getenv("SCHEDD_ADDR"); v != "" {
+		return v
+	}
+	return "http://127.0.0.1:8080"
+}
+
+type client struct {
+	base string
+	out  io.Writer
+}
+
+// do issues one request and decodes the JSON response into v (when
+// non-nil), converting non-2xx statuses into the server's error message.
+func (c *client) do(method, path string, body io.Reader, v any) error {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s (status %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if v == nil {
+		return nil
+	}
+	return json.Unmarshal(data, v)
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("schedctl submit", flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	var (
+		width   = fs.Int("width", 1, "processors requested")
+		runtime = fs.Int64("runtime", 60, "actual runtime in seconds (simulation ground truth)")
+		est     = fs.Int64("est", 0, "user estimate in seconds (0 means exact)")
+		user    = fs.Int("user", 0, "submitting user ID")
+		n       = fs.Int("n", 1, "submit this many identical jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for i := 0; i < *n; i++ {
+		body, _ := json.Marshal(map[string]any{
+			"width": *width, "runtime": *runtime, "estimate": *est, "user": *user,
+		})
+		var v jobView
+		if err := c.do("POST", "/v1/jobs", bytes.NewReader(body), &v); err != nil {
+			return err
+		}
+		c.printJob(v)
+	}
+	return nil
+}
+
+func (c *client) stat(args []string) error {
+	id, err := oneID(args)
+	if err != nil {
+		return err
+	}
+	var v jobView
+	if err := c.do("GET", "/v1/jobs/"+strconv.Itoa(id), nil, &v); err != nil {
+		return err
+	}
+	c.printJob(v)
+	return nil
+}
+
+func (c *client) cancel(args []string) error {
+	id, err := oneID(args)
+	if err != nil {
+		return err
+	}
+	if err := c.do("DELETE", "/v1/jobs/"+strconv.Itoa(id), nil, nil); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "job %d cancelled\n", id)
+	return nil
+}
+
+func (c *client) queue() error {
+	var q struct {
+		Now       int64     `json:"now"`
+		Scheduler string    `json:"scheduler"`
+		Procs     int       `json:"procs"`
+		ProcsBusy int       `json:"procs_busy"`
+		Queued    []jobView `json:"queued"`
+		Running   []jobView `json:"running"`
+		Completed int64     `json:"completed"`
+		Cancelled int64     `json:"cancelled"`
+	}
+	if err := c.do("GET", "/v1/queue", nil, &q); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "%s  t=%d  procs %d/%d busy  completed %d  cancelled %d\n",
+		q.Scheduler, q.Now, q.ProcsBusy, q.Procs, q.Completed, q.Cancelled)
+	if len(q.Running) > 0 {
+		fmt.Fprintf(c.out, "running (%d):\n", len(q.Running))
+		for _, v := range q.Running {
+			c.printJob(v)
+		}
+	}
+	if len(q.Queued) > 0 {
+		fmt.Fprintf(c.out, "queued (%d):\n", len(q.Queued))
+		for _, v := range q.Queued {
+			c.printJob(v)
+		}
+	}
+	return nil
+}
+
+// passthrough streams a plain endpoint (health JSON, Prometheus text).
+func (c *client) passthrough(path string) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	_, err = io.Copy(c.out, resp.Body)
+	return err
+}
+
+// printJob renders one job as a single line, the way qstat does.
+func (c *client) printJob(v jobView) {
+	line := fmt.Sprintf("job %d  %s  %dp × %ds  [%s]", v.ID, v.State, v.Width, v.Runtime, v.Category)
+	switch {
+	case v.State == "queued" && v.PredictedStart != nil:
+		line += fmt.Sprintf("  predicted start t=%d", *v.PredictedStart)
+	case v.State == "running" && v.Start != nil:
+		line += fmt.Sprintf("  started t=%d", *v.Start)
+	case v.State == "done" && v.End != nil:
+		line += fmt.Sprintf("  finished t=%d", *v.End)
+		if v.Slowdown != nil {
+			line += fmt.Sprintf("  slowdown %.2f", *v.Slowdown)
+		}
+	}
+	fmt.Fprintln(c.out, line)
+}
+
+func oneID(args []string) (int, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("expected exactly one job ID, got %d args", len(args))
+	}
+	id, err := strconv.Atoi(args[0])
+	if err != nil {
+		return 0, fmt.Errorf("bad job ID %q", args[0])
+	}
+	return id, nil
+}

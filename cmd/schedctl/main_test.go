@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// testDaemon boots a serve.Server with a frozen clock behind httptest so
+// the client's view of the queue is deterministic.
+func testDaemon(t *testing.T) string {
+	t.Helper()
+	srv, err := serve.New(serve.Options{Procs: 8, Scheduler: "easy", Audit: true, Speed: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("daemon drain: %v", err)
+		}
+	})
+	return ts.URL
+}
+
+// ctl runs one schedctl invocation against the test daemon.
+func ctl(t *testing.T, addr string, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(append([]string{"-addr", addr}, args...), &out); err != nil {
+		t.Fatalf("schedctl %s: %v\noutput:\n%s", strings.Join(args, " "), err, out.String())
+	}
+	return out.String()
+}
+
+func TestCtlLifecycle(t *testing.T) {
+	addr := testDaemon(t)
+
+	// Fill the 8-proc machine, then submit a queued job with a forecast.
+	out := ctl(t, addr, "submit", "-width", "8", "-runtime", "100")
+	if !strings.Contains(out, "job 1  running") {
+		t.Fatalf("submit output = %q, want running job 1", out)
+	}
+	out = ctl(t, addr, "submit", "-width", "4", "-runtime", "50")
+	if !strings.Contains(out, "job 2  queued") || !strings.Contains(out, "predicted start t=100") {
+		t.Fatalf("submit output = %q, want queued with predicted start 100", out)
+	}
+
+	out = ctl(t, addr, "stat", "2")
+	if !strings.Contains(out, "job 2  queued") {
+		t.Fatalf("stat output = %q", out)
+	}
+
+	out = ctl(t, addr, "queue")
+	for _, want := range []string{"EASY(FCFS)", "8/8 busy", "running (1):", "queued (1):"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("queue output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = ctl(t, addr, "cancel", "2")
+	if !strings.Contains(out, "job 2 cancelled") {
+		t.Fatalf("cancel output = %q", out)
+	}
+
+	out = ctl(t, addr, "health")
+	if !strings.Contains(out, `"status":"ok"`) {
+		t.Fatalf("health output = %q", out)
+	}
+
+	out = ctl(t, addr, "metrics")
+	for _, want := range []string{
+		"schedd_jobs_submitted_total 2",
+		"schedd_jobs_cancelled_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestCtlSubmitBatch(t *testing.T) {
+	addr := testDaemon(t)
+	out := ctl(t, addr, "submit", "-width", "2", "-runtime", "30", "-n", "3")
+	if got := strings.Count(out, "job "); got != 3 {
+		t.Fatalf("submit -n 3 printed %d jobs:\n%s", got, out)
+	}
+}
+
+func TestCtlErrors(t *testing.T) {
+	addr := testDaemon(t)
+	cases := [][]string{
+		{},                         // no command
+		{"frobnicate"},             // unknown command
+		{"stat"},                   // missing ID
+		{"stat", "x"},              // bad ID
+		{"stat", "99"},             // unknown job
+		{"cancel", "99"},           // unknown job
+		{"submit", "-width", "16"}, // wider than the machine → 400
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(append([]string{"-addr", addr}, args...), &out); err == nil {
+			t.Errorf("schedctl %v succeeded, want error", args)
+		}
+	}
+}
+
+func TestCtlServerErrorMessage(t *testing.T) {
+	addr := testDaemon(t)
+	var out bytes.Buffer
+	err := run([]string{"-addr", addr, "stat", "99"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown job 99") {
+		t.Fatalf("error = %v, want server message about unknown job 99", err)
+	}
+	if !strings.Contains(err.Error(), strconv.Itoa(404)) {
+		t.Fatalf("error = %v, want status 404 mentioned", err)
+	}
+}

@@ -1,0 +1,160 @@
+// Command schedd runs the backfilling simulator as an online scheduling
+// service: a daemon owning one incremental simulation session, an HTTP/JSON
+// API for submitting, cancelling and querying jobs (with start-time
+// forecasts), and Prometheus metrics. Virtual time runs in real time, at an
+// N× acceleration, or as fast as possible.
+//
+//	schedd -procs 128 -sched easy -policy SJF -addr 127.0.0.1:8080
+//	schedd -procs 430 -sched conservative -swf trace.swf -speed 60
+//	schedd -procs 128 -model SDSC -jobs 2000 -speed 0   # replay flat out
+//
+// SIGINT/SIGTERM drain gracefully: admissions stop, the remaining schedule
+// fast-forwards to completion, and the exit status reflects whether the
+// audited run finished clean.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/serve"
+	"repro/internal/swf"
+	"repro/internal/workload"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the server from args and serves until ctx is cancelled. When
+// ready is non-nil, the listen URL is sent on it once the API is up (tests
+// and the smoke script use this instead of parsing logs).
+func run(ctx context.Context, args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("schedd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address (host:port, :0 picks a free port)")
+		procs   = fs.Int("procs", 128, "machine size in processors")
+		kind    = fs.String("sched", "easy", "scheduler kind (see sched.MakerFor)")
+		policy  = fs.String("policy", "FCFS", "queue priority policy: FCFS, SJF, XF, LJF, WFP")
+		audit   = fs.Bool("audit", true, "wrap the live session in the invariant auditor")
+		speed   = fs.Float64("speed", 1, "virtual seconds per wall second; 0 runs as fast as possible")
+		swfPath = fs.String("swf", "", "preload and replay this SWF trace")
+		model   = fs.String("model", "", "preload a synthetic workload: CTC or SDSC")
+		jobs    = fs.Int("jobs", 1000, "synthetic replay length in jobs")
+		load    = fs.Float64("load", 0.85, "offered load for synthetic replay")
+		seed    = fs.Int64("seed", 42, "random seed for synthetic replay")
+		est     = fs.String("est", "actual", "estimate model for synthetic replay: keep, exact, actual, R=<f>")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Options{
+		Procs:     *procs,
+		Scheduler: *kind,
+		Policy:    *policy,
+		Audit:     *audit,
+		Speed:     *speed,
+	})
+	if err != nil {
+		return err
+	}
+
+	replay, err := loadReplay(*swfPath, *model, *jobs, *seed, *load, *est, *procs)
+	if err != nil {
+		return err
+	}
+	if len(replay) > 0 {
+		if err := srv.Preload(replay); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "schedd: preloaded %d jobs for replay\n", len(replay))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	url := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "schedd: %s(%s) on %d procs, speed %g, listening on %s\n",
+		*kind, *policy, *procs, *speed, url)
+	if ready != nil {
+		ready <- url
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(ctx) }()
+
+	var firstErr error
+	select {
+	case err := <-httpErr:
+		// Listener died under us; bring the scheduler down too.
+		firstErr = err
+		<-ctx.Done()
+		<-runErr
+	case err := <-runErr:
+		// Normal path: signal received, scheduler drained.
+		firstErr = err
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr == nil {
+		fmt.Fprintln(out, "schedd: drained clean")
+	}
+	return firstErr
+}
+
+// loadReplay builds the optional preloaded workload: an SWF trace, or a
+// synthetic model with rewritten estimates.
+func loadReplay(swfPath, model string, jobs int, seed int64, load float64, est string, procs int) ([]*job.Job, error) {
+	switch {
+	case swfPath != "":
+		tr, err := swf.Open(swfPath, swf.Options{MaxJobs: jobs})
+		if err != nil {
+			return nil, err
+		}
+		return tr.Jobs, nil
+	case model != "":
+		m, err := workload.ByName(model, load)
+		if err != nil {
+			return nil, err
+		}
+		if m.Procs != procs {
+			return nil, fmt.Errorf("model %s is calibrated for %d procs, daemon has %d (pass -procs %d)",
+				model, m.Procs, procs, m.Procs)
+		}
+		js, err := m.Generate(jobs, seed)
+		if err != nil {
+			return nil, err
+		}
+		em, err := workload.EstimateModelByName(est)
+		if err != nil {
+			return nil, err
+		}
+		return workload.ApplyEstimates(js, em, seed+1), nil
+	default:
+		return nil, nil
+	}
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// boot starts run() on a free port and returns the base URL plus a stop
+// function that cancels the daemon and returns its exit error.
+func boot(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &out, ready)
+	}()
+	var url string
+	select {
+	case url = <-ready:
+	case err := <-errc:
+		cancel()
+		t.Fatalf("daemon exited before ready: %v\noutput:\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	return url, func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not exit after cancel")
+			return nil
+		}
+	}
+}
+
+func getJSONinto(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func TestDaemonSubmitAndDrain(t *testing.T) {
+	// A nearly-frozen clock keeps the submitted job running until drain.
+	url, stop := boot(t, "-procs", "8", "-sched", "easy", "-speed", "1e-9")
+
+	var health struct {
+		Status  string `json:"status"`
+		Pending int    `json:"pending"`
+	}
+	getJSONinto(t, url+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("healthz status = %q, want ok", health.Status)
+	}
+
+	body := strings.NewReader(`{"width": 4, "runtime": 100}`)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", body)
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	var jv struct {
+		ID    int    `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/jobs: status %d", resp.StatusCode)
+	}
+	if jv.State != "running" {
+		t.Fatalf("job state = %q, want running (empty 8-proc machine)", jv.State)
+	}
+
+	// SIGTERM-equivalent: cancelling the context must drain the in-flight
+	// job and exit clean.
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestDaemonSyntheticReplay(t *testing.T) {
+	url, stop := boot(t,
+		"-procs", "128", "-model", "SDSC", "-jobs", "40", "-seed", "7",
+		"-sched", "conservative", "-policy", "SJF", "-speed", "-1")
+
+	// As-fast-as-possible replay: the whole preloaded trace should finish
+	// promptly; poll until the event queue is empty.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var health struct {
+			Pending int `json:"pending"`
+		}
+		getJSONinto(t, url+"/healthz", &health)
+		if health.Pending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replay never finished: %d events pending", health.Pending)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var q struct {
+		Completed int64 `json:"completed"`
+	}
+	getJSONinto(t, url+"/v1/queue", &q)
+	if q.Completed != 40 {
+		t.Fatalf("completed = %d, want 40", q.Completed)
+	}
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"schedd_jobs_submitted_total 40",
+		"schedd_jobs_completed_total 40",
+		"schedd_audit_violations 0",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-sched", "bogus"},
+		{"-policy", "bogus"},
+		{"-procs", "0"},
+		{"-model", "bogus"},
+		{"-model", "SDSC", "-procs", "64"}, // calibrated for 128
+		{"-swf", "/nonexistent.swf"},
+		{"-model", "SDSC", "-procs", "128", "-est", "bogus"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		err := run(context.Background(), args, &out, nil)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestDaemonListenError(t *testing.T) {
+	// Grab a port, then ask the daemon to bind the same one.
+	url, stop := boot(t, "-procs", "8", "-speed", "-1")
+	addr := strings.TrimPrefix(url, "http://")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-addr", addr, "-procs", "8"}, &out, nil)
+	if err == nil {
+		t.Fatal("second bind on same address succeeded, want error")
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestLoadReplayNone(t *testing.T) {
+	js, err := loadReplay("", "", 10, 1, 0.85, "keep", 128)
+	if err != nil || js != nil {
+		t.Fatalf("loadReplay with no source = (%v, %v), want (nil, nil)", js, err)
+	}
+}
+
+func TestDaemonUsage(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-h"}, &out, nil)
+	if err == nil {
+		t.Fatal("-h returned nil error")
+	}
+	if !strings.Contains(out.String(), "-procs") {
+		t.Errorf("usage output missing flag docs:\n%s", out.String())
+	}
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -20,69 +21,81 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "schedviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("schedviz", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		model   = flag.String("model", "SDSC", "synthetic trace model: CTC or SDSC (ignored with -swf)")
-		swfPath = flag.String("swf", "", "read workload from this SWF file")
-		jobs    = flag.Int("jobs", 30, "number of jobs")
-		seed    = flag.Int64("seed", 42, "random seed")
-		load    = flag.Float64("load", 0.85, "offered load for synthetic traces")
-		est     = flag.String("est", "keep", "estimate model: keep, exact, actual, or R=<factor>")
-		sched   = flag.String("sched", "easy", "scheduler kind")
-		policy  = flag.String("policy", "FCFS", "priority policy")
-		width   = flag.Int("width", 100, "chart width in columns")
-		heat    = flag.Bool("heatmap", false, "also render weekday×hour utilization and arrival heatmaps")
-		svgPath = flag.String("svg", "", "also write a vector Gantt chart to this SVG file")
+		model   = fs.String("model", "SDSC", "synthetic trace model: CTC or SDSC (ignored with -swf)")
+		swfPath = fs.String("swf", "", "read workload from this SWF file")
+		jobs    = fs.Int("jobs", 30, "number of jobs")
+		seed    = fs.Int64("seed", 42, "random seed")
+		load    = fs.Float64("load", 0.85, "offered load for synthetic traces")
+		est     = fs.String("est", "keep", "estimate model: keep, exact, actual, or R=<factor>")
+		sched   = fs.String("sched", "easy", "scheduler kind")
+		policy  = fs.String("policy", "FCFS", "priority policy")
+		width   = fs.Int("width", 100, "chart width in columns")
+		heat    = fs.Bool("heatmap", false, "also render weekday×hour utilization and arrival heatmaps")
+		svgPath = fs.String("svg", "", "also write a vector Gantt chart to this SVG file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	js, procs, err := load2(*swfPath, *model, *jobs, *seed, *load)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	em, err := workload.EstimateModelByName(*est)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	js = workload.ApplyEstimates(js, em, *seed+1)
 
 	res, err := core.Run(core.Config{Procs: procs, Scheduler: *sched, Policy: *policy, Audit: true}, js)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("%s  avg slowdown %.2f  avg turnaround %.0fs  utilization %.1f%%\n\n",
+	fmt.Fprintf(out, "%s  avg slowdown %.2f  avg turnaround %.0fs  utilization %.1f%%\n\n",
 		res.Report.Scheduler, res.Report.Overall.MeanSlowdown,
 		res.Report.Overall.MeanTurnaround, 100*res.Report.Utilization)
-	if err := viz.Render(os.Stdout, res.Placements, viz.Options{Procs: procs, Width: *width}); err != nil {
-		fatal(err)
+	if err := viz.Render(out, res.Placements, viz.Options{Procs: procs, Width: *width}); err != nil {
+		return err
 	}
 	if *svgPath != "" {
 		f, err := os.Create(*svgPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := viz.RenderSVG(f, res.Placements, viz.SVGOptions{Procs: procs}); err != nil {
 			f.Close()
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s\n", *svgPath)
+		fmt.Fprintf(out, "wrote %s\n", *svgPath)
 	}
 	if *heat {
-		fmt.Println()
+		fmt.Fprintln(out)
 		util, err := metrics.UtilizationHeatmap(res.Placements, procs)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		if err := viz.RenderHeatmap(os.Stdout, util, "utilization heatmap"); err != nil {
-			fatal(err)
+		if err := viz.RenderHeatmap(out, util, "utilization heatmap"); err != nil {
+			return err
 		}
-		fmt.Println()
-		if err := viz.RenderHeatmap(os.Stdout, metrics.ArrivalHeatmap(res.Placements), "arrival heatmap (jobs/hour)"); err != nil {
-			fatal(err)
+		fmt.Fprintln(out)
+		if err := viz.RenderHeatmap(out, metrics.ArrivalHeatmap(res.Placements), "arrival heatmap (jobs/hour)"); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 func load2(swfPath, model string, jobs int, seed int64, load float64) ([]*job.Job, int, error) {
@@ -102,9 +115,4 @@ func load2(swfPath, model string, jobs int, seed int64, load float64) ([]*job.Jo
 		return nil, 0, err
 	}
 	return js, m.Procs, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "schedviz:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSynthetic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "SDSC", "-jobs", "20", "-sched", "easy", "-policy", "SJF"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"EASY(SJF)", "avg slowdown", "utilization"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSVGOutput(t *testing.T) {
+	svgPath := filepath.Join(t.TempDir(), "gantt.svg")
+	var out bytes.Buffer
+	if err := run([]string{"-model", "CTC", "-jobs", "10", "-svg", svgPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatalf("SVG file not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") || !strings.Contains(string(data), "</svg>") {
+		t.Errorf("SVG file malformed:\n%.200s", data)
+	}
+	if !strings.Contains(out.String(), "wrote "+svgPath) {
+		t.Errorf("output missing write confirmation:\n%s", out.String())
+	}
+}
+
+func TestRunHeatmap(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "SDSC", "-jobs", "15", "-heatmap"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"utilization heatmap", "arrival heatmap"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSWF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.swf")
+	trace := `; MaxProcs: 8
+1 0 0 100 4 -1 -1 4 100 -1 1 1 -1 -1 -1 -1 -1 -1
+2 10 0 50 8 -1 -1 8 60 -1 1 1 -1 -1 -1 -1 -1 -1
+`
+	if err := os.WriteFile(path, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-swf", path, "-sched", "conservative"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Conservative(FCFS)") {
+		t.Errorf("output missing scheduler name:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-model", "bogus"},
+		{"-est", "bogus"},
+		{"-sched", "bogus"},
+		{"-policy", "bogus"},
+		{"-swf", "/nonexistent.swf"},
+		{"-jobs", "x"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -17,21 +17,31 @@ import (
 )
 
 func main() {
-	procs := flag.Int("procs", 0, "machine size override for offered load")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: swfstat [-procs N] <file.swf | ->")
-		os.Exit(2)
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "swfstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("swfstat", flag.ContinueOnError)
+	fs.SetOutput(out)
+	procs := fs.Int("procs", 0, "machine size override for offered load")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: swfstat [-procs N] <file.swf | ->")
 	}
 
 	var r io.Reader
-	name := flag.Arg(0)
+	name := fs.Arg(0)
 	if name == "-" {
-		r = os.Stdin
+		r = stdin
 	} else {
 		f, err := os.Open(name)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		r = f
@@ -39,11 +49,11 @@ func main() {
 
 	rr, err := swf.NewReader(r)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	tr, err := swf.Parse(rr, swf.Options{})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	machine := tr.MaxProcs
 	if *procs > 0 {
@@ -52,27 +62,23 @@ func main() {
 
 	th := job.PaperThresholds()
 	s := trace.Summarize(tr.Jobs, th)
-	fmt.Printf("jobs             %d (skipped %d records)\n", s.Jobs, tr.Skipped)
-	fmt.Printf("machine          %d processors\n", machine)
-	fmt.Printf("span             %d s\n", s.Span)
-	fmt.Printf("offered load     %.3f\n", trace.OfferedLoad(tr.Jobs, machine))
-	fmt.Printf("mean runtime     %.0f s\n", s.MeanRuntime)
-	fmt.Printf("mean width       %.1f procs\n", s.MeanWidth)
-	fmt.Printf("mean est/runtime %.2f\n\n", s.MeanOverestimate)
+	fmt.Fprintf(out, "jobs             %d (skipped %d records)\n", s.Jobs, tr.Skipped)
+	fmt.Fprintf(out, "machine          %d processors\n", machine)
+	fmt.Fprintf(out, "span             %d s\n", s.Span)
+	fmt.Fprintf(out, "offered load     %.3f\n", trace.OfferedLoad(tr.Jobs, machine))
+	fmt.Fprintf(out, "mean runtime     %.0f s\n", s.MeanRuntime)
+	fmt.Fprintf(out, "mean width       %.1f procs\n", s.MeanWidth)
+	fmt.Fprintf(out, "mean est/runtime %.2f\n\n", s.MeanOverestimate)
 
-	fmt.Printf("category distribution (runtime %ds × width %d):\n", th.MaxShortRuntime, th.MaxNarrowWidth)
+	fmt.Fprintf(out, "category distribution (runtime %ds × width %d):\n", th.MaxShortRuntime, th.MaxNarrowWidth)
 	for _, c := range job.Categories() {
-		fmt.Printf("  %-3s %7d  %6.2f%%\n", c.String(), s.CategoryCounts[c], 100*s.Mix[c])
+		fmt.Fprintf(out, "  %-3s %7d  %6.2f%%\n", c.String(), s.CategoryCounts[c], 100*s.Mix[c])
 	}
-	fmt.Printf("\nestimate quality (well = estimate <= 2x runtime):\n")
+	fmt.Fprintf(out, "\nestimate quality (well = estimate <= 2x runtime):\n")
 	total := s.WellEstimated + s.PoorlyEstimated
 	if total > 0 {
-		fmt.Printf("  well    %7d  %6.2f%%\n", s.WellEstimated, 100*float64(s.WellEstimated)/float64(total))
-		fmt.Printf("  poorly  %7d  %6.2f%%\n", s.PoorlyEstimated, 100*float64(s.PoorlyEstimated)/float64(total))
+		fmt.Fprintf(out, "  well    %7d  %6.2f%%\n", s.WellEstimated, 100*float64(s.WellEstimated)/float64(total))
+		fmt.Fprintf(out, "  poorly  %7d  %6.2f%%\n", s.PoorlyEstimated, 100*float64(s.PoorlyEstimated)/float64(total))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "swfstat:", err)
-	os.Exit(1)
+	return nil
 }

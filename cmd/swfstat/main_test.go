@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleSWF is a tiny two-job trace: job 1 is short/narrow (SN), job 2 is
+// long/wide on a 16-proc machine declared in the header.
+const sampleSWF = `; MaxProcs: 16
+; UnixStartTime: 0
+1 0 10 100 4 -1 -1 4 200 -1 1 1 -1 -1 -1 -1 -1 -1
+2 50 0 40000 16 -1 -1 16 50000 -1 1 2 -1 -1 -1 -1 -1 -1
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sample.swf")
+	if err := os.WriteFile(path, []byte(sampleSWF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{writeSample(t)}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"jobs             2 (skipped 0 records)",
+		"machine          16 processors",
+		"category distribution",
+		"estimate quality",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-"}, strings.NewReader(sampleSWF), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "jobs             2") {
+		t.Errorf("stdin run missing job count:\n%s", out.String())
+	}
+}
+
+func TestRunProcsOverride(t *testing.T) {
+	var withHeader, with32 bytes.Buffer
+	path := writeSample(t)
+	if err := run([]string{path}, nil, &withHeader); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-procs", "32", path}, nil, &with32); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(with32.String(), "machine          32 processors") {
+		t.Errorf("-procs 32 not applied:\n%s", with32.String())
+	}
+	if withHeader.String() == with32.String() {
+		t.Error("machine override did not change the offered-load summary")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                   // missing file argument
+		{"a.swf", "b.swf"},   // too many arguments
+		{"/nonexistent.swf"}, // unreadable file
+		{"-procs", "x", "-"}, // bad flag value
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

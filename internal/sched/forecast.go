@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/job"
+)
+
+// RunningSlot describes one running job for start-time forecasting: the
+// processors it holds and the instant its estimate guarantees them back.
+type RunningSlot struct {
+	Width  int
+	EstEnd int64
+}
+
+// ShowStart predicts a start time for every queued job — the feature
+// production batch schedulers expose as "showstart" (Maui/Moab) or
+// "squeue --start" (Slurm). The forecast snapshots the machine (running
+// jobs occupy their processors until their estimated ends) and dry-runs a
+// conservative backfill schedule over the queue in priority order: each job
+// is placed at the earliest hole that fits its estimate and width, and the
+// hole is reserved before the next job is placed.
+//
+// The result is exact for reservation-based schedulers with exact
+// estimates, and an upper-bound-flavoured estimate for aggressive ones
+// (EASY may start a job earlier via backfilling; early completions compress
+// every prediction forward). That is the same fidelity real showstart
+// implementations offer, because the future workload is unknowable either
+// way.
+//
+// queued is not modified; the returned map is keyed by job ID.
+func ShowStart(procs int, now int64, running []RunningSlot, queued []*job.Job, pol Policy) map[int]int64 {
+	p := NewProfile(procs)
+	for _, r := range running {
+		if r.EstEnd > now && r.Width > 0 {
+			p.Reserve(now, r.EstEnd-now, r.Width)
+		}
+	}
+	q := append([]*job.Job(nil), queued...)
+	sortQueue(q, pol, now)
+	out := make(map[int]int64, len(q))
+	for _, j := range q {
+		st := p.FindStart(now, j.Estimate, j.Width)
+		p.Reserve(st, j.Estimate, j.Width)
+		out[j.ID] = st
+	}
+	return out
+}
+
+// Reservist is the optional scheduler capability of reporting the
+// reservation (guaranteed start) it currently holds for a queued job.
+// Conservative and slack-based schedulers implement it; the serving layer
+// prefers a real reservation over a ShowStart forecast when available.
+type Reservist interface {
+	Reservation(id int) (int64, bool)
+}
+
+// Forecast combines both prediction sources for one queue snapshot: the
+// scheduler's own reservations where it holds them, and the ShowStart
+// dry-run for everything else. Predictions never precede now.
+func Forecast(s interface{ Name() string }, procs int, now int64, running []RunningSlot, queued []*job.Job, pol Policy) map[int]int64 {
+	out := ShowStart(procs, now, running, queued, pol)
+	if r, ok := s.(Reservist); ok {
+		for _, j := range queued {
+			if t, ok := r.Reservation(j.ID); ok {
+				out[j.ID] = t
+			}
+		}
+	}
+	for id, t := range out {
+		if t < now {
+			out[id] = now
+		}
+	}
+	return out
+}
+
+// SortedByPolicy returns a copy of jobs ordered by the policy at now —
+// the order a scheduler would serve them in, which is also the order
+// status endpoints should display.
+func SortedByPolicy(jobs []*job.Job, pol Policy, now int64) []*job.Job {
+	q := append([]*job.Job(nil), jobs...)
+	sort.SliceStable(q, func(i, k int) bool { return pol.Less(q[i], q[k], now) })
+	return q
+}

@@ -1,0 +1,53 @@
+package serve
+
+import "time"
+
+// Clock maps wall-clock time onto the simulation's virtual seconds. Three
+// modes cover the service's uses:
+//
+//   - speed == 1: real time — one virtual second per wall second, the mode
+//     a daemon scheduling real submissions runs in.
+//   - speed > 1 (or any other positive value): accelerated (or slowed)
+//     replay — an SWF trace spanning months plays back in minutes.
+//   - speed <= 0: as-fast-as-possible — virtual time jumps straight to the
+//     next event, the mode tests, smoke runs and drains use.
+//
+// The zero time origin is fixed when the server starts; virtual time is
+// base + elapsed·speed, truncated to whole seconds (the engine's unit).
+type Clock struct {
+	start time.Time
+	base  int64
+	speed float64
+}
+
+// NewClock starts a clock at virtual second base, ticking at speed from
+// wall instant now. speed <= 0 builds an as-fast-as-possible clock.
+func NewClock(base int64, speed float64, now time.Time) *Clock {
+	return &Clock{start: now, base: base, speed: speed}
+}
+
+// Max reports whether the clock runs in as-fast-as-possible mode.
+func (c *Clock) Max() bool { return c.speed <= 0 }
+
+// Now returns the virtual second at wall instant wall. In Max mode there
+// is no meaningful mapping; callers use the session's own time instead.
+func (c *Clock) Now(wall time.Time) int64 {
+	if c.Max() {
+		return c.base
+	}
+	return c.base + int64(wall.Sub(c.start).Seconds()*c.speed)
+}
+
+// WallUntil returns how long to sleep from wall instant wall until virtual
+// second vt is reached. It never returns a negative duration.
+func (c *Clock) WallUntil(vt int64, wall time.Time) time.Duration {
+	if c.Max() {
+		return 0
+	}
+	target := c.start.Add(time.Duration(float64(vt-c.base) / c.speed * float64(time.Second)))
+	d := target.Sub(wall)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

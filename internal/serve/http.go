@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// SubmitRequest is the body of POST /v1/jobs. Runtime is the job's actual
+// execution time — this is a simulation service, so the "ground truth" the
+// engine needs travels with the submission. Estimate defaults to Runtime
+// (a perfectly estimated job) when omitted.
+type SubmitRequest struct {
+	Width    int   `json:"width"`
+	Runtime  int64 `json:"runtime"`
+	Estimate int64 `json:"estimate,omitempty"`
+	User     int   `json:"user,omitempty"`
+}
+
+// JobView is the service's representation of one job, returned by submit,
+// status, and queue endpoints.
+type JobView struct {
+	ID       int    `json:"id"`
+	State    string `json:"state"`
+	Width    int    `json:"width"`
+	Runtime  int64  `json:"runtime"`
+	Estimate int64  `json:"estimate"`
+	Arrival  int64  `json:"arrival"`
+	Category string `json:"category"`
+	// Start and End are set once the job has started / finished.
+	Start *int64 `json:"start,omitempty"`
+	End   *int64 `json:"end,omitempty"`
+	// PredictedStart is the start-time forecast for queued jobs: exact
+	// where the scheduler holds a reservation, a conservative dry-run of
+	// the backfill schedule otherwise.
+	PredictedStart *int64 `json:"predicted_start,omitempty"`
+	// Slowdown is the bounded slowdown, reported for completed jobs.
+	Slowdown *float64 `json:"slowdown,omitempty"`
+}
+
+// QueueResponse is the body of GET /v1/queue.
+type QueueResponse struct {
+	Now       int64     `json:"now"`
+	Scheduler string    `json:"scheduler"`
+	Procs     int       `json:"procs"`
+	ProcsBusy int       `json:"procs_busy"`
+	Queued    []JobView `json:"queued"`
+	Running   []JobView `json:"running"`
+	Completed int64     `json:"completed"`
+	Cancelled int64     `json:"cancelled"`
+}
+
+// healthResponse is the body of GET /healthz.
+type healthResponse struct {
+	Status  string `json:"status"`
+	Now     int64  `json:"now"`
+	Pending int    `json:"pending"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// makeView converts a session snapshot into the wire representation.
+func makeView(info sim.JobInfo, th job.Thresholds) JobView {
+	j := info.Job
+	v := JobView{
+		ID:       j.ID,
+		State:    info.State.String(),
+		Width:    j.Width,
+		Runtime:  j.Runtime,
+		Estimate: j.Estimate,
+		Arrival:  j.Arrival,
+		Category: th.Classify(j).String(),
+	}
+	if info.Start >= 0 {
+		start := info.Start
+		v.Start = &start
+	}
+	if info.State == sim.StateDone && info.End >= 0 {
+		end := info.End
+		v.End = &end
+		delay := (info.End - j.Arrival) - j.Runtime
+		if delay < 0 {
+			delay = 0
+		}
+		sd := metrics.BoundedSlowdown(delay, j.Runtime)
+		v.Slowdown = &sd
+	}
+	return v
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs       submit a job          → 201 JobView
+//	GET    /v1/jobs/{id}  status + forecast     → 200 JobView
+//	DELETE /v1/jobs/{id}  cancel a queued job   → 204
+//	GET    /v1/queue      whole-service snapshot → 200 QueueResponse
+//	GET    /healthz       liveness               → 200 {"status":"ok"}
+//	GET    /metrics       Prometheus text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/queue", s.handleQueue)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps request failures onto HTTP statuses: clientError carries
+// its own, ErrStopped means the service is shutting down, anything else is
+// an engine failure.
+func writeError(w http.ResponseWriter, err error) {
+	var ce *clientError
+	switch {
+	case errors.As(err, &ce):
+		writeJSON(w, ce.code, errorResponse{Error: ce.Error()})
+	case errors.Is(err, ErrStopped):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	var v JobView
+	var subErr error
+	if err := s.exec(func() { v, subErr = s.submit(req) }); err != nil {
+		writeError(w, err)
+		return
+	}
+	if subErr != nil {
+		writeError(w, subErr)
+		return
+	}
+	writeJSON(w, http.StatusCreated, v)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job id"})
+		return
+	}
+	var v JobView
+	var stErr error
+	if err := s.exec(func() { v, stErr = s.view(id) }); err != nil {
+		writeError(w, err)
+		return
+	}
+	if stErr != nil {
+		writeError(w, stErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job id"})
+		return
+	}
+	var cErr error
+	if err := s.exec(func() { cErr = s.cancel(id) }); err != nil {
+		writeError(w, err)
+		return
+	}
+	if cErr != nil {
+		writeError(w, cErr)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
+	var resp QueueResponse
+	if err := s.exec(func() { resp = s.queueSnapshot() }); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var resp healthResponse
+	if err := s.exec(func() {
+		resp = healthResponse{Status: "ok", Now: s.vnow(), Pending: s.sess.Pending()}
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if err := s.exec(func() {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.writeMetrics(w)
+	}); err != nil {
+		writeError(w, err)
+	}
+}

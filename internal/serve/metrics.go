@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/job"
+	"repro/internal/metrics"
+)
+
+// counters is the server's running tally, updated exclusively from the
+// scheduler goroutine (via the session observer and command execution), so
+// no locking is needed.
+type counters struct {
+	submitted int64
+	started   int64 // first dispatches (resumes after preemption not re-counted)
+	resumed   int64
+	completed int64
+	cancelled int64
+	rejected  int64
+
+	inUse    int   // processors currently busy
+	busyArea int64 // ∫ inUse dt in processor·seconds of virtual time
+	lastT    int64 // virtual instant busyArea is integrated up to
+
+	startedSet map[int]bool
+
+	// Per-category bounded-slowdown accumulation over completed jobs.
+	catSum [job.NumCategories]float64
+	catN   [job.NumCategories]int64
+}
+
+func newCounters() *counters {
+	return &counters{startedSet: make(map[int]bool)}
+}
+
+// tick integrates the busy area up to virtual instant now.
+func (c *counters) tick(now int64) {
+	if now > c.lastT {
+		c.busyArea += int64(c.inUse) * (now - c.lastT)
+		c.lastT = now
+	}
+}
+
+// onStart records a dispatch at now.
+func (c *counters) onStart(now int64, j *job.Job) {
+	c.tick(now)
+	c.inUse += j.Width
+	if c.startedSet[j.ID] {
+		c.resumed++
+	} else {
+		c.startedSet[j.ID] = true
+		c.started++
+	}
+}
+
+// onSuspend records a preemption at now.
+func (c *counters) onSuspend(now int64, j *job.Job) {
+	c.tick(now)
+	c.inUse -= j.Width
+}
+
+// onComplete records a completion at now and folds the job's slowdown into
+// its category's running mean.
+func (c *counters) onComplete(now int64, j *job.Job, th job.Thresholds) {
+	c.tick(now)
+	c.inUse -= j.Width
+	c.completed++
+	delete(c.startedSet, j.ID)
+	delay := (now - j.Arrival) - j.Runtime
+	if delay < 0 {
+		delay = 0
+	}
+	cat := th.Classify(j)
+	c.catSum[cat] += metrics.BoundedSlowdown(delay, j.Runtime)
+	c.catN[cat]++
+}
+
+// utilization is the busy fraction of the machine over virtual time
+// [start, now], after integrating up to now.
+func (c *counters) utilization(now int64, procs int) float64 {
+	c.tick(now)
+	if c.lastT <= 0 || procs <= 0 {
+		return 0
+	}
+	return float64(c.busyArea) / (float64(procs) * float64(c.lastT))
+}
+
+// writeMetrics renders the Prometheus text exposition format, kept by hand
+// rather than through a client library: the format is five lines of syntax
+// and the repo takes no dependencies.
+func (s *Server) writeMetrics(w io.Writer) {
+	c := s.ctr
+	now := s.vnow()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, format string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
+	}
+
+	counter("schedd_jobs_submitted_total", "Jobs accepted by the service.", c.submitted)
+	counter("schedd_jobs_started_total", "Jobs dispatched for the first time.", c.started)
+	counter("schedd_jobs_resumed_total", "Resumes of preempted jobs.", c.resumed)
+	counter("schedd_jobs_completed_total", "Jobs that finished.", c.completed)
+	counter("schedd_jobs_cancelled_total", "Jobs withdrawn before starting.", c.cancelled)
+	counter("schedd_jobs_rejected_total", "Submissions refused (invalid or too wide).", c.rejected)
+
+	gauge("schedd_queue_depth", "Jobs waiting in the scheduler queue.", "%d", len(s.sess.Queued()))
+	gauge("schedd_running_jobs", "Jobs currently holding processors.", "%d", len(s.sess.Running()))
+	gauge("schedd_procs_total", "Machine size in processors.", "%d", s.opts.Procs)
+	gauge("schedd_procs_busy", "Processors currently in use.", "%d", c.inUse)
+	gauge("schedd_virtual_time_seconds", "Current virtual time.", "%d", now)
+	gauge("schedd_utilization", "Busy fraction of the machine over virtual time so far.", "%.6f", c.utilization(now, s.opts.Procs))
+
+	if s.aud != nil {
+		rep := s.aud.Report()
+		gauge("schedd_audit_violations", "Invariant violations recorded by the audit wrapper.", "%d", int64(len(rep.Violations))+int64(rep.Truncated))
+	}
+
+	fmt.Fprintf(w, "# HELP schedd_slowdown_mean Mean bounded slowdown of completed jobs per paper category.\n# TYPE schedd_slowdown_mean gauge\n")
+	for _, cat := range job.Categories() {
+		if c.catN[cat] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "schedd_slowdown_mean{category=%q} %.6f\n", cat.String(), c.catSum[cat]/float64(c.catN[cat]))
+	}
+}

@@ -1,0 +1,357 @@
+// Package serve turns the batch simulator into an online scheduling
+// service: a long-running daemon that owns one incremental sim.Session,
+// accepts job submissions and cancellations over HTTP while virtual time
+// flows (real-time, N×-accelerated, or as-fast-as-possible), answers
+// status queries with a predicted start time for queued jobs (the
+// "showstart" feature of production batch systems), and exposes
+// Prometheus metrics.
+//
+// Concurrency model: exactly one goroutine — the scheduler loop started by
+// Run — touches the session, the scheduler, and the counters. HTTP
+// handlers never share state with it; they send closures through a mailbox
+// channel and wait for execution. That keeps the discrete-event core
+// single-threaded (its determinism guarantee) while the HTTP layer fans in
+// from any number of connections.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// ErrStopped is returned for requests that reach the server after its
+// scheduler loop has exited (or while it is draining).
+var ErrStopped = errors.New("serve: scheduler stopped")
+
+// Options configure a Server.
+type Options struct {
+	// Procs is the machine size (required, >= 1).
+	Procs int
+	// Scheduler is the scheduler kind accepted by sched.MakerFor.
+	// Defaults to "easy".
+	Scheduler string
+	// Policy is the queue priority policy name. Defaults to "FCFS".
+	Policy string
+	// Audit wraps the live session in the invariant auditor. On by
+	// default in cmd/schedd; zero value here means off for tests that
+	// want the raw scheduler.
+	Audit bool
+	// Speed is the virtual-seconds-per-wall-second ratio: 1 is real time,
+	// 60 replays a day per wall-clock day-and-a-half of trace per minute,
+	// and <= 0 runs as fast as possible (tests, smoke runs).
+	Speed float64
+	// Thresholds classify completed jobs for the per-category metrics;
+	// zero value means the paper's Table 1 thresholds.
+	Thresholds job.Thresholds
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scheduler == "" {
+		o.Scheduler = "easy"
+	}
+	if o.Policy == "" {
+		o.Policy = "FCFS"
+	}
+	if o.Thresholds == (job.Thresholds{}) {
+		o.Thresholds = job.PaperThresholds()
+	}
+	return o
+}
+
+// Server is one online scheduling service instance.
+type Server struct {
+	opts  Options
+	pol   sched.Policy
+	inner sim.Scheduler  // the raw scheduler (forecast probes its reservations)
+	aud   *audit.Auditor // non-nil when Options.Audit
+	sess  *sim.Session
+	ctr   *counters
+	clock *Clock
+
+	cmds    chan func()
+	stopped chan struct{}
+	nextID  int
+	drained bool
+}
+
+// New builds a server. Run must be called before the HTTP handlers answer.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.Procs < 1 {
+		return nil, fmt.Errorf("serve: options have %d processors", opts.Procs)
+	}
+	pol, err := sched.PolicyByName(opts.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	mk, err := sched.MakerFor(opts.Scheduler, pol)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{
+		opts:    opts,
+		pol:     pol,
+		inner:   mk(opts.Procs),
+		ctr:     newCounters(),
+		cmds:    make(chan func()),
+		stopped: make(chan struct{}),
+		nextID:  1,
+	}
+	runnable := s.inner
+	if opts.Audit {
+		s.aud = audit.New(opts.Procs, s.inner, audit.OptionsForKind(opts.Scheduler, pol))
+		runnable = s.aud
+	}
+	obs := &sim.Observer{
+		OnStart:    func(now int64, j *job.Job) { s.ctr.onStart(now, j) },
+		OnSuspend:  func(now int64, j *job.Job) { s.ctr.onSuspend(now, j) },
+		OnComplete: func(now int64, j *job.Job) { s.ctr.onComplete(now, j, opts.Thresholds) },
+	}
+	s.sess, err = sim.Open(sim.Machine{Procs: opts.Procs}, runnable, obs)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Preload submits a whole workload (an SWF trace or a synthetic model)
+// before the loop starts; arrivals fire as virtual time reaches them.
+// Valid only before Run.
+func (s *Server) Preload(jobs []*job.Job) error {
+	for _, j := range jobs {
+		if err := s.sess.Submit(j); err != nil {
+			return err
+		}
+		s.ctr.submitted++
+		if j.ID >= s.nextID {
+			s.nextID = j.ID + 1
+		}
+	}
+	return nil
+}
+
+// vnow is the server's current virtual time: the wall-clock mapping in
+// timed modes, the session's own clock when running as fast as possible.
+// Only the scheduler goroutine calls it.
+func (s *Server) vnow() int64 {
+	if s.clock == nil || s.clock.Max() {
+		return s.sess.Now()
+	}
+	return s.clock.Now(time.Now())
+}
+
+// advance processes every event due by the current virtual instant (all of
+// them in as-fast-as-possible mode).
+func (s *Server) advance() error {
+	if s.clock.Max() {
+		for {
+			ok, err := s.sess.Step()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+	}
+	return s.sess.AdvanceTo(s.clock.Now(time.Now()))
+}
+
+// Run drives the scheduler loop until ctx is cancelled, then drains:
+// submissions stop, the remaining schedule fast-forwards to completion,
+// and the end-of-run invariants (no deadlock, clean audit) are checked.
+// The returned error is nil for a clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	defer close(s.stopped)
+	if s.clock == nil {
+		// Virtual time starts at the first pending arrival (replay) or 0
+		// (live service).
+		base := int64(0)
+		if t, ok := s.sess.NextEventTime(); ok {
+			base = t
+		}
+		s.clock = NewClock(base, s.opts.Speed, time.Now())
+	}
+	for {
+		if err := s.advance(); err != nil {
+			return err
+		}
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if t, ok := s.sess.NextEventTime(); ok && !s.clock.Max() {
+			timer = time.NewTimer(s.clock.WallUntil(t, time.Now()))
+			timerC = timer.C
+		}
+		select {
+		case cmd := <-s.cmds:
+			cmd()
+		case <-timerC:
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return s.drain()
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// drain fast-forwards the session to completion and verifies the close-out
+// invariants. Mirrors what SIGTERM means to a real batch daemon: stop
+// admissions, let running and queued work finish, then exit.
+func (s *Server) drain() error {
+	s.drained = true
+	for {
+		ok, err := s.sess.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+	}
+	if _, err := s.sess.Finish(); err != nil {
+		return err
+	}
+	if s.aud != nil {
+		if err := s.aud.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exec runs fn on the scheduler goroutine and waits for it. It fails with
+// ErrStopped once the loop has exited (or never picks the command up
+// because a drain is in progress).
+func (s *Server) exec(fn func()) error {
+	done := make(chan struct{})
+	select {
+	case s.cmds <- func() { fn(); close(done) }:
+	case <-s.stopped:
+		return ErrStopped
+	}
+	select {
+	case <-done:
+		return nil
+	case <-s.stopped:
+		return ErrStopped
+	}
+}
+
+// submit creates and enqueues a job arriving at the current virtual
+// instant, advances the session so the arrival is delivered, and returns
+// the job's view (including its start-time forecast).
+func (s *Server) submit(req SubmitRequest) (JobView, error) {
+	if s.drained {
+		return JobView{}, ErrStopped
+	}
+	if req.Estimate == 0 {
+		req.Estimate = req.Runtime
+	}
+	j := &job.Job{
+		ID:       s.nextID,
+		Arrival:  s.vnow(),
+		Runtime:  req.Runtime,
+		Estimate: req.Estimate,
+		Width:    req.Width,
+		User:     req.User,
+	}
+	if err := s.sess.Submit(j); err != nil {
+		s.ctr.rejected++
+		return JobView{}, &clientError{code: 400, err: err}
+	}
+	s.nextID++
+	s.ctr.submitted++
+	// Deliver the arrival immediately so the response reflects the job's
+	// real fate at this instant (running already, or queued with a
+	// forecast).
+	if err := s.advance(); err != nil {
+		return JobView{}, err
+	}
+	return s.view(j.ID)
+}
+
+// cancel withdraws a job that has not started.
+func (s *Server) cancel(id int) error {
+	if _, ok := s.sess.Info(id); !ok {
+		return &clientError{code: 404, err: fmt.Errorf("serve: unknown job %d", id)}
+	}
+	if !s.sess.Cancel(id) {
+		return &clientError{code: 409, err: fmt.Errorf("serve: job %d is not cancellable (already started or finished)", id)}
+	}
+	s.ctr.cancelled++
+	return nil
+}
+
+// forecasts computes predicted start times for the current queue.
+func (s *Server) forecasts() map[int]int64 {
+	queued := s.sess.Queued()
+	if len(queued) == 0 {
+		return nil
+	}
+	running := make([]sched.RunningSlot, 0, len(queued))
+	for _, r := range s.sess.Running() {
+		running = append(running, sched.RunningSlot{Width: r.Job.Width, EstEnd: r.EstEnd})
+	}
+	return sched.Forecast(s.inner, s.opts.Procs, s.sess.Now(), running, queued, s.pol)
+}
+
+// view renders one job's status, attaching a forecast when it is queued.
+func (s *Server) view(id int) (JobView, error) {
+	info, ok := s.sess.Info(id)
+	if !ok {
+		return JobView{}, &clientError{code: 404, err: fmt.Errorf("serve: unknown job %d", id)}
+	}
+	v := makeView(info, s.opts.Thresholds)
+	if info.State == sim.StateQueued || info.State == sim.StatePending {
+		if t, ok := s.forecasts()[id]; ok {
+			v.PredictedStart = &t
+		}
+	}
+	return v, nil
+}
+
+// queueSnapshot renders the whole service state for GET /v1/queue.
+func (s *Server) queueSnapshot() QueueResponse {
+	resp := QueueResponse{
+		Now:       s.vnow(),
+		Scheduler: s.inner.Name(),
+		Procs:     s.opts.Procs,
+		ProcsBusy: s.ctr.inUse,
+		Completed: s.ctr.completed,
+		Cancelled: s.ctr.cancelled,
+	}
+	pred := s.forecasts()
+	for _, j := range sched.SortedByPolicy(s.sess.Queued(), s.pol, s.sess.Now()) {
+		if info, ok := s.sess.Info(j.ID); ok {
+			v := makeView(info, s.opts.Thresholds)
+			if t, ok := pred[j.ID]; ok {
+				v.PredictedStart = &t
+			}
+			resp.Queued = append(resp.Queued, v)
+		}
+	}
+	for _, r := range s.sess.Running() {
+		resp.Running = append(resp.Running, makeView(r, s.opts.Thresholds))
+	}
+	return resp
+}
+
+// clientError carries an HTTP status for request-level failures.
+type clientError struct {
+	code int
+	err  error
+}
+
+func (e *clientError) Error() string { return e.err.Error() }
+func (e *clientError) Unwrap() error { return e.err }

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/job"
 )
@@ -97,6 +96,7 @@ type Observer struct {
 type runState struct {
 	firstStart int64 // -1 until first dispatched
 	lastStart  int64
+	end        int64 // completion time, valid once done
 	consumed   int64 // runtime executed before the current dispatch
 	epoch      int   // increments on suspend; stale completions are dropped
 	running    bool
@@ -108,158 +108,20 @@ type runState struct {
 // Placement per job, ordered by (first start time, job ID). It returns an
 // error if any job is invalid, wider than the machine, or if the scheduler
 // never starts some job (a scheduler deadlock — always a bug).
+//
+// Run is the batch facade over Session: it opens a session, submits every
+// job, and drains. Incremental submission through a Session yields the
+// identical schedule as long as jobs are submitted in the same relative
+// order before their arrival instants are reached.
 func Run(m Machine, jobs []*job.Job, s Scheduler, obs *Observer) ([]Placement, error) {
-	if err := m.Validate(); err != nil {
+	ss, err := Open(m, s, obs)
+	if err != nil {
 		return nil, err
 	}
-	// Job IDs must be unique: the engine keys run state by ID, and the final
-	// (Start, ID) placement ordering below is a total order only then.
-	seen := make(map[int]bool, len(jobs))
 	for _, j := range jobs {
-		if err := j.Validate(); err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
-		if j.Width > m.Procs {
-			return nil, fmt.Errorf("sim: %v requests %d processors but the machine has %d", j, j.Width, m.Procs)
-		}
-		if seen[j.ID] {
-			return nil, fmt.Errorf("sim: duplicate job ID %d in workload", j.ID)
-		}
-		seen[j.ID] = true
-	}
-
-	q := NewEventQueue()
-	for _, j := range jobs {
-		q.Push(j.Arrival, Arrival, j)
-	}
-
-	placements := make([]Placement, 0, len(jobs))
-	states := make(map[int]*runState, len(jobs))
-	inFlight := 0
-	waker, _ := s.(Waker)
-	preemptor, _ := s.(Preemptor)
-	timers := make(map[int64]bool)
-
-	dispatch := func(now int64, j *job.Job) error {
-		st := states[j.ID]
-		if st == nil {
-			st = &runState{firstStart: -1}
-			states[j.ID] = st
-		}
-		switch {
-		case st.done:
-			return fmt.Errorf("sim: scheduler %s relaunched completed %v", s.Name(), j)
-		case st.running:
-			return fmt.Errorf("sim: scheduler %s launched %v twice", s.Name(), j)
-		}
-		if st.firstStart < 0 {
-			st.firstStart = now
-		}
-		st.lastStart = now
-		st.running = true
-		st.suspended = false
-		remaining := j.Runtime - st.consumed
-		if remaining < 0 {
-			return fmt.Errorf("sim: %v resumed with negative remaining runtime", j)
-		}
-		inFlight++
-		q.PushEpoch(now+remaining, Completion, j, st.epoch)
-		if obs != nil && obs.OnStart != nil {
-			obs.OnStart(now, j)
-		}
-		return nil
-	}
-
-	suspend := func(now int64, j *job.Job) error {
-		st := states[j.ID]
-		if st == nil || !st.running {
-			return fmt.Errorf("sim: scheduler %s suspended %v which is not running", s.Name(), j)
-		}
-		st.consumed += now - st.lastStart
-		if st.consumed >= j.Runtime {
-			return fmt.Errorf("sim: %v suspended at %d after its work finished", j, now)
-		}
-		st.running = false
-		st.suspended = true
-		st.epoch++ // cancels the pending completion
-		inFlight--
-		if obs != nil && obs.OnSuspend != nil {
-			obs.OnSuspend(now, j)
-		}
-		return nil
-	}
-
-	for q.Len() > 0 {
-		now := q.Peek().Time
-		// Deliver every event at this instant before asking for launches:
-		// completions free processors and arrivals extend the queue, and the
-		// scheduler should see the complete picture.
-		for q.Len() > 0 && q.Peek().Time == now {
-			e := q.Pop()
-			switch e.Kind {
-			case Completion:
-				st := states[e.Job.ID]
-				if st == nil || e.epoch != st.epoch || !st.running {
-					continue // cancelled by a preemption
-				}
-				st.running = false
-				st.done = true
-				inFlight--
-				placements = append(placements, Placement{Job: e.Job, Start: st.firstStart, End: now})
-				s.Complete(now, e.Job)
-				if obs != nil && obs.OnComplete != nil {
-					obs.OnComplete(now, e.Job)
-				}
-			case Arrival:
-				s.Arrive(now, e.Job)
-				if obs != nil && obs.OnArrive != nil {
-					obs.OnArrive(now, e.Job)
-				}
-			case Timer:
-				delete(timers, now) // wake-up: Launch below does the work
-			}
-		}
-
-		var starts, suspends []*job.Job
-		if preemptor != nil {
-			starts, suspends = preemptor.LaunchAndPreempt(now)
-		} else {
-			starts = s.Launch(now)
-		}
-		for _, j := range suspends {
-			if err := suspend(now, j); err != nil {
-				return nil, err
-			}
-		}
-		for _, j := range starts {
-			if err := dispatch(now, j); err != nil {
-				return nil, err
-			}
-		}
-
-		if waker != nil {
-			if t := waker.NextWake(now); t > now && !timers[t] {
-				timers[t] = true
-				q.Push(t, Timer, nil)
-			}
+		if err := ss.Submit(j); err != nil {
+			return nil, err
 		}
 	}
-
-	if leftover := s.QueuedJobs(); len(leftover) > 0 {
-		return nil, fmt.Errorf("sim: scheduler %s deadlocked with %d jobs never started (first: %v)", s.Name(), len(leftover), leftover[0])
-	}
-	if inFlight != 0 {
-		return nil, fmt.Errorf("sim: %d jobs still in flight after event queue drained", inFlight)
-	}
-	if len(placements) != len(jobs) {
-		return nil, fmt.Errorf("sim: %d placements for %d jobs", len(placements), len(jobs))
-	}
-
-	sort.Slice(placements, func(i, k int) bool {
-		if placements[i].Start != placements[k].Start {
-			return placements[i].Start < placements[k].Start
-		}
-		return placements[i].Job.ID < placements[k].Job.ID
-	})
-	return placements, nil
+	return ss.Drain()
 }

@@ -1,0 +1,82 @@
+package sim_test
+
+// Session ≡ Run equivalence across the full scheduler catalog: replaying a
+// workload incrementally (submit each job only when virtual time reaches
+// it) must produce the exact placements of the offline batch run, with the
+// audit wrapper enabled and silent. This is the acceptance gate for the
+// incremental engine refactor — the online service is only trustworthy if
+// stepping never changes a schedule.
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func equivWorkload(t *testing.T) ([]*job.Job, int) {
+	t.Helper()
+	m, err := workload.NewSDSC(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := m.Generate(300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.ApplyEstimates(jobs, workload.Actual{}, 12), m.Procs
+}
+
+func TestSessionIncrementalEqualsBatchAllKinds(t *testing.T) {
+	jobs, procs := equivWorkload(t)
+	pol, err := sched.PolicyByName("FCFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range sched.Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			mk, err := sched.MakerFor(kind, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			want, err := sim.Run(sim.Machine{Procs: procs}, jobs, mk(procs), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			aud := audit.New(procs, mk(procs), audit.OptionsForKind(kind, pol))
+			ss, err := sim.Open(sim.Machine{Procs: procs}, aud, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range jobs {
+				if err := ss.AdvanceTo(j.Arrival - 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := ss.Submit(j); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := ss.Drain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := aud.Err(); err != nil {
+				t.Fatalf("audit violations under incremental replay: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("placements: %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Job.ID != want[i].Job.ID || got[i].Start != want[i].Start || got[i].End != want[i].End {
+					t.Fatalf("placement %d diverged: incremental %+v vs batch %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

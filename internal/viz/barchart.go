@@ -75,11 +75,11 @@ func RenderBarChartSVG(w io.Writer, c BarChart) error {
 		c.Width, c.Height); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, `<text x="4" y="14" font-size="12">%s</text>`+"\n", c.Title); err != nil {
+	if _, err := fmt.Fprintf(w, `<text x="4" y="14" font-size="12">%s</text>`+"\n", xmlEscape(c.Title)); err != nil {
 		return err
 	}
 	if c.YLabel != "" {
-		if _, err := fmt.Fprintf(w, `<text x="4" y="28">%s</text>`+"\n", c.YLabel); err != nil {
+		if _, err := fmt.Fprintf(w, `<text x="4" y="28">%s</text>`+"\n", xmlEscape(c.YLabel)); err != nil {
 			return err
 		}
 	}
@@ -105,12 +105,12 @@ func RenderBarChartSVG(w io.Writer, c BarChart) error {
 			if _, err := fmt.Fprintf(w,
 				`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s / %s: %.4g</title></rect>`+"\n",
 				x, y, barW*0.92, h, laneColors[si%len(laneColors)],
-				c.Labels[gi], c.Series[si], v); err != nil {
+				xmlEscape(c.Labels[gi]), xmlEscape(c.Series[si]), v); err != nil {
 				return err
 			}
 		}
 		if _, err := fmt.Fprintf(w, `<text x="%.1f" y="%d">%s</text>`+"\n",
-			gx, c.Height-bottomPad+14, c.Labels[gi]); err != nil {
+			gx, c.Height-bottomPad+14, xmlEscape(c.Labels[gi])); err != nil {
 			return err
 		}
 	}
@@ -121,7 +121,7 @@ func RenderBarChartSVG(w io.Writer, c BarChart) error {
 	for si, name := range c.Series {
 		if _, err := fmt.Fprintf(w,
 			`<rect x="%d" y="%d" width="9" height="9" fill="%s"/><text x="%d" y="%d">%s</text>`+"\n",
-			lx, ly-8, laneColors[si%len(laneColors)], lx+12, ly, name); err != nil {
+			lx, ly-8, laneColors[si%len(laneColors)], lx+12, ly, xmlEscape(name)); err != nil {
 			return err
 		}
 		lx += 12 + 7*len(name) + 16

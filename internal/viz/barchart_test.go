@@ -61,3 +61,36 @@ func TestRenderBarChartSVGAllZero(t *testing.T) {
 		t.Fatal("all-zero chart should still render")
 	}
 }
+
+func TestRenderBarChartSVGEscapesFreeText(t *testing.T) {
+	// Caller-supplied text with XML metacharacters must not break the
+	// document or inject elements.
+	c := BarChart{
+		Title:  `slowdown <script>&"attack"</script>`,
+		Labels: []string{"a<b", "c&d"},
+		Series: []string{`e"f`, "g'h"},
+		Values: [][]float64{{1, 2}, {3, 4}},
+		YLabel: "x < y & z",
+	}
+	var sb strings.Builder
+	if err := RenderBarChartSVG(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, raw := range []string{"<script>", `"attack"`, "a<b", "c&d", `e"f`, "g'h", "x < y"} {
+		if strings.Contains(out, raw) {
+			t.Errorf("unescaped %q leaked into SVG", raw)
+		}
+	}
+	for _, esc := range []string{
+		"&lt;script&gt;", "&amp;&quot;attack&quot;", "a&lt;b", "c&amp;d",
+		"e&quot;f", "g&apos;h", "x &lt; y &amp; z",
+	} {
+		if !strings.Contains(out, esc) {
+			t.Errorf("chart missing escaped form %q", esc)
+		}
+	}
+	if err := wellFormedXML(out); err != nil {
+		t.Errorf("SVG not well-formed XML: %v", err)
+	}
+}

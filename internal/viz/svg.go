@@ -4,9 +4,25 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/sim"
 )
+
+// xmlEscaper rewrites the five XML metacharacters; every piece of free text
+// (titles, axis labels, series names) passes through it before being
+// interpolated into SVG markup, so caller-supplied strings cannot break the
+// document or inject elements.
+var xmlEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+	"'", "&apos;",
+)
+
+// xmlEscape returns s safe for use in SVG text content and attributes.
+func xmlEscape(s string) string { return xmlEscaper.Replace(s) }
 
 // SVGOptions configure vector rendering.
 type SVGOptions struct {
@@ -95,7 +111,7 @@ func RenderSVG(w io.Writer, ps []sim.Placement, opts SVGOptions) error {
 	if truncated {
 		title += fmt.Sprintf(" (first %d lanes shown)", opts.MaxJobs)
 	}
-	if _, err := fmt.Fprintf(w, `<text x="4" y="14">%s</text>`+"\n", title); err != nil {
+	if _, err := fmt.Fprintf(w, `<text x="4" y="14">%s</text>`+"\n", xmlEscape(title)); err != nil {
 		return err
 	}
 

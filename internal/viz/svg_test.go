@@ -1,6 +1,8 @@
 package viz
 
 import (
+	"encoding/xml"
+	"io"
 	"strings"
 	"testing"
 
@@ -80,5 +82,38 @@ func TestRenderSVGWellFormed(t *testing.T) {
 	}
 	if strings.Count(out, "<title>") != strings.Count(out, "</title>") {
 		t.Fatal("title tags unbalanced")
+	}
+}
+
+// wellFormedXML runs the stdlib parser over the document.
+func wellFormedXML(s string) error {
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func TestRenderSVGWellFormedXML(t *testing.T) {
+	ps := []sim.Placement{vp(1, 0, 5, 10, 2), vp(2, 1, 15, 10, 2)}
+	var sb strings.Builder
+	if err := RenderSVG(&sb, ps, SVGOptions{Procs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wellFormedXML(sb.String()); err != nil {
+		t.Errorf("SVG not well-formed XML: %v", err)
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	got := xmlEscape(`a&b<c>d"e'f`)
+	want := "a&amp;b&lt;c&gt;d&quot;e&apos;f"
+	if got != want {
+		t.Errorf("xmlEscape = %q, want %q", got, want)
 	}
 }
