@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-verbose race vet bench experiments results examples cover clean fuzz-smoke check serve-smoke
+.PHONY: all build test test-verbose race vet bench bench-json bench-gate doclint experiments results examples cover clean fuzz-smoke check serve-smoke
 
 all: build vet test
 
-# The full pre-merge gate: compile, vet, unit tests, race detector, and a
-# short smoke run of every fuzz target (see fuzz-smoke).
-check: build vet test race fuzz-smoke
+# The full pre-merge gate: compile, vet, doc-comment lint, unit tests,
+# race detector, and a short smoke run of every fuzz target (see
+# fuzz-smoke).
+check: build vet doclint test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +33,22 @@ test-verbose:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Benchmark ledger (see PERFORMANCE.md). bench-json runs the tracked
+# benchmark suite and writes the machine-readable run to
+# bench_current.json; bench-gate compares it against the committed
+# BENCH_PR4.json baseline and fails on any regression beyond
+# BENCH_TOLERANCE (a fraction: 0.20 = 20%).
+BENCHTIME ?= 1s
+BENCH_TOLERANCE ?= 0.20
+
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkProfile|BenchmarkScheduler|BenchmarkCompression$$|BenchmarkSessionStep|BenchmarkBatchRun|BenchmarkEventQueue' \
+		-benchtime=$(BENCHTIME) -benchmem . \
+		| $(GO) run ./cmd/benchdiff -parse > bench_current.json
+
+bench-gate: bench-json
+	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR4.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
+
 # Short fuzzing pass over every fuzz target. Each target gets FUZZTIME of
 # coverage-guided input generation on top of its checked-in seed corpus;
 # -run='^$$' skips the unit tests so only the fuzzers execute. Go allows one
@@ -42,7 +59,12 @@ fuzz-smoke:
 	$(GO) test ./internal/swf -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/swf -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzProfileOps -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzProfileEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedulerRun -fuzztime=$(FUZZTIME)
+
+# Every package must carry a doc comment; see scripts/doclint.sh.
+doclint:
+	sh scripts/doclint.sh
 
 # End-to-end smoke test of the online scheduling service: boot schedd on
 # a random port, push three jobs through schedctl, assert completion and
@@ -71,5 +93,5 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_current.json
 	rm -rf results

@@ -287,17 +287,68 @@ search:
 	return int64(len(d.free))
 }
 
+// BenchmarkProfileFindStartDenseAblation pits the two availability
+// representations against each other on an identical reservation pattern
+// and query stream: the brute-force per-second free array above (the
+// ablation baseline of DESIGN.md decision 2) and the indexed
+// step-function Profile. The "indexed" sub-benchmark is the headline
+// number PERFORMANCE.md tracks; "dense" shows what the naive
+// representation would cost for the very same questions.
 func BenchmarkProfileFindStartDenseAblation(b *testing.B) {
-	const horizon = 200000
-	d := newDenseProfile(430, horizon)
-	r := stats.NewRNG(1)
-	for i := 0; i < 400; i++ {
-		d.reserve(int64(r.Intn(100000)), int64(r.Intn(5000)+100), r.Intn(32)+1)
+	const (
+		procs   = 430
+		horizon = 200000
+	)
+	build := func() (*denseProfile, *sched.Profile) {
+		d := newDenseProfile(procs, horizon)
+		p := sched.NewProfile(procs)
+		r := stats.NewRNG(1)
+		for i := 0; i < 400; i++ {
+			from := int64(r.Intn(100000))
+			dur := int64(r.Intn(5000) + 100)
+			w := r.Intn(32) + 1
+			if p.MinFree(from, dur) >= w {
+				p.Reserve(from, dur, w)
+				d.reserve(from, dur, w)
+			}
+		}
+		return d, p
+	}
+	b.Run("dense", func(b *testing.B) {
+		d, _ := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.findStart(int64(i%100000), 3600, 64)
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		_, p := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.FindStart(int64(i%100000), 3600, 64)
+		}
+	})
+}
+
+// BenchmarkProfileFindStartSaturated is the shape the free-capacity index
+// exists for: a long saturated region (2000 step points, every one below
+// the queried width) followed by open capacity. FindStart's skip-ahead
+// crosses the region a block at a time via the per-block maxima instead
+// of point by point. The alternating widths prevent the tiles from
+// coalescing into one step.
+func BenchmarkProfileFindStartSaturated(b *testing.B) {
+	p := sched.NewProfile(430)
+	for i, t := 0, int64(0); t < 100000; i, t = i+1, t+50 {
+		p.Reserve(t, 50, 399+i%2) // free alternates 31/30: always < 64
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d.findStart(int64(i%100000), 3600, 64)
+		if s := p.FindStart(0, 3600, 64); s != 100000 {
+			b.Fatalf("FindStart = %d, want 100000", s)
+		}
 	}
 }
 

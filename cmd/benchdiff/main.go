@@ -1,0 +1,355 @@
+// Command benchdiff maintains the repo's benchmark ledger: it parses `go
+// test -bench` output into machine-readable JSON, merges a baseline and a
+// current run into the committed ledger (BENCH_PR4.json), gates CI on
+// regressions against that ledger, and samples availability-profile sizes
+// per scheduler kind. PERFORMANCE.md documents the workflow; the Makefile
+// wires the common invocations as bench-json and bench-gate.
+//
+// Modes (exactly one):
+//
+//	benchdiff -parse < bench_output.txt > run.json
+//	benchdiff -merge -baseline base.json -current cur.json [-statsfile stats.json] [-note "..."] > BENCH_PR4.json
+//	benchdiff -gate -ledger BENCH_PR4.json -current cur.json [-tolerance 0.20]
+//	benchdiff -stats > stats.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Measurement is one benchmark's figures from a single run.
+type Measurement struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Run is the parsed form of one `go test -bench` invocation.
+type Run struct {
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+// Entry pairs a benchmark's committed baseline with the current figures.
+// Speedup is baseline/current (2.0 = twice as fast); it is present only
+// when the benchmark exists in both runs under the same name.
+type Entry struct {
+	BaselineNs     float64 `json:"baseline_ns_per_op,omitempty"`
+	CurrentNs      float64 `json:"current_ns_per_op"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	BaselineAllocs float64 `json:"baseline_allocs_per_op,omitempty"`
+	CurrentAllocs  float64 `json:"current_allocs_per_op"`
+}
+
+// ProfileStat summarizes the availability-profile size one scheduler kind
+// reached while replaying the reference workload (see collectStats).
+type ProfileStat struct {
+	Jobs       int     `json:"jobs"`
+	Samples    int     `json:"samples"`
+	MaxPoints  int     `json:"max_points"`
+	MeanPoints float64 `json:"mean_points"`
+}
+
+// Ledger is the committed benchmark record, BENCH_PR4.json.
+type Ledger struct {
+	Note         string                 `json:"note,omitempty"`
+	Benchmarks   map[string]Entry       `json:"benchmarks"`
+	ProfileStats map[string]ProfileStat `json:"profile_stats,omitempty"`
+}
+
+// benchLine matches one result line of `go test -bench -benchmem` output.
+// The trailing -N (GOMAXPROCS) suffix is folded into the name capture and
+// stripped so ledgers compare across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// parseBench reads `go test -bench` output into a Run.
+func parseBench(r io.Reader) (Run, error) {
+	run := Run{Benchmarks: map[string]Measurement{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return run, fmt.Errorf("benchdiff: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		var bytes, allocs float64
+		if m[4] != "" {
+			bytes, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			allocs, _ = strconv.ParseFloat(m[5], 64)
+		}
+		run.Benchmarks[m[1]] = Measurement{
+			Iterations: iters, NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs,
+		}
+	}
+	return run, sc.Err()
+}
+
+func readRun(path string) (Run, error) {
+	var run Run
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return run, err
+	}
+	return run, json.Unmarshal(data, &run)
+}
+
+// merge builds the ledger from a baseline run and a current run.
+func merge(baseline, current Run, stats map[string]ProfileStat, note string) Ledger {
+	l := Ledger{Note: note, Benchmarks: map[string]Entry{}, ProfileStats: stats}
+	for name, cur := range current.Benchmarks {
+		e := Entry{CurrentNs: cur.NsPerOp, CurrentAllocs: cur.AllocsPerOp}
+		if base, ok := baseline.Benchmarks[name]; ok {
+			e.BaselineNs = base.NsPerOp
+			e.BaselineAllocs = base.AllocsPerOp
+			if cur.NsPerOp > 0 {
+				e.Speedup = round2(base.NsPerOp / cur.NsPerOp)
+			}
+		}
+		l.Benchmarks[name] = e
+	}
+	// Baseline-only benchmarks (renamed or removed) are kept for the
+	// record with no current figures.
+	for name, base := range baseline.Benchmarks {
+		if _, ok := current.Benchmarks[name]; !ok {
+			l.Benchmarks[name] = Entry{BaselineNs: base.NsPerOp, BaselineAllocs: base.AllocsPerOp}
+		}
+	}
+	return l
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}
+
+// gate compares a fresh run against the ledger's committed current
+// figures and returns the regressions beyond tolerance (0.20 = 20%
+// slower). Benchmarks present on only one side are reported via skipped.
+func gate(l Ledger, current Run, tolerance float64) (regressions, skipped []string) {
+	names := make([]string, 0, len(l.Benchmarks))
+	for name := range l.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := l.Benchmarks[name]
+		if e.CurrentNs == 0 {
+			continue // baseline-only record, nothing to compare
+		}
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			skipped = append(skipped, name)
+			continue
+		}
+		if cur.NsPerOp > e.CurrentNs*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs committed %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
+				name, cur.NsPerOp, e.CurrentNs, 100*(cur.NsPerOp/e.CurrentNs-1), 100*tolerance))
+		}
+	}
+	return regressions, skipped
+}
+
+// pointsReporter is implemented by the reservation-based schedulers; the
+// ledger records how large their availability profiles actually get.
+type pointsReporter interface{ ProfilePoints() int }
+
+// statKinds are the scheduler kinds whose profile sizes the ledger
+// tracks: the three that keep persistent reservation profiles.
+var statKinds = []string{"conservative", "slack:1", "selective:2"}
+
+// collectStats replays a fixed 1000-job CTC workload through each tracked
+// scheduler kind, sampling the profile size after every simulation step.
+func collectStats() (map[string]ProfileStat, error) {
+	const jobs = 1000
+	m, err := workload.NewCTC(0.85)
+	if err != nil {
+		return nil, err
+	}
+	base, err := m.Generate(jobs, 42)
+	if err != nil {
+		return nil, err
+	}
+	base = workload.ApplyEstimates(base, workload.Actual{}, 43)
+
+	out := map[string]ProfileStat{}
+	for _, kind := range statKinds {
+		mk, err := sched.MakerFor(kind, sched.FCFS{})
+		if err != nil {
+			return nil, err
+		}
+		sch := mk(m.Procs)
+		rep, ok := sch.(pointsReporter)
+		if !ok {
+			return nil, fmt.Errorf("benchdiff: scheduler %q does not report profile points", kind)
+		}
+		ss, err := sim.Open(sim.Machine{Procs: m.Procs}, sch, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range base {
+			if err := ss.Submit(j); err != nil {
+				return nil, err
+			}
+		}
+		st := ProfileStat{Jobs: jobs}
+		var sum int64
+		for {
+			ok, err := ss.Step()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			n := rep.ProfilePoints()
+			st.Samples++
+			sum += int64(n)
+			if n > st.MaxPoints {
+				st.MaxPoints = n
+			}
+		}
+		if _, err := ss.Finish(); err != nil {
+			return nil, err
+		}
+		if st.Samples > 0 {
+			st.MeanPoints = round2(float64(sum) / float64(st.Samples))
+		}
+		out[kind] = st
+	}
+	return out, nil
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		parseMode = fs.Bool("parse", false, "parse `go test -bench` output from stdin to JSON")
+		mergeMode = fs.Bool("merge", false, "merge -baseline and -current runs into a ledger")
+		gateMode  = fs.Bool("gate", false, "fail when -current regresses beyond -tolerance vs -ledger")
+		statsMode = fs.Bool("stats", false, "sample per-scheduler profile sizes to JSON")
+		baseline  = fs.String("baseline", "", "baseline run JSON (for -merge)")
+		current   = fs.String("current", "", "current run JSON (for -merge and -gate)")
+		ledger    = fs.String("ledger", "BENCH_PR4.json", "committed ledger JSON (for -gate)")
+		statsFile = fs.String("statsfile", "", "profile-stats JSON to embed (for -merge)")
+		note      = fs.String("note", "", "free-form note recorded in the ledger")
+		tolerance = fs.Float64("tolerance", 0.20, "allowed slowdown fraction before -gate fails")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *parseMode:
+		run, err := parseBench(stdin)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if len(run.Benchmarks) == 0 {
+			fmt.Fprintln(stderr, "benchdiff: no benchmark lines found on stdin")
+			return 1
+		}
+		if err := writeJSON(stdout, run); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	case *mergeMode:
+		base, err := readRun(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: baseline: %v\n", err)
+			return 1
+		}
+		cur, err := readRun(*current)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: current: %v\n", err)
+			return 1
+		}
+		var stats map[string]ProfileStat
+		if *statsFile != "" {
+			data, err := os.ReadFile(*statsFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchdiff: stats: %v\n", err)
+				return 1
+			}
+			if err := json.Unmarshal(data, &stats); err != nil {
+				fmt.Fprintf(stderr, "benchdiff: stats: %v\n", err)
+				return 1
+			}
+		}
+		if err := writeJSON(stdout, merge(base, cur, stats, *note)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	case *gateMode:
+		data, err := os.ReadFile(*ledger)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: ledger: %v\n", err)
+			return 1
+		}
+		var l Ledger
+		if err := json.Unmarshal(data, &l); err != nil {
+			fmt.Fprintf(stderr, "benchdiff: ledger: %v\n", err)
+			return 1
+		}
+		cur, err := readRun(*current)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: current: %v\n", err)
+			return 1
+		}
+		regressions, skipped := gate(l, cur, *tolerance)
+		for _, s := range skipped {
+			fmt.Fprintf(stdout, "skipped (not in current run): %s\n", s)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintf(stderr, "REGRESSION %s\n", r)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchdiff: %d benchmarks within %.0f%% of the committed ledger\n",
+			len(l.Benchmarks)-len(skipped), 100**tolerance)
+	case *statsMode:
+		stats, err := collectStats()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := writeJSON(stdout, stats); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	default:
+		fmt.Fprintln(stderr, "benchdiff: pick one mode: -parse, -merge, -gate, or -stats")
+		return 2
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseBaselineFixture parses the recorded pre-overhaul benchmark
+// output (the same file BENCH_PR4.json's baseline column came from).
+func TestParseBaselineFixture(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "bench_base.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	run, err := parseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Benchmarks) != 14 {
+		t.Fatalf("parsed %d benchmarks, want 14", len(run.Benchmarks))
+	}
+	cons, ok := run.Benchmarks["BenchmarkSchedulerConservative"]
+	if !ok {
+		t.Fatal("BenchmarkSchedulerConservative missing")
+	}
+	if cons.NsPerOp != 29321027 || cons.AllocsPerOp != 21524 {
+		t.Fatalf("conservative = %+v", cons)
+	}
+}
+
+func TestParseStripsGomaxprocsSuffix(t *testing.T) {
+	in := "BenchmarkFoo-8   \t 100\t  12.5 ns/op\t  3 B/op\t  1 allocs/op\n" +
+		"BenchmarkBar/sub-16 \t 5\t 200 ns/op\n" +
+		"not a benchmark line\n"
+	run, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := run.Benchmarks["BenchmarkFoo"]; !ok {
+		t.Fatalf("suffix not stripped: %v", run.Benchmarks)
+	}
+	if m := run.Benchmarks["BenchmarkBar/sub"]; m.NsPerOp != 200 {
+		t.Fatalf("sub-benchmark = %+v", m)
+	}
+}
+
+func TestMergeAndGate(t *testing.T) {
+	base := Run{Benchmarks: map[string]Measurement{
+		"BenchmarkA":    {NsPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkGone": {NsPerOp: 5},
+	}}
+	cur := Run{Benchmarks: map[string]Measurement{
+		"BenchmarkA":   {NsPerOp: 400, AllocsPerOp: 4},
+		"BenchmarkNew": {NsPerOp: 7},
+	}}
+	l := merge(base, cur, nil, "test")
+	if e := l.Benchmarks["BenchmarkA"]; e.Speedup != 2.5 || e.BaselineNs != 1000 || e.CurrentNs != 400 {
+		t.Fatalf("merged A = %+v", e)
+	}
+	if e := l.Benchmarks["BenchmarkGone"]; e.CurrentNs != 0 || e.BaselineNs != 5 {
+		t.Fatalf("merged Gone = %+v", e)
+	}
+	if e := l.Benchmarks["BenchmarkNew"]; e.CurrentNs != 7 || e.Speedup != 0 {
+		t.Fatalf("merged New = %+v", e)
+	}
+
+	// Within tolerance: 10% slower against 20% allowed.
+	ok := Run{Benchmarks: map[string]Measurement{
+		"BenchmarkA": {NsPerOp: 440}, "BenchmarkNew": {NsPerOp: 7},
+	}}
+	if regs, _ := gate(l, ok, 0.20); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// Beyond tolerance on one benchmark; the other missing entirely.
+	bad := Run{Benchmarks: map[string]Measurement{
+		"BenchmarkA": {NsPerOp: 600},
+	}}
+	regs, skipped := gate(l, bad, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if len(skipped) != 1 || skipped[0] != "BenchmarkNew" {
+		t.Fatalf("skipped = %v", skipped)
+	}
+}
+
+// TestRunEndToEnd drives the CLI surface: parse from stdin, merge the two
+// runs through temp files, and gate both ways.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+
+	in := strings.NewReader("BenchmarkX \t 10\t 1000 ns/op\t 0 B/op\t 0 allocs/op\n")
+	if code := run([]string{"-parse"}, in, &out, &errb); code != 0 {
+		t.Fatalf("parse exit %d: %s", code, errb.String())
+	}
+	basePath := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(basePath, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	in = strings.NewReader("BenchmarkX \t 20\t 500 ns/op\t 0 B/op\t 0 allocs/op\n")
+	if code := run([]string{"-parse"}, in, &out, &errb); code != 0 {
+		t.Fatalf("parse exit %d: %s", code, errb.String())
+	}
+	curPath := filepath.Join(dir, "cur.json")
+	if err := os.WriteFile(curPath, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if code := run([]string{"-merge", "-baseline", basePath, "-current", curPath, "-note", "e2e"}, nil, &out, &errb); code != 0 {
+		t.Fatalf("merge exit %d: %s", code, errb.String())
+	}
+	var l Ledger
+	if err := json.Unmarshal(out.Bytes(), &l); err != nil {
+		t.Fatal(err)
+	}
+	if l.Benchmarks["BenchmarkX"].Speedup != 2 {
+		t.Fatalf("ledger = %+v", l)
+	}
+	ledgerPath := filepath.Join(dir, "ledger.json")
+	if err := os.WriteFile(ledgerPath, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if code := run([]string{"-gate", "-ledger", ledgerPath, "-current", curPath}, nil, &out, &errb); code != 0 {
+		t.Fatalf("gate exit %d: %s", code, errb.String())
+	}
+	slow := filepath.Join(dir, "slow.json")
+	slowRun := Run{Benchmarks: map[string]Measurement{"BenchmarkX": {NsPerOp: 1500}}}
+	data, _ := json.Marshal(slowRun)
+	if err := os.WriteFile(slow, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{"-gate", "-ledger", ledgerPath, "-current", slow}, nil, &out, &errb); code != 1 {
+		t.Fatalf("gate on regression: exit %d, want 1 (stderr %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "REGRESSION") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+// TestCollectStats exercises the profile-size sampler on the real
+// schedulers (a short run per tracked kind).
+func TestCollectStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives full simulations")
+	}
+	stats, err := collectStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range statKinds {
+		st, ok := stats[kind]
+		if !ok {
+			t.Fatalf("kind %q missing from stats", kind)
+		}
+		if st.Samples == 0 || st.MaxPoints == 0 || st.MeanPoints <= 0 {
+			t.Fatalf("kind %q stats empty: %+v", kind, st)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/viz"
 )
@@ -46,8 +47,25 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "content-addressed table cache directory (empty: no cache)")
 		journal    = flag.String("journal", "", "append a JSONL run journal to this file")
 		quiet      = flag.Bool("q", false, "suppress the run summary on stderr")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile (post-GC) to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		stop, err := prof.StartCPU(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := prof.WriteHeap(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range exp.All() {

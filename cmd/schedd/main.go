@@ -59,6 +59,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		load    = fs.Float64("load", 0.85, "offered load for synthetic replay")
 		seed    = fs.Int64("seed", 42, "random seed for synthetic replay")
 		est     = fs.String("est", "actual", "estimate model for synthetic replay: keep, exact, actual, R=<f>")
+		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiles a live daemon; see PERFORMANCE.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +71,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		Policy:    *policy,
 		Audit:     *audit,
 		Speed:     *speed,
+		Debug:     *pprofOn,
 	})
 	if err != nil {
 		return err

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -43,8 +44,25 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty: no cache)")
 		journal  = flag.String("journal", "", "append a JSONL run journal to this file")
 		auditOn  = flag.Bool("audit", true, "run every cell under the invariant auditor; any violation fails the sweep")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-GC) to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		stop, err := prof.StartCPU(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := prof.WriteHeap(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+		}()
+	}
 
 	design := sweep.Design{
 		Schedulers: splitList(*scheds),

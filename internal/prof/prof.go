@@ -1,0 +1,46 @@
+// Package prof wraps runtime/pprof for the command-line tools: one call
+// to start a CPU profile and one to snapshot the heap, each writing to a
+// named file. cmd/sweep and cmd/experiments expose these as -cpuprofile
+// and -memprofile; the analysis workflow is documented in PERFORMANCE.md.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into path and returns the stop function,
+// which flushes and closes the file. The caller must invoke stop before
+// the process exits or the profile is truncated.
+func StartCPU(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap forces a GC and writes the live-heap profile to path, so the
+// snapshot reflects retained memory rather than garbage awaiting
+// collection.
+func WriteHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

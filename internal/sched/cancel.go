@@ -83,8 +83,9 @@ func (s *Conservative) Cancel(now int64, j *job.Job) bool {
 			from = now
 		}
 		s.profile.Release(from, end-from, j.Width)
+		s.holes = true
 	}
-	if !s.noCompress {
+	if !s.noCompress && s.holes {
 		s.compress(now)
 	}
 	return true
@@ -108,22 +109,12 @@ func (s *SlackBased) Cancel(now int64, j *job.Job) bool {
 			from = now
 		}
 		s.profile.Release(from, end-from, j.Width)
+		s.holes = true
 	}
 	// Reuse the completion-path compression: it walks the queue in
 	// priority order pulling reservations into freed space.
-	sortQueue(s.queue, s.pol, now)
-	for _, k := range s.queue {
-		old := s.resv[k.ID]
-		if old <= now {
-			continue
-		}
-		s.profile.Release(old, k.Estimate, k.Width)
-		st := s.profile.FindStart(now, k.Estimate, k.Width)
-		if st > old {
-			st = old
-		}
-		s.profile.Reserve(st, k.Estimate, k.Width)
-		s.resv[k.ID] = st
+	if s.holes {
+		s.compress(now)
 	}
 	return true
 }
@@ -145,8 +136,11 @@ func (s *Selective) Cancel(now int64, j *job.Job) bool {
 				from = now
 			}
 			s.profile.Release(from, end-from, j.Width)
+			s.holes = true
 		}
-		s.compress(now)
+		if s.holes {
+			s.compress(now)
+		}
 	}
 	return true
 }

@@ -26,6 +26,16 @@ type Conservative struct {
 	resv       map[int]int64 // queued job ID -> guaranteed start time
 	running    map[int]runInfo
 
+	// holes records whether free capacity has appeared in the profile (an
+	// early-completion release, a cancellation, or a compression pass that
+	// actually moved a job, which frees the mover's old slot) since the
+	// last compression pass. While holes is false a compression pass is
+	// provably the identity — arrivals and exact-time launches only consume
+	// capacity, and FindStart at a later now can never return an earlier
+	// slot from an unchanged profile — so Complete skips the whole
+	// release/FindStart/reserve replan loop.
+	holes bool
+
 	// violations collects internal invariant breaches (never expected);
 	// tests read them via Violations.
 	violations []string
@@ -106,33 +116,42 @@ func (s *Conservative) Complete(now int64, j *job.Job) {
 	delete(s.running, j.ID)
 	if now < ri.estEnd {
 		s.profile.Release(now, ri.estEnd-now, j.Width)
+		s.holes = true
 	}
 	s.profile.Trim(now)
-	if !s.noCompress {
+	if !s.noCompress && s.holes {
 		s.compress(now)
 	}
 }
 
 // compress re-places queued reservations in priority order. Each job's
 // reservation only ever moves earlier: its old slot remains feasible by
-// construction, so FindStart can never be later (guarded anyway).
+// construction, so FindStart can never be later (guarded anyway). A pass
+// that moves at least one job leaves holes set, because the mover's
+// vacated slot could let an earlier-processed job move on the next pass; a
+// pass that moves nothing clears it, making the next pass skippable until
+// capacity is freed again.
 func (s *Conservative) compress(now int64) {
 	sortQueue(s.queue, s.pol, now)
+	moved := false
 	for _, j := range s.queue {
 		old := s.resv[j.ID]
 		if old <= now {
 			continue // already startable; Launch will take it
 		}
-		s.profile.Release(old, j.Estimate, j.Width)
-		start := s.profile.FindStart(now, j.Estimate, j.Width)
-		if start > old {
-			s.violations = append(s.violations,
-				fmt.Sprintf("compress moved %v later: %d -> %d", j, old, start))
-			start = old
+		if !s.profile.anyAtLeastBefore(now, old, j.Width) {
+			continue // no instant before old has room: the job cannot move
 		}
+		start := s.profile.EarlierStart(now, old, j.Estimate, j.Width)
+		if start >= old {
+			continue // cannot move; the profile was never touched
+		}
+		moved = true
+		s.profile.Release(old, j.Estimate, j.Width)
 		s.profile.Reserve(start, j.Estimate, j.Width)
 		s.resv[j.ID] = start
 	}
+	s.holes = moved
 }
 
 // Launch starts every queued job whose guaranteed start has arrived.
@@ -160,6 +179,7 @@ func (s *Conservative) Launch(now int64) []*job.Job {
 				s.profile.Release(now, rem, j.Width)
 			}
 			s.profile.Reserve(now, j.Estimate, j.Width)
+			s.holes = true
 		}
 		delete(s.resv, j.ID)
 		s.running[j.ID] = runInfo{j: j, start: now, estEnd: now + j.Estimate}
@@ -190,3 +210,8 @@ func (s *Conservative) NextWake(now int64) int64 {
 func (s *Conservative) QueuedJobs() []*job.Job {
 	return append([]*job.Job(nil), s.queue...)
 }
+
+// ProfilePoints reports the current size of the availability profile's
+// step function (the benchmark ledger records its distribution per
+// scheduler kind).
+func (s *Conservative) ProfilePoints() int { return s.profile.NumPoints() }

@@ -25,6 +25,11 @@ type DepthK struct {
 	k       int
 	queue   []*job.Job
 	running []runInfo
+
+	// scratch is the replan profile rebuilt by every Launch; reusing one
+	// profile keeps the per-event rebuild allocation-free once its backing
+	// array has grown to the plan's working size.
+	scratch *Profile
 }
 
 // NewDepthK returns a lookahead-k backfilling scheduler. It panics if
@@ -66,8 +71,12 @@ func (s *DepthK) Complete(_ int64, j *job.Job) {
 func (s *DepthK) Launch(now int64) []*job.Job {
 	sortQueue(s.queue, s.pol, now)
 
-	p := NewProfile(s.procs)
-	p.Trim(now)
+	if s.scratch == nil {
+		s.scratch = NewProfile(s.procs)
+	} else {
+		s.scratch.Reset()
+	}
+	p := s.scratch
 	for _, r := range s.running {
 		if r.estEnd > now {
 			p.Reserve(now, r.estEnd-now, r.j.Width)

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/job"
 )
@@ -13,6 +12,22 @@ type runInfo struct {
 	j      *job.Job
 	start  int64
 	estEnd int64
+}
+
+// sortRunnersByEnd orders runInfos by (estEnd, job ID) with an insertion
+// sort: shadow computations sort the running set at every scheduling
+// event, and it is almost always already ordered from the previous event,
+// so the nearly-sorted case is linear and allocation-free.
+func sortRunnersByEnd(rs []runInfo) {
+	for i := 1; i < len(rs); i++ {
+		r := rs[i]
+		k := i - 1
+		for k >= 0 && (rs[k].estEnd > r.estEnd || (rs[k].estEnd == r.estEnd && rs[k].j.ID > r.j.ID)) {
+			rs[k+1] = rs[k]
+			k--
+		}
+		rs[k+1] = r
+	}
 }
 
 // EASY is aggressive backfilling as introduced by the EASY LoadLeveler
@@ -32,6 +47,10 @@ type EASY struct {
 	free    int
 	queue   []*job.Job
 	running []runInfo
+
+	// runScratch is reused by headReservation's sorted snapshot of the
+	// running set, so shadow computations stop allocating per event.
+	runScratch []runInfo
 }
 
 // BackfillOrder selects which eligible candidate an EASY backfill pass
@@ -209,13 +228,9 @@ func (s *EASY) prefer(a, b *job.Job) bool {
 // could start by current estimates, and the extra processors free at that
 // time beyond the head's requirement.
 func (s *EASY) headReservation(head *job.Job) (shadow int64, extra int) {
-	runners := append([]runInfo(nil), s.running...)
-	sort.Slice(runners, func(i, k int) bool {
-		if runners[i].estEnd != runners[k].estEnd {
-			return runners[i].estEnd < runners[k].estEnd
-		}
-		return runners[i].j.ID < runners[k].j.ID
-	})
+	s.runScratch = append(s.runScratch[:0], s.running...)
+	runners := s.runScratch
+	sortRunnersByEnd(runners)
 	avail := s.free
 	for i, r := range runners {
 		avail += r.j.Width

@@ -141,8 +141,37 @@ func PolicyByName(name string) (Policy, error) {
 	return nil, fmt.Errorf("sched: unknown policy %q", name)
 }
 
-// sortQueue orders jobs in place by policy priority at time now.
+// sortQueue orders jobs in place by policy priority at time now. Queues are
+// re-sorted at every scheduling event but rarely change order between
+// events (new arrivals append at the tail; dynamic policies like XFactor
+// reorder slowly), so the sort is tuned for the nearly-sorted case: a
+// linear already-sorted check, then an allocation-free stable insertion
+// sort for small or almost-ordered queues, falling back to the library
+// sort only for long unordered queues. Every policy induces a strict total
+// order, so all stable algorithms produce the identical permutation.
 func sortQueue(queue []*job.Job, pol Policy, now int64) {
+	sorted := true
+	for i := 1; i < len(queue); i++ {
+		if pol.Less(queue[i], queue[i-1], now) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	if len(queue) <= 64 {
+		for i := 1; i < len(queue); i++ {
+			j := queue[i]
+			k := i - 1
+			for k >= 0 && pol.Less(j, queue[k], now) {
+				queue[k+1] = queue[k]
+				k--
+			}
+			queue[k+1] = j
+		}
+		return
+	}
 	sort.SliceStable(queue, func(i, k int) bool {
 		return pol.Less(queue[i], queue[k], now)
 	})

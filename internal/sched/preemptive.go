@@ -42,6 +42,10 @@ type Preemptive struct {
 	// and its victims can trade the machine back and forth as their
 	// expansion factors leapfrog (both grow with time-in-system).
 	protected map[int]bool
+
+	// runScratch is reused by headReservation's sorted snapshot of the
+	// running set, so shadow computations stop allocating per event.
+	runScratch []runInfo
 }
 
 // DefaultMinRun is the default guaranteed run quantum between preemptions.
@@ -246,13 +250,9 @@ func (s *Preemptive) suspend(now int64, r runInfo) {
 // headReservation mirrors EASY's shadow computation using remaining
 // estimates.
 func (s *Preemptive) headReservation(head *job.Job) (shadow int64, extra int) {
-	runners := append([]runInfo(nil), s.running...)
-	sort.Slice(runners, func(i, k int) bool {
-		if runners[i].estEnd != runners[k].estEnd {
-			return runners[i].estEnd < runners[k].estEnd
-		}
-		return runners[i].j.ID < runners[k].j.ID
-	})
+	s.runScratch = append(s.runScratch[:0], s.running...)
+	runners := s.runScratch
+	sortRunnersByEnd(runners)
 	avail := s.free
 	for i, r := range runners {
 		avail += r.j.Width

@@ -36,6 +36,11 @@ type Selective struct {
 	sumXF    float64
 	nStarted int64
 
+	// holes mirrors Conservative.holes: compression runs only after
+	// capacity was freed or a previous pass moved a reservation; otherwise
+	// the pass is provably the identity and is skipped.
+	holes bool
+
 	violations []string
 }
 
@@ -124,29 +129,39 @@ func (s *Selective) Complete(now int64, j *job.Job) {
 	delete(s.running, j.ID)
 	if now < ri.estEnd {
 		s.profile.Release(now, ri.estEnd-now, j.Width)
+		s.holes = true
 	}
 	s.profile.Trim(now)
-	s.compress(now)
+	if s.holes {
+		s.compress(now)
+	}
 }
 
-// compress moves promoted reservations earlier when holes open.
+// compress moves promoted reservations earlier when holes open. A pass
+// that moves a job keeps holes set (its vacated slot may enable further
+// moves); a pass that moves nothing clears it, so hole-free completions
+// skip the replan loop entirely.
 func (s *Selective) compress(now int64) {
 	sortQueue(s.queue, s.pol, now)
+	moved := false
 	for _, j := range s.queue {
 		old, promoted := s.resv[j.ID]
 		if !promoted || old <= now {
 			continue
 		}
-		s.profile.Release(old, j.Estimate, j.Width)
-		start := s.profile.FindStart(now, j.Estimate, j.Width)
-		if start > old {
-			s.violations = append(s.violations,
-				fmt.Sprintf("compress moved %v later: %d -> %d", j, old, start))
-			start = old
+		if !s.profile.anyAtLeastBefore(now, old, j.Width) {
+			continue // no instant before old has room: the job cannot move
 		}
+		start := s.profile.EarlierStart(now, old, j.Estimate, j.Width)
+		if start >= old {
+			continue // cannot move; the profile was never touched
+		}
+		moved = true
+		s.profile.Release(old, j.Estimate, j.Width)
 		s.profile.Reserve(start, j.Estimate, j.Width)
 		s.resv[j.ID] = start
 	}
+	s.holes = moved
 }
 
 // promote grants reservations to queued jobs whose expansion factor has
@@ -188,6 +203,7 @@ func (s *Selective) Launch(now int64) []*job.Job {
 					s.profile.Release(now, rem, j.Width)
 				}
 				s.profile.Reserve(now, j.Estimate, j.Width)
+				s.holes = true
 			}
 			delete(s.resv, j.ID)
 			s.start(j, now)
@@ -218,3 +234,8 @@ func (s *Selective) start(j *job.Job, now int64) {
 func (s *Selective) QueuedJobs() []*job.Job {
 	return append([]*job.Job(nil), s.queue...)
 }
+
+// ProfilePoints reports the current size of the availability profile's
+// step function (the benchmark ledger records its distribution per
+// scheduler kind).
+func (s *Selective) ProfilePoints() int { return s.profile.NumPoints() }

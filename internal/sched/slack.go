@@ -38,6 +38,12 @@ type SlackBased struct {
 	guarantee map[int]int64 // job ID -> latest permitted start
 	running   map[int]runInfo
 
+	// holes mirrors Conservative.holes: compression passes run only after
+	// capacity has been freed (early completion, cancellation, a
+	// displacement that rearranged windows, or a pass that moved a job);
+	// otherwise the pass is provably the identity and is skipped.
+	holes bool
+
 	violations []string
 }
 
@@ -131,6 +137,9 @@ func (s *SlackBased) Arrive(now int64, j *job.Job) {
 		s.profile.Reserve(bestStart, j.Estimate, j.Width)
 		s.profile.Reserve(bestVictimStart, victim.Estimate, victim.Width)
 		s.resv[bestVictim] = bestVictimStart
+		// Displacement rearranged existing windows, so parts of the
+		// victim's old slot may now be free.
+		s.holes = true
 	} else {
 		s.profile.Reserve(bestStart, j.Estimate, j.Width)
 	}
@@ -161,25 +170,39 @@ func (s *SlackBased) Complete(now int64, j *job.Job) {
 	delete(s.running, j.ID)
 	if now < ri.estEnd {
 		s.profile.Release(now, ri.estEnd-now, j.Width)
+		s.holes = true
 	}
 	s.profile.Trim(now)
+	if s.holes {
+		s.compress(now)
+	}
+}
 
+// compress pulls reservations earlier in priority order, exactly as
+// conservative backfilling does. A pass that moves a job keeps holes set
+// (its vacated slot may enable further moves); a pass that moves nothing
+// clears it.
+func (s *SlackBased) compress(now int64) {
 	sortQueue(s.queue, s.pol, now)
+	moved := false
 	for _, k := range s.queue {
 		old := s.resv[k.ID]
 		if old <= now {
 			continue
 		}
-		s.profile.Release(old, k.Estimate, k.Width)
-		start := s.profile.FindStart(now, k.Estimate, k.Width)
-		if start > old {
-			s.violations = append(s.violations,
-				fmt.Sprintf("compress moved %v later: %d -> %d", k, old, start))
-			start = old
+		if !s.profile.anyAtLeastBefore(now, old, k.Width) {
+			continue // no instant before old has room: the job cannot move
 		}
+		start := s.profile.EarlierStart(now, old, k.Estimate, k.Width)
+		if start >= old {
+			continue // cannot move; the profile was never touched
+		}
+		moved = true
+		s.profile.Release(old, k.Estimate, k.Width)
 		s.profile.Reserve(start, k.Estimate, k.Width)
 		s.resv[k.ID] = start
 	}
+	s.holes = moved
 }
 
 // Launch starts every queued job whose reserved start has arrived.
@@ -206,6 +229,7 @@ func (s *SlackBased) Launch(now int64) []*job.Job {
 				s.profile.Release(now, rem, j.Width)
 			}
 			s.profile.Reserve(now, j.Estimate, j.Width)
+			s.holes = true
 		}
 		delete(s.resv, j.ID)
 		delete(s.guarantee, j.ID)
@@ -222,3 +246,8 @@ func (s *SlackBased) QueuedJobs() []*job.Job {
 	sort.SliceStable(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
 }
+
+// ProfilePoints reports the current size of the availability profile's
+// step function (the benchmark ledger records its distribution per
+// scheduler kind).
+func (s *SlackBased) ProfilePoints() int { return s.profile.NumPoints() }

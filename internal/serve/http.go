@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"repro/internal/job"
@@ -104,6 +105,10 @@ func makeView(info sim.JobInfo, th job.Thresholds) JobView {
 //	GET    /v1/queue      whole-service snapshot → 200 QueueResponse
 //	GET    /healthz       liveness               → 200 {"status":"ok"}
 //	GET    /metrics       Prometheus text format
+//
+// With Options.Debug, the Go runtime profiler is mounted as well:
+//
+//	GET    /debug/pprof/  index, plus the usual profile/heap/trace endpoints
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -112,6 +117,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/queue", s.handleQueue)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.Debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -50,6 +50,11 @@ type Options struct {
 	// Thresholds classify completed jobs for the per-category metrics;
 	// zero value means the paper's Table 1 thresholds.
 	Thresholds job.Thresholds
+	// Debug mounts net/http/pprof under /debug/pprof/ on the API mux so a
+	// live daemon can be profiled in place (see PERFORMANCE.md). Off by
+	// default: the profile endpoints expose stacks and heap contents, so
+	// only enable them on trusted listeners.
+	Debug bool
 }
 
 func (o Options) withDefaults() Options {

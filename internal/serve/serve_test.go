@@ -354,3 +354,29 @@ func TestServerRejectsBadOptions(t *testing.T) {
 		t.Fatal("want error for unknown policy")
 	}
 }
+
+// TestDebugMountsPprof checks that Options.Debug exposes the runtime
+// profiler on the API mux — and that without it the endpoints 404, since
+// they leak stacks and heap contents.
+func TestDebugMountsPprof(t *testing.T) {
+	on, err := New(Options{Procs: 4, Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	on.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("debug on: GET /debug/pprof/ = %d, want 200", rec.Code)
+	}
+
+	off, err := New(Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	off.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 404 {
+		t.Fatalf("debug off: GET /debug/pprof/ = %d, want 404", rec.Code)
+	}
+}

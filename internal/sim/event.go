@@ -7,6 +7,13 @@
 // scheduling simulations are dominated by scheduler logic, not event
 // dispatch, and single-threaded execution with total event ordering is what
 // makes runs bit-for-bit reproducible.
+//
+// That cost split is measured, not assumed: BenchmarkEventQueue isolates
+// dispatch while BenchmarkBatchRun/BenchmarkSessionStep time the engine
+// end-to-end, and all three are tracked in the benchmark ledger (see
+// PERFORMANCE.md) so a regression in either half fails `make bench-gate`.
+// The scheduler-side hot paths the engine amortises across events are
+// described in DESIGN.md §9.
 package sim
 
 import (

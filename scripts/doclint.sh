@@ -1,0 +1,39 @@
+#!/bin/sh
+# doclint checks that every package in the module carries a package doc
+# comment: a // comment block immediately above the `package` clause in at
+# least one of its files. Undocumented packages fail the build; `go doc`
+# and pkg.go.dev would render them with an empty synopsis. Run via
+# `make doclint` (part of `make check`).
+set -eu
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+    found=0
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        # A documented file has a comment line directly before the package
+        # clause (no blank line between them).
+        if awk '
+            /^package / { if (prev ~ /^\/\//) ok = 1; exit }
+            { prev = $0 }
+            END { exit ok ? 0 : 1 }
+        ' "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        rel=${dir#"$(pwd)/"}
+        echo "doclint: package $rel has no package doc comment" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doclint: add a // comment block above the package clause in one file per package" >&2
+    exit 1
+fi
+echo "doclint: all packages documented"
