@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-verbose race vet bench bench-json bench-gate doclint experiments results examples cover clean fuzz-smoke check serve-smoke
+.PHONY: all build test test-verbose race serve-race vet bench bench-json bench-gate doclint experiments results examples cover clean fuzz-smoke check serve-smoke
 
 all: build vet test
 
@@ -26,6 +26,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race-detector pass over the serving layer and the event core —
+# the packages the lock-free read path touches. -count=2 reruns the stress
+# tests with fresh schedules; CI runs this as its own job.
+serve-race:
+	$(GO) test -race -count=2 ./internal/serve ./internal/sim
+
 # Full test log, as recorded in test_output.txt.
 test-verbose:
 	$(GO) test -v ./...
@@ -34,20 +40,21 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Benchmark ledger (see PERFORMANCE.md). bench-json runs the tracked
-# benchmark suite and writes the machine-readable run to
+# benchmark suite — engine hot paths in the root package plus the serving
+# read path in internal/serve — and writes the machine-readable run to
 # bench_current.json; bench-gate compares it against the committed
-# BENCH_PR4.json baseline and fails on any regression beyond
+# BENCH_PR5.json baseline and fails on any regression beyond
 # BENCH_TOLERANCE (a fraction: 0.20 = 20%).
 BENCHTIME ?= 1s
 BENCH_TOLERANCE ?= 0.20
 
 bench-json:
-	$(GO) test -run='^$$' -bench='BenchmarkProfile|BenchmarkScheduler|BenchmarkCompression$$|BenchmarkSessionStep|BenchmarkBatchRun|BenchmarkEventQueue' \
-		-benchtime=$(BENCHTIME) -benchmem . \
+	$(GO) test -run='^$$' -bench='BenchmarkProfile|BenchmarkScheduler|BenchmarkCompression$$|BenchmarkSessionStep|BenchmarkBatchRun|BenchmarkEventQueue|BenchmarkServeRead|BenchmarkForecastCached|BenchmarkForecastUncached' \
+		-benchtime=$(BENCHTIME) -benchmem . ./internal/serve \
 		| $(GO) run ./cmd/benchdiff -parse > bench_current.json
 
 bench-gate: bench-json
-	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR4.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR5.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
 
 # Short fuzzing pass over every fuzz target. Each target gets FUZZTIME of
 # coverage-guided input generation on top of its checked-in seed corpus;

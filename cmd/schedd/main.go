@@ -60,18 +60,20 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		seed    = fs.Int64("seed", 42, "random seed for synthetic replay")
 		est     = fs.String("est", "actual", "estimate model for synthetic replay: keep, exact, actual, R=<f>")
 		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiles a live daemon; see PERFORMANCE.md)")
+		mboxRd  = fs.Bool("mailbox-reads", false, "serve GETs through the scheduler mailbox instead of the lock-free snapshot path (A/B baseline for cmd/schedload)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	srv, err := serve.New(serve.Options{
-		Procs:     *procs,
-		Scheduler: *kind,
-		Policy:    *policy,
-		Audit:     *audit,
-		Speed:     *speed,
-		Debug:     *pprofOn,
+		Procs:        *procs,
+		Scheduler:    *kind,
+		Policy:       *policy,
+		Audit:        *audit,
+		Speed:        *speed,
+		Debug:        *pprofOn,
+		MailboxReads: *mboxRd,
 	})
 	if err != nil {
 		return err

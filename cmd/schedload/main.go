@@ -1,0 +1,309 @@
+// Command schedload is a closed-loop load generator for the scheduling
+// daemon: it seeds a busy machine with a standing queue, then hammers the
+// service with concurrent reader and writer goroutines for a fixed duration
+// and reports sustained throughput and latency percentiles per class.
+//
+//	schedload -readers 8 -writers 1 -duration 5s
+//	schedload -mailbox                      # the pre-snapshot baseline
+//	schedload -addr 127.0.0.1:8080 -queue 0 # aim at a live daemon
+//
+// Self-hosted runs (the default) drive the daemon's HTTP handler in
+// process, so the numbers measure the service itself — snapshot rendering,
+// forecast memoization, mailbox batching — rather than kernel sockets.
+// Running once with -mailbox and once without on the same machine is the
+// A/B experiment behind the read-path speedup recorded in BENCH_PR5.json.
+//
+// The reader mix models real polling traffic: mostly per-job status probes
+// (every client polls its own job), a steady trickle of health checks and
+// metric scrapes, and occasional whole-queue listings.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "schedload:", err)
+		os.Exit(1)
+	}
+}
+
+// target abstracts where requests go: the in-process handler for
+// self-hosted runs, a real HTTP endpoint for -addr runs.
+type target interface {
+	do(method, path string, body []byte) (int, error)
+}
+
+// handlerTarget drives an http.Handler directly — no sockets, no client
+// pooling, just the service's own request cost.
+type handlerTarget struct{ h http.Handler }
+
+func (t handlerTarget) do(method, path string, body []byte) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, httptest.NewRequest(method, path, rd))
+	return rec.Code, nil
+}
+
+// httpTarget talks to a live daemon over TCP.
+type httpTarget struct {
+	base   string
+	client *http.Client
+}
+
+func (t httpTarget) do(method, path string, body []byte) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, t.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// classStats aggregates one request class (reads or writes).
+type classStats struct {
+	Ops  int     `json:"ops"`
+	QPS  float64 `json:"qps"`
+	P50  float64 `json:"p50_us"`
+	P99  float64 `json:"p99_us"`
+	Errs int     `json:"errors"`
+}
+
+// report is the machine-readable form of one run (-json).
+type report struct {
+	Mode     string     `json:"mode"`
+	Duration float64    `json:"duration_s"`
+	Readers  int        `json:"readers"`
+	Writers  int        `json:"writers"`
+	Queue    int        `json:"queue"`
+	Reads    classStats `json:"reads"`
+	Writes   classStats `json:"writes"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("schedload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr     = fs.String("addr", "", "target a running daemon at host:port; empty self-hosts one in process")
+		procs    = fs.Int("procs", 64, "machine size for the self-hosted daemon")
+		kind     = fs.String("sched", "easy", "scheduler kind for the self-hosted daemon")
+		policy   = fs.String("policy", "FCFS", "queue priority policy for the self-hosted daemon")
+		queue    = fs.Int("queue", 256, "standing queue depth to seed before measuring")
+		readers  = fs.Int("readers", 8, "concurrent reader goroutines")
+		writers  = fs.Int("writers", 1, "concurrent writer (submit) goroutines")
+		duration = fs.Duration("duration", 5*time.Second, "measurement window")
+		mailbox  = fs.Bool("mailbox", false, "self-hosted only: route reads through the scheduler mailbox (the pre-snapshot baseline)")
+		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *readers < 1 || *duration <= 0 {
+		return fmt.Errorf("need at least one reader and a positive duration")
+	}
+
+	var tgt target
+	mode := "snapshot"
+	if *mailbox {
+		mode = "mailbox"
+	}
+	if *addr != "" {
+		if *mailbox {
+			return fmt.Errorf("-mailbox only applies to the self-hosted daemon")
+		}
+		mode = "remote"
+		tgt = httpTarget{base: "http://" + *addr, client: &http.Client{Timeout: 10 * time.Second}}
+	} else {
+		srv, err := serve.New(serve.Options{
+			Procs:        *procs,
+			Scheduler:    *kind,
+			Policy:       *policy,
+			Speed:        1e-9, // hold virtual time still so the load is the only variable
+			MailboxReads: *mailbox,
+		})
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- srv.Run(ctx) }()
+		defer func() {
+			cancel()
+			<-done
+		}()
+		tgt = handlerTarget{h: srv.Handler()}
+	}
+
+	// Seed: one job pins the whole machine, then a standing queue builds the
+	// state every read has to render (and every mailbox read has to rebuild).
+	ids := make([]int, 0, *queue+1)
+	seed := func(width int, runtime int64) error {
+		body, _ := json.Marshal(map[string]any{"width": width, "runtime": runtime})
+		code, err := tgt.do("POST", "/v1/jobs", body)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusCreated {
+			return fmt.Errorf("seed submit: HTTP %d", code)
+		}
+		ids = append(ids, len(ids)+1)
+		return nil
+	}
+	if *queue > 0 {
+		if err := seed(*procs, 1_000_000); err != nil {
+			return err
+		}
+		for i := 0; i < *queue; i++ {
+			w := 1 + (i%16)*4
+			if w > *procs {
+				w = *procs
+			}
+			if err := seed(w, int64(1000+100*i)); err != nil {
+				return err
+			}
+		}
+	}
+	if len(ids) == 0 {
+		ids = []int{1} // remote daemon with unknown state: poll job 1
+	}
+
+	stopAt := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	readLat := make([][]time.Duration, *readers)
+	readErr := make([]int, *readers)
+	for r := 0; r < *readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, 1<<16)
+			for i := 0; time.Now().Before(stopAt); i++ {
+				// 80% status, 10% healthz, 5% queue, 5% metrics.
+				path := fmt.Sprintf("/v1/jobs/%d", ids[i%len(ids)])
+				switch i % 20 {
+				case 0:
+					path = "/v1/queue"
+				case 1:
+					path = "/metrics"
+				case 2, 3:
+					path = "/healthz"
+				}
+				t0 := time.Now()
+				code, err := tgt.do("GET", path, nil)
+				if err != nil || code != http.StatusOK {
+					readErr[r]++
+					continue
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			readLat[r] = lat
+		}()
+	}
+	writeLat := make([][]time.Duration, *writers)
+	writeErr := make([]int, *writers)
+	for w := 0; w < *writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, 1<<12)
+			for i := 0; time.Now().Before(stopAt); i++ {
+				body, _ := json.Marshal(map[string]any{"width": 1 + i%8, "runtime": 10_000})
+				t0 := time.Now()
+				code, err := tgt.do("POST", "/v1/jobs", body)
+				if err != nil || code != http.StatusCreated {
+					writeErr[w]++
+					continue
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			writeLat[w] = lat
+		}()
+	}
+	wg.Wait()
+
+	rep := report{
+		Mode:     mode,
+		Duration: duration.Seconds(),
+		Readers:  *readers,
+		Writers:  *writers,
+		Queue:    *queue,
+		Reads:    summarize(readLat, readErr, *duration),
+		Writes:   summarize(writeLat, writeErr, *duration),
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(out, "schedload: %s(%s) procs=%d queue=%d readers=%d writers=%d duration=%s mode=%s\n",
+		*kind, *policy, *procs, *queue, *readers, *writers, duration, mode)
+	printClass(out, "reads", rep.Reads)
+	printClass(out, "writes", rep.Writes)
+	return nil
+}
+
+// summarize merges per-worker latency samples into one class report.
+func summarize(lats [][]time.Duration, errs []int, window time.Duration) classStats {
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	var nerr int
+	for _, e := range errs {
+		nerr += e
+	}
+	cs := classStats{Ops: len(all), Errs: nerr}
+	if len(all) == 0 {
+		return cs
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	cs.QPS = float64(len(all)) / window.Seconds()
+	cs.P50 = float64(percentile(all, 0.50)) / float64(time.Microsecond)
+	cs.P99 = float64(percentile(all, 0.99)) / float64(time.Microsecond)
+	return cs
+}
+
+// percentile reads quantile q from sorted samples.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func printClass(out io.Writer, name string, cs classStats) {
+	if cs.Ops == 0 && cs.Errs == 0 {
+		fmt.Fprintf(out, "  %-6s (none)\n", name+":")
+		return
+	}
+	fmt.Fprintf(out, "  %-6s %8d ops  %10.1f QPS  p50=%.0fµs p99=%.0fµs  errors=%d\n",
+		name+":", cs.Ops, cs.QPS, cs.P50, cs.P99, cs.Errs)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadSelfHostedBothModes runs a short self-hosted burst in each read
+// mode and checks the generator completes with traffic and no errors.
+func TestLoadSelfHostedBothModes(t *testing.T) {
+	for _, mode := range []string{"snapshot", "mailbox"} {
+		t.Run(mode, func(t *testing.T) {
+			args := []string{
+				"-procs", "16", "-queue", "16",
+				"-readers", "2", "-writers", "1",
+				"-duration", "200ms",
+			}
+			if mode == "mailbox" {
+				args = append(args, "-mailbox")
+			}
+			var out strings.Builder
+			if err := run(args, &out); err != nil {
+				t.Fatalf("run: %v\n%s", err, out.String())
+			}
+			s := out.String()
+			if !strings.Contains(s, "mode="+mode) {
+				t.Errorf("missing mode in report:\n%s", s)
+			}
+			for _, want := range []string{"reads:", "writes:", "errors=0"} {
+				if !strings.Contains(s, want) {
+					t.Errorf("report missing %q:\n%s", want, s)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadJSONReport checks the machine-readable form carries real counts.
+func TestLoadJSONReport(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-procs", "8", "-queue", "4", "-readers", "1", "-writers", "0",
+		"-duration", "100ms", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{`"mode": "snapshot"`, `"qps"`, `"p99_us"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestLoadFlagValidation pins the argument errors.
+func TestLoadFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-readers", "0"}, &out); err == nil {
+		t.Error("zero readers should fail")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1", "-mailbox"}, &out); err == nil {
+		t.Error("-addr with -mailbox should fail")
+	}
+	if err := run([]string{"-duration", "0s"}, &out); err == nil {
+		t.Error("zero duration should fail")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 0.5); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := percentile(sorted, 0.99); got != 9 {
+		t.Errorf("p99 = %d, want 9", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %d, want 0", got)
+	}
+}

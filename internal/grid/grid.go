@@ -156,9 +156,13 @@ func Run(sites []Site, jobs []*job.Job, routing Routing) ([]Placement, error) {
 	}
 
 	for q.Len() > 0 {
-		now := q.Peek().Time
-		for q.Len() > 0 && q.Peek().Time == now {
-			e := q.Pop()
+		head, _ := q.Peek()
+		now := head.Time
+		for {
+			if h, ok := q.Peek(); !ok || h.Time != now {
+				break
+			}
+			e, _ := q.Pop()
 			switch e.Kind {
 			case sim.Completion:
 				site := completionSite[e.Job.ID]

@@ -1,7 +1,8 @@
 package sched
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/job"
 )
@@ -12,6 +13,27 @@ type RunningSlot struct {
 	Width  int
 	EstEnd int64
 }
+
+// scratchProfiles pools the dry-run profiles ShowStart builds its schedule
+// in. A forecast is read-mostly work that serving layers may run on any
+// goroutine, so the pool is the concurrency-safe way to reuse the backing
+// arrays across forecasts instead of allocating a fresh profile per call.
+var scratchProfiles sync.Pool
+
+// getScratchProfile returns a reset profile for procs processors, reusing
+// pooled storage when the machine size matches.
+func getScratchProfile(procs int) *Profile {
+	if v := scratchProfiles.Get(); v != nil {
+		p := v.(*Profile)
+		if p.Procs() == procs {
+			p.Reset()
+			return p
+		}
+	}
+	return NewProfile(procs)
+}
+
+func putScratchProfile(p *Profile) { scratchProfiles.Put(p) }
 
 // ShowStart predicts a start time for every queued job — the feature
 // production batch schedulers expose as "showstart" (Maui/Moab) or
@@ -28,9 +50,18 @@ type RunningSlot struct {
 // implementations offer, because the future workload is unknowable either
 // way.
 //
-// queued is not modified; the returned map is keyed by job ID.
+// queued is not modified; the returned map is keyed by job ID. The dry-run
+// profile comes from an internal pool, so steady-state forecasting does not
+// allocate a profile per call.
 func ShowStart(procs int, now int64, running []RunningSlot, queued []*job.Job, pol Policy) map[int]int64 {
-	p := NewProfile(procs)
+	p := getScratchProfile(procs)
+	defer putScratchProfile(p)
+	return showStartInto(p, now, running, queued, pol)
+}
+
+// showStartInto runs the ShowStart dry-run in the caller-supplied profile,
+// which must be freshly reset and sized to the machine.
+func showStartInto(p *Profile, now int64, running []RunningSlot, queued []*job.Job, pol Policy) map[int]int64 {
 	for _, r := range running {
 		if r.EstEnd > now && r.Width > 0 {
 			p.Reserve(now, r.EstEnd-now, r.Width)
@@ -55,16 +86,38 @@ type Reservist interface {
 	Reservation(id int) (int64, bool)
 }
 
-// Forecast combines both prediction sources for one queue snapshot: the
-// scheduler's own reservations where it holds them, and the ShowStart
-// dry-run for everything else. Predictions never precede now.
-func Forecast(s interface{ Name() string }, procs int, now int64, running []RunningSlot, queued []*job.Job, pol Policy) map[int]int64 {
-	out := ShowStart(procs, now, running, queued, pol)
-	if r, ok := s.(Reservist); ok {
-		for _, j := range queued {
-			if t, ok := r.Reservation(j.ID); ok {
-				out[j.ID] = t
+// Reservations captures the reservations scheduler s holds for the queued
+// jobs, or nil when s is not a Reservist. The returned map is an immutable
+// snapshot: callers may consult it from other goroutines long after the
+// scheduler has moved on, which is how the serving layer separates the
+// cheap on-loop capture from the off-loop dry-run.
+func Reservations(s any, queued []*job.Job) map[int]int64 {
+	r, ok := s.(Reservist)
+	if !ok {
+		return nil
+	}
+	var out map[int]int64
+	for _, j := range queued {
+		if t, ok := r.Reservation(j.ID); ok {
+			if out == nil {
+				out = make(map[int]int64, len(queued))
 			}
+			out[j.ID] = t
+		}
+	}
+	return out
+}
+
+// ForecastFromState is the pure form of Forecast: it predicts start times
+// from an explicit state capture (machine size, clock, running slots, queue
+// and pre-captured reservations) without touching any scheduler. Because
+// every input is a snapshot, it is safe to call from any goroutine — the
+// serving layer memoizes its result per state version.
+func ForecastFromState(procs int, now int64, running []RunningSlot, queued []*job.Job, pol Policy, resv map[int]int64) map[int]int64 {
+	out := ShowStart(procs, now, running, queued, pol)
+	for id, t := range resv {
+		if _, ok := out[id]; ok {
+			out[id] = t
 		}
 	}
 	for id, t := range out {
@@ -75,11 +128,18 @@ func Forecast(s interface{ Name() string }, procs int, now int64, running []Runn
 	return out
 }
 
+// Forecast combines both prediction sources for one queue snapshot: the
+// scheduler's own reservations where it holds them, and the ShowStart
+// dry-run for everything else. Predictions never precede now.
+func Forecast(s interface{ Name() string }, procs int, now int64, running []RunningSlot, queued []*job.Job, pol Policy) map[int]int64 {
+	return ForecastFromState(procs, now, running, queued, pol, Reservations(s, queued))
+}
+
 // SortedByPolicy returns a copy of jobs ordered by the policy at now —
 // the order a scheduler would serve them in, which is also the order
 // status endpoints should display.
 func SortedByPolicy(jobs []*job.Job, pol Policy, now int64) []*job.Job {
 	q := append([]*job.Job(nil), jobs...)
-	sort.SliceStable(q, func(i, k int) bool { return pol.Less(q[i], q[k], now) })
+	slices.SortStableFunc(q, func(a, b *job.Job) int { return policyCmp(pol, a, b, now) })
 	return q
 }

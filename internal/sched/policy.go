@@ -2,7 +2,7 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/job"
 )
@@ -172,7 +172,22 @@ func sortQueue(queue []*job.Job, pol Policy, now int64) {
 		}
 		return
 	}
-	sort.SliceStable(queue, func(i, k int) bool {
-		return pol.Less(queue[i], queue[k], now)
+	slices.SortStableFunc(queue, func(a, b *job.Job) int {
+		return policyCmp(pol, a, b, now)
 	})
+}
+
+// policyCmp lifts a policy's strict-weak-order Less into the three-way
+// comparison slices.SortStableFunc requires. Both calls are needed:
+// returning 0 for "not less" alone would not be antisymmetric, and the
+// policies' comparator-totality tests pin exactly the properties (totality,
+// antisymmetry, transitivity) that make this lift order-preserving.
+func policyCmp(pol Policy, a, b *job.Job, now int64) int {
+	if pol.Less(a, b, now) {
+		return -1
+	}
+	if pol.Less(b, a, now) {
+		return 1
+	}
+	return 0
 }

@@ -2,7 +2,7 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/job"
 )
@@ -215,8 +215,8 @@ func (s *Preemptive) chooseVictims(now int64, head *job.Job, headXF float64) []r
 		candidates = append(candidates, r)
 	}
 	// Lowest priority first — suspend the jobs the policy values least.
-	sort.SliceStable(candidates, func(i, k int) bool {
-		return s.pol.Less(candidates[k].j, candidates[i].j, now)
+	slices.SortStableFunc(candidates, func(a, b runInfo) int {
+		return policyCmp(s.pol, b.j, a.j, now)
 	})
 	freed := s.free
 	var chosen []runInfo

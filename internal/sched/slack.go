@@ -1,8 +1,9 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/job"
 )
@@ -243,7 +244,7 @@ func (s *SlackBased) Launch(now int64) []*job.Job {
 // QueuedJobs returns the jobs still waiting, in priority order.
 func (s *SlackBased) QueuedJobs() []*job.Job {
 	out := append([]*job.Job(nil), s.queue...)
-	sort.SliceStable(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	slices.SortStableFunc(out, func(a, b *job.Job) int { return cmp.Compare(a.ID, b.ID) })
 	return out
 }
 

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// benchServer builds a running daemon with a realistically busy state — a
+// full machine plus a standing queue — so read benchmarks measure rendering
+// against non-trivial snapshots. The virtual clock is effectively frozen, so
+// the state (and therefore the snapshot version) holds still while the
+// benchmark loops.
+func benchServer(b *testing.B, mailbox bool) (*Server, http.Handler) {
+	b.Helper()
+	s, err := New(Options{Procs: 64, Scheduler: "easy", Speed: 1e-9, MailboxReads: mailbox})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	b.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			b.Fatal("server did not stop")
+		}
+	})
+	h := s.Handler()
+	submit := func(width int, runtime int64) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/jobs",
+			strings.NewReader(fmt.Sprintf(`{"width":%d,"runtime":%d}`, width, runtime)))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusCreated {
+			b.Fatalf("seed submit: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	// Fill the machine, then park a deep standing queue behind it — the
+	// regime where the mailbox baseline's per-request snapshot rebuild and
+	// forecast dry-run actually cost something.
+	submit(64, 100000)
+	for i := 0; i < 256; i++ {
+		submit(1+(i%16)*4, int64(1000+100*i))
+	}
+	return s, h
+}
+
+// benchGet drives one endpoint from parallel client goroutines, the shape
+// of real scrape/poll traffic.
+func benchGet(b *testing.B, h http.Handler, path string) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("GET %s: %d", path, rec.Code)
+			}
+		}
+	})
+}
+
+// The ServeRead benchmarks are paired: the bare name is the lock-free
+// snapshot read path, the Mailbox suffix is the same request forced through
+// the scheduler mailbox (Options.MailboxReads) — the pre-snapshot design.
+// BENCH_PR5.json records the mailbox numbers as the baseline, so the ledger
+// speedup is exactly the read-path win claimed by this change.
+
+func BenchmarkServeReadQueue(b *testing.B) {
+	_, h := benchServer(b, false)
+	benchGet(b, h, "/v1/queue")
+}
+
+func BenchmarkServeReadQueueMailbox(b *testing.B) {
+	_, h := benchServer(b, true)
+	benchGet(b, h, "/v1/queue")
+}
+
+func BenchmarkServeReadStatus(b *testing.B) {
+	_, h := benchServer(b, false)
+	benchGet(b, h, "/v1/jobs/17")
+}
+
+func BenchmarkServeReadStatusMailbox(b *testing.B) {
+	_, h := benchServer(b, true)
+	benchGet(b, h, "/v1/jobs/17")
+}
+
+func BenchmarkServeReadMetrics(b *testing.B) {
+	_, h := benchServer(b, false)
+	benchGet(b, h, "/metrics")
+}
+
+func BenchmarkServeReadMetricsMailbox(b *testing.B) {
+	_, h := benchServer(b, true)
+	benchGet(b, h, "/metrics")
+}
+
+// BenchmarkForecastCached measures what repeated ShowStart polling costs at
+// an unchanged state version: a cache hit on the memoized forecast.
+// BenchmarkForecastUncached is the same question answered the old way — a
+// full conservative-backfill dry-run per request.
+
+func BenchmarkForecastCached(b *testing.B) {
+	s, _ := benchServer(b, false)
+	snap := s.Current()
+	if s.forecastFor(snap) == nil {
+		b.Fatal("no forecast for seeded queue")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.forecastFor(snap) == nil {
+			b.Fatal("lost forecast")
+		}
+	}
+}
+
+func BenchmarkForecastUncached(b *testing.B) {
+	s, _ := benchServer(b, false)
+	snap := s.Current()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := sched.ForecastFromState(snap.Procs, snap.SimNow, snap.FRunning, snap.FQueued, s.pol, snap.Resv)
+		if m == nil {
+			b.Fatal("no forecast")
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package serve
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // Clock maps wall-clock time onto the simulation's virtual seconds. Three
 // modes cover the service's uses:
@@ -39,15 +42,20 @@ func (c *Clock) Now(wall time.Time) int64 {
 }
 
 // WallUntil returns how long to sleep from wall instant wall until virtual
-// second vt is reached. It never returns a negative duration.
+// second vt is reached. It never returns a negative duration, and waits that
+// overflow a Duration (a far-off event under a very slow clock) saturate to
+// the maximum instead of wrapping negative — the wrap made the scheduler
+// loop busy-spin on a timer that fired instantly, forever.
 func (c *Clock) WallUntil(vt int64, wall time.Time) time.Duration {
 	if c.Max() {
 		return 0
 	}
-	target := c.start.Add(time.Duration(float64(vt-c.base) / c.speed * float64(time.Second)))
-	d := target.Sub(wall)
-	if d < 0 {
+	secs := float64(vt-c.base)/c.speed - wall.Sub(c.start).Seconds()
+	if secs <= 0 {
 		return 0
 	}
-	return d
+	if secs >= float64(math.MaxInt64/time.Second) {
+		return math.MaxInt64
+	}
+	return time.Duration(secs * float64(time.Second))
 }

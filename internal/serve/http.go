@@ -46,10 +46,15 @@ type JobView struct {
 
 // QueueResponse is the body of GET /v1/queue.
 type QueueResponse struct {
+	// Version is the snapshot publication number the response was rendered
+	// from; it increases monotonically with every observable state change.
+	Version   uint64    `json:"version"`
 	Now       int64     `json:"now"`
 	Scheduler string    `json:"scheduler"`
 	Procs     int       `json:"procs"`
 	ProcsBusy int       `json:"procs_busy"`
+	Submitted int64     `json:"submitted"`
+	Pending   int       `json:"pending"`
 	Queued    []JobView `json:"queued"`
 	Running   []JobView `json:"running"`
 	Completed int64     `json:"completed"`
@@ -58,9 +63,11 @@ type QueueResponse struct {
 
 // healthResponse is the body of GET /healthz.
 type healthResponse struct {
-	Status  string `json:"status"`
-	Now     int64  `json:"now"`
-	Pending int    `json:"pending"`
+	Status   string `json:"status"`
+	Now      int64  `json:"now"`
+	Pending  int    `json:"pending"`
+	Version  uint64 `json:"version"`
+	Draining bool   `json:"draining,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -155,14 +162,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
 		return
 	}
-	var v JobView
+	var id int
 	var subErr error
-	if err := s.exec(func() { v, subErr = s.submit(req) }); err != nil {
+	if err := s.exec(func() { id, subErr = s.submitJob(req) }); err != nil {
 		writeError(w, err)
 		return
 	}
 	if subErr != nil {
 		writeError(w, subErr)
+		return
+	}
+	// exec returns only after the batch's snapshot is published, so the
+	// latest snapshot is guaranteed to contain the new job — and the
+	// forecast attached below is the memoized one for that version, shared
+	// with every other response at the same state.
+	v, ok := s.jobResponse(s.snap.Load(), id)
+	if !ok {
+		writeError(w, errors.New("serve: submitted job missing from snapshot"))
 		return
 	}
 	writeJSON(w, http.StatusCreated, v)
@@ -175,16 +191,37 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var v JobView
-	var stErr error
-	if err := s.exec(func() { v, stErr = s.view(id) }); err != nil {
-		writeError(w, err)
-		return
+	var ok bool
+	if s.opts.MailboxReads {
+		if err := s.exec(func() { v, ok = s.mailboxJobView(id) }); err != nil {
+			writeError(w, err)
+			return
+		}
+	} else {
+		v, ok = s.jobResponse(s.snap.Load(), id)
 	}
-	if stErr != nil {
-		writeError(w, stErr)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + strconv.Itoa(id)})
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// mailboxJobView is the baseline status path: render the job and (for
+// waiting jobs) a fresh uncached forecast on the scheduler goroutine.
+func (s *Server) mailboxJobView(id int) (JobView, bool) {
+	info, ok := s.sess.Info(id)
+	if !ok {
+		return JobView{}, false
+	}
+	v := makeView(info, s.opts.Thresholds)
+	if info.State == sim.StateQueued || info.State == sim.StatePending {
+		if t, ok := s.forecasts()[id]; ok {
+			t := t
+			v.PredictedStart = &t
+		}
+	}
+	return v, true
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -207,29 +244,48 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 	var resp QueueResponse
-	if err := s.exec(func() { resp = s.queueSnapshot() }); err != nil {
-		writeError(w, err)
-		return
+	if s.opts.MailboxReads {
+		var snap *Snapshot
+		var pred map[int]int64
+		if err := s.exec(func() { snap, pred = s.buildSnapshot(), s.forecasts() }); err != nil {
+			writeError(w, err)
+			return
+		}
+		resp = queueResponse(snap, pred)
+	} else {
+		snap := s.snap.Load()
+		resp = queueResponse(snap, s.forecastFor(snap))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	var resp healthResponse
-	if err := s.exec(func() {
-		resp = healthResponse{Status: "ok", Now: s.vnow(), Pending: s.sess.Pending()}
-	}); err != nil {
-		writeError(w, err)
-		return
+	snap := s.snap.Load()
+	if s.opts.MailboxReads {
+		// Even the baseline serves health from the snapshot once the loop
+		// is gone: a draining daemon must keep answering its liveness probe.
+		if err := s.exec(func() { snap = s.buildSnapshot() }); err != nil && !errors.Is(err, ErrStopped) {
+			writeError(w, err)
+			return
+		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:   "ok",
+		Now:      snap.Now,
+		Pending:  snap.Pending,
+		Version:  snap.Version,
+		Draining: snap.Draining,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if err := s.exec(func() {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		s.writeMetrics(w)
-	}); err != nil {
-		writeError(w, err)
+	snap := s.snap.Load()
+	if s.opts.MailboxReads {
+		if err := s.exec(func() { snap = s.buildSnapshot() }); err != nil && !errors.Is(err, ErrStopped) {
+			writeError(w, err)
+			return
+		}
 	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	writeMetrics(w, snap)
 }

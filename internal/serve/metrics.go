@@ -86,13 +86,12 @@ func (c *counters) utilization(now int64, procs int) float64 {
 	return float64(c.busyArea) / (float64(procs) * float64(c.lastT))
 }
 
-// writeMetrics renders the Prometheus text exposition format, kept by hand
-// rather than through a client library: the format is five lines of syntax
-// and the repo takes no dependencies.
-func (s *Server) writeMetrics(w io.Writer) {
-	c := s.ctr
-	now := s.vnow()
-
+// writeMetrics renders the Prometheus text exposition format from one
+// immutable snapshot, kept by hand rather than through a client library: the
+// format is five lines of syntax and the repo takes no dependencies. Because
+// it reads only the snapshot it is safe on any goroutine, and a draining or
+// stopped daemon keeps exposing its final state.
+func writeMetrics(w io.Writer, snap *Snapshot) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -100,30 +99,30 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
 	}
 
-	counter("schedd_jobs_submitted_total", "Jobs accepted by the service.", c.submitted)
-	counter("schedd_jobs_started_total", "Jobs dispatched for the first time.", c.started)
-	counter("schedd_jobs_resumed_total", "Resumes of preempted jobs.", c.resumed)
-	counter("schedd_jobs_completed_total", "Jobs that finished.", c.completed)
-	counter("schedd_jobs_cancelled_total", "Jobs withdrawn before starting.", c.cancelled)
-	counter("schedd_jobs_rejected_total", "Submissions refused (invalid or too wide).", c.rejected)
+	counter("schedd_jobs_submitted_total", "Jobs accepted by the service.", snap.Submitted)
+	counter("schedd_jobs_started_total", "Jobs dispatched for the first time.", snap.Started)
+	counter("schedd_jobs_resumed_total", "Resumes of preempted jobs.", snap.Resumed)
+	counter("schedd_jobs_completed_total", "Jobs that finished.", snap.Completed)
+	counter("schedd_jobs_cancelled_total", "Jobs withdrawn before starting.", snap.Cancelled)
+	counter("schedd_jobs_rejected_total", "Submissions refused (invalid or too wide).", snap.Rejected)
 
-	gauge("schedd_queue_depth", "Jobs waiting in the scheduler queue.", "%d", len(s.sess.Queued()))
-	gauge("schedd_running_jobs", "Jobs currently holding processors.", "%d", len(s.sess.Running()))
-	gauge("schedd_procs_total", "Machine size in processors.", "%d", s.opts.Procs)
-	gauge("schedd_procs_busy", "Processors currently in use.", "%d", c.inUse)
-	gauge("schedd_virtual_time_seconds", "Current virtual time.", "%d", now)
-	gauge("schedd_utilization", "Busy fraction of the machine over virtual time so far.", "%.6f", c.utilization(now, s.opts.Procs))
+	gauge("schedd_queue_depth", "Jobs waiting in the scheduler queue.", "%d", len(snap.Queued))
+	gauge("schedd_running_jobs", "Jobs currently holding processors.", "%d", len(snap.Running))
+	gauge("schedd_procs_total", "Machine size in processors.", "%d", snap.Procs)
+	gauge("schedd_procs_busy", "Processors currently in use.", "%d", snap.ProcsBusy)
+	gauge("schedd_virtual_time_seconds", "Current virtual time.", "%d", snap.Now)
+	gauge("schedd_utilization", "Busy fraction of the machine over virtual time so far.", "%.6f", snap.Utilization)
+	gauge("schedd_state_version", "Snapshot publication number of this scrape.", "%d", snap.Version)
 
-	if s.aud != nil {
-		rep := s.aud.Report()
-		gauge("schedd_audit_violations", "Invariant violations recorded by the audit wrapper.", "%d", int64(len(rep.Violations))+int64(rep.Truncated))
+	if snap.AuditViolations >= 0 {
+		gauge("schedd_audit_violations", "Invariant violations recorded by the audit wrapper.", "%d", snap.AuditViolations)
 	}
 
 	fmt.Fprintf(w, "# HELP schedd_slowdown_mean Mean bounded slowdown of completed jobs per paper category.\n# TYPE schedd_slowdown_mean gauge\n")
 	for _, cat := range job.Categories() {
-		if c.catN[cat] == 0 {
+		if snap.CatN[cat] == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "schedd_slowdown_mean{category=%q} %.6f\n", cat.String(), c.catSum[cat]/float64(c.catN[cat]))
+		fmt.Fprintf(w, "schedd_slowdown_mean{category=%q} %.6f\n", cat.String(), snap.CatSum[cat]/float64(snap.CatN[cat]))
 	}
 }

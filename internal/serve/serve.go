@@ -7,17 +7,24 @@
 // Prometheus metrics.
 //
 // Concurrency model: exactly one goroutine — the scheduler loop started by
-// Run — touches the session, the scheduler, and the counters. HTTP
-// handlers never share state with it; they send closures through a mailbox
-// channel and wait for execution. That keeps the discrete-event core
-// single-threaded (its determinism guarantee) while the HTTP layer fans in
-// from any number of connections.
+// Run — touches the session, the scheduler, and the counters; that keeps
+// the discrete-event core single-threaded (its determinism guarantee).
+// Writes (submit, cancel) are closures sent through a mailbox channel; the
+// loop drains the mailbox in batches, so a burst of submissions pays one
+// snapshot rebuild, not one per request. Reads never enter the mailbox at
+// all: after every step or command batch the loop publishes an immutable
+// Snapshot through an atomic pointer, and GET /v1/queue, GET /v1/jobs/{id},
+// /healthz and /metrics render from the latest snapshot on the HTTP
+// goroutines. Start-time forecasts are memoized per snapshot version with
+// single-flight coalescing, so the conservative dry-run executes at most
+// once per state change regardless of how many clients poll.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -26,9 +33,17 @@ import (
 	"repro/internal/sim"
 )
 
-// ErrStopped is returned for requests that reach the server after its
-// scheduler loop has exited (or while it is draining).
+// ErrStopped is returned for writes that reach the server after its
+// scheduler loop has exited (or while it is draining). Reads are served
+// from the last published snapshot instead, so health checks and metric
+// scrapes stay green through a graceful drain.
 var ErrStopped = errors.New("serve: scheduler stopped")
+
+// publishStride bounds how many event instants an as-fast-as-possible
+// advance (or a drain) processes between snapshot publications: often
+// enough that readers watch a replay progress, rarely enough that the
+// rebuild cost stays a rounding error next to event processing.
+const publishStride = 64
 
 // Options configure a Server.
 type Options struct {
@@ -55,6 +70,12 @@ type Options struct {
 	// default: the profile endpoints expose stacks and heap contents, so
 	// only enable them on trusted listeners.
 	Debug bool
+	// MailboxReads restores the pre-snapshot read path: every GET rides
+	// the scheduler mailbox and recomputes its answer (including the
+	// forecast dry-run) on the loop. It exists purely as the measured
+	// baseline for the lock-free read path — cmd/schedload and the serving
+	// benchmarks run both modes on the same machine to report the speedup.
+	MailboxReads bool
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +91,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// command is one mailbox entry: a closure for the scheduler goroutine plus
+// the signal the submitting HTTP handler waits on. The loop closes done
+// only after the batch containing the command has executed and the
+// resulting snapshot is published, so a handler that proceeds to read the
+// snapshot is guaranteed to see its own write.
+type command struct {
+	fn   func()
+	done chan struct{}
+}
+
 // Server is one online scheduling service instance.
 type Server struct {
 	opts  Options
@@ -80,13 +111,25 @@ type Server struct {
 	ctr   *counters
 	clock *Clock
 
-	cmds    chan func()
+	cmds    chan command
 	stopped chan struct{}
 	nextID  int
 	drained bool
+
+	// Lock-free read path state. snap is written only by the scheduler
+	// goroutine (and by New/Preload before it starts); fc and dryRuns are
+	// shared with HTTP goroutines.
+	snap           atomic.Pointer[Snapshot]
+	fc             atomic.Pointer[forecastEntry]
+	dryRuns        atomic.Int64
+	pub            uint64 // last published snapshot version
+	pubSessVersion uint64 // session version the last snapshot was built from
+	pubDirty       bool   // counter changed without a session mutation (e.g. a rejected submit)
+	batch          []command
 }
 
-// New builds a server. Run must be called before the HTTP handlers answer.
+// New builds a server. Run must be called before writes are accepted; the
+// read endpoints work immediately, rendering the initial empty snapshot.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.Procs < 1 {
@@ -101,11 +144,15 @@ func New(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{
-		opts:    opts,
-		pol:     pol,
-		inner:   mk(opts.Procs),
-		ctr:     newCounters(),
-		cmds:    make(chan func()),
+		opts:  opts,
+		pol:   pol,
+		inner: mk(opts.Procs),
+		ctr:   newCounters(),
+		// The mailbox is buffered so a burst of writers parks in the channel
+		// instead of rendezvousing one-by-one with the loop; runBatch then
+		// drains the backlog into a single batch (one snapshot rebuild, one
+		// forecast invalidation) regardless of how the goroutines interleave.
+		cmds:    make(chan command, 128),
 		stopped: make(chan struct{}),
 		nextID:  1,
 	}
@@ -123,6 +170,7 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.publish()
 	return s, nil
 }
 
@@ -139,6 +187,7 @@ func (s *Server) Preload(jobs []*job.Job) error {
 			s.nextID = j.ID + 1
 		}
 	}
+	s.publish()
 	return nil
 }
 
@@ -153,16 +202,20 @@ func (s *Server) vnow() int64 {
 }
 
 // advance processes every event due by the current virtual instant (all of
-// them in as-fast-as-possible mode).
+// them in as-fast-as-possible mode, publishing snapshots along the way so
+// readers watch the replay progress).
 func (s *Server) advance() error {
 	if s.clock.Max() {
-		for {
+		for i := 1; ; i++ {
 			ok, err := s.sess.Step()
 			if err != nil {
 				return err
 			}
 			if !ok {
 				return nil
+			}
+			if i%publishStride == 0 {
+				s.publish()
 			}
 		}
 	}
@@ -188,6 +241,7 @@ func (s *Server) Run(ctx context.Context) error {
 		if err := s.advance(); err != nil {
 			return err
 		}
+		s.publish()
 		var timer *time.Timer
 		var timerC <-chan time.Time
 		if t, ok := s.sess.NextEventTime(); ok && !s.clock.Max() {
@@ -195,8 +249,8 @@ func (s *Server) Run(ctx context.Context) error {
 			timerC = timer.C
 		}
 		select {
-		case cmd := <-s.cmds:
-			cmd()
+		case c := <-s.cmds:
+			s.runBatch(c)
 		case <-timerC:
 		case <-ctx.Done():
 			if timer != nil {
@@ -210,12 +264,42 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 }
 
+// runBatch executes first plus every command already waiting in the
+// mailbox, publishes one snapshot for the whole batch, and only then
+// releases the waiting handlers — so each handler reads a snapshot that
+// includes its own write, and a burst of N submissions costs one snapshot
+// rebuild and at most one forecast dry-run instead of N.
+func (s *Server) runBatch(first command) {
+	s.batch = append(s.batch[:0], first)
+	for {
+		select {
+		case c := <-s.cmds:
+			s.batch = append(s.batch, c)
+			continue
+		default:
+		}
+		break
+	}
+	for _, c := range s.batch {
+		c.fn()
+	}
+	s.publish()
+	for i, c := range s.batch {
+		close(c.done)
+		s.batch[i] = command{} // drop the closure for the collector
+	}
+}
+
 // drain fast-forwards the session to completion and verifies the close-out
 // invariants. Mirrors what SIGTERM means to a real batch daemon: stop
-// admissions, let running and queued work finish, then exit.
+// admissions, let running and queued work finish, then exit. Snapshots keep
+// flowing throughout, so /healthz and /metrics stay green for the whole
+// drain (and beyond — the last snapshot outlives the loop).
 func (s *Server) drain() error {
 	s.drained = true
-	for {
+	s.pubDirty = true // the draining flag itself is an observable change
+	s.publish()
+	for i := 1; ; i++ {
 		ok, err := s.sess.Step()
 		if err != nil {
 			return err
@@ -223,7 +307,11 @@ func (s *Server) drain() error {
 		if !ok {
 			break
 		}
+		if i%publishStride == 0 {
+			s.publish()
+		}
 	}
+	s.publish()
 	if _, err := s.sess.Finish(); err != nil {
 		return err
 	}
@@ -235,30 +323,32 @@ func (s *Server) drain() error {
 	return nil
 }
 
-// exec runs fn on the scheduler goroutine and waits for it. It fails with
+// exec runs fn on the scheduler goroutine and waits until the batch
+// containing it has executed and its snapshot is published. It fails with
 // ErrStopped once the loop has exited (or never picks the command up
 // because a drain is in progress).
 func (s *Server) exec(fn func()) error {
-	done := make(chan struct{})
+	c := command{fn: fn, done: make(chan struct{})}
 	select {
-	case s.cmds <- func() { fn(); close(done) }:
+	case s.cmds <- c:
 	case <-s.stopped:
 		return ErrStopped
 	}
 	select {
-	case <-done:
+	case <-c.done:
 		return nil
 	case <-s.stopped:
 		return ErrStopped
 	}
 }
 
-// submit creates and enqueues a job arriving at the current virtual
-// instant, advances the session so the arrival is delivered, and returns
-// the job's view (including its start-time forecast).
-func (s *Server) submit(req SubmitRequest) (JobView, error) {
+// submitJob creates and enqueues a job arriving at the current virtual
+// instant and advances the session so the arrival is delivered. It returns
+// the new job's ID; the handler renders the response from the snapshot
+// published after the batch, which is guaranteed to include this job.
+func (s *Server) submitJob(req SubmitRequest) (int, error) {
 	if s.drained {
-		return JobView{}, ErrStopped
+		return 0, ErrStopped
 	}
 	if req.Estimate == 0 {
 		req.Estimate = req.Runtime
@@ -273,7 +363,8 @@ func (s *Server) submit(req SubmitRequest) (JobView, error) {
 	}
 	if err := s.sess.Submit(j); err != nil {
 		s.ctr.rejected++
-		return JobView{}, &clientError{code: 400, err: err}
+		s.pubDirty = true // visible in /metrics even though the session is unchanged
+		return 0, &clientError{code: 400, err: err}
 	}
 	s.nextID++
 	s.ctr.submitted++
@@ -281,9 +372,9 @@ func (s *Server) submit(req SubmitRequest) (JobView, error) {
 	// real fate at this instant (running already, or queued with a
 	// forecast).
 	if err := s.advance(); err != nil {
-		return JobView{}, err
+		return 0, err
 	}
-	return s.view(j.ID)
+	return j.ID, nil
 }
 
 // cancel withdraws a job that has not started.
@@ -298,7 +389,8 @@ func (s *Server) cancel(id int) error {
 	return nil
 }
 
-// forecasts computes predicted start times for the current queue.
+// forecasts computes predicted start times for the current queue on the
+// scheduler goroutine — the mailbox read path's uncached dry-run.
 func (s *Server) forecasts() map[int]int64 {
 	queued := s.sess.Queued()
 	if len(queued) == 0 {
@@ -309,47 +401,6 @@ func (s *Server) forecasts() map[int]int64 {
 		running = append(running, sched.RunningSlot{Width: r.Job.Width, EstEnd: r.EstEnd})
 	}
 	return sched.Forecast(s.inner, s.opts.Procs, s.sess.Now(), running, queued, s.pol)
-}
-
-// view renders one job's status, attaching a forecast when it is queued.
-func (s *Server) view(id int) (JobView, error) {
-	info, ok := s.sess.Info(id)
-	if !ok {
-		return JobView{}, &clientError{code: 404, err: fmt.Errorf("serve: unknown job %d", id)}
-	}
-	v := makeView(info, s.opts.Thresholds)
-	if info.State == sim.StateQueued || info.State == sim.StatePending {
-		if t, ok := s.forecasts()[id]; ok {
-			v.PredictedStart = &t
-		}
-	}
-	return v, nil
-}
-
-// queueSnapshot renders the whole service state for GET /v1/queue.
-func (s *Server) queueSnapshot() QueueResponse {
-	resp := QueueResponse{
-		Now:       s.vnow(),
-		Scheduler: s.inner.Name(),
-		Procs:     s.opts.Procs,
-		ProcsBusy: s.ctr.inUse,
-		Completed: s.ctr.completed,
-		Cancelled: s.ctr.cancelled,
-	}
-	pred := s.forecasts()
-	for _, j := range sched.SortedByPolicy(s.sess.Queued(), s.pol, s.sess.Now()) {
-		if info, ok := s.sess.Info(j.ID); ok {
-			v := makeView(info, s.opts.Thresholds)
-			if t, ok := pred[j.ID]; ok {
-				v.PredictedStart = &t
-			}
-			resp.Queued = append(resp.Queued, v)
-		}
-	}
-	for _, r := range s.sess.Running() {
-		resp.Running = append(resp.Running, makeView(r, s.opts.Thresholds))
-	}
-	return resp
 }
 
 // clientError carries an HTTP status for request-level failures.

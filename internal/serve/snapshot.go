@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Snapshot is one immutable view of the whole service state, built by the
+// scheduler goroutine after it finishes a step or a command batch and
+// published through an atomic pointer. Read endpoints render from the
+// latest snapshot and never enter the scheduler mailbox, so read throughput
+// is bounded by rendering cost, not by scheduler-loop latency — and reads
+// keep working while the daemon drains or after it has stopped.
+//
+// Everything reachable from a Snapshot is immutable once published: job
+// views are value copies, slices and maps are freshly built per publication
+// and never written again, and the *job.Job pointers shared with the engine
+// point at structs the engine treats as read-only after submission.
+type Snapshot struct {
+	// Version increases by exactly one per publication; readers use it to
+	// detect state changes (and the forecast cache keys on it).
+	Version uint64
+	// Now is the service's virtual time when the snapshot was taken (the
+	// wall-clock mapping in timed modes, the engine clock otherwise).
+	Now int64
+	// SimNow is the engine's last processed instant: the origin the
+	// forecast dry-run plans from, which never runs ahead of the events.
+	SimNow int64
+	// Draining is set once the daemon has begun its graceful drain.
+	Draining bool
+
+	Scheduler string
+	Procs     int
+	ProcsBusy int
+	Pending   int
+
+	// Queued holds the waiting jobs in policy order, Running the dispatched
+	// ones in job-ID order; Jobs indexes every submitted job by ID. None of
+	// the views carry forecasts — predictions are attached at render time
+	// from the memoized forecast for this version.
+	Queued  []JobView
+	Running []JobView
+	Jobs    map[int]JobView
+
+	// Counter values at publication time.
+	Submitted, Started, Resumed, Completed, Cancelled, Rejected int64
+	Utilization                                                 float64
+	// AuditViolations is -1 when the audit wrapper is off.
+	AuditViolations int64
+	CatSum          [job.NumCategories]float64
+	CatN            [job.NumCategories]int64
+
+	// Forecast inputs: the dry-run over these fields reproduces exactly
+	// what the mailbox path would have computed on the scheduler goroutine
+	// at this state version.
+	FQueued  []*job.Job
+	FRunning []sched.RunningSlot
+	Resv     map[int]int64
+}
+
+// buildSnapshot assembles a Snapshot of the current session state. Only the
+// scheduler goroutine may call it. The version is assigned by publish;
+// ephemeral snapshots built for the mailbox read path reuse the latest
+// published version.
+func (s *Server) buildSnapshot() *Snapshot {
+	now := s.vnow()
+	queued := s.sess.Queued()
+	snap := &Snapshot{
+		Version:         s.pub,
+		Now:             now,
+		SimNow:          s.sess.Now(),
+		Draining:        s.drained,
+		Scheduler:       s.inner.Name(),
+		Procs:           s.opts.Procs,
+		ProcsBusy:       s.ctr.inUse,
+		Pending:         s.sess.Pending(),
+		Submitted:       s.ctr.submitted,
+		Started:         s.ctr.started,
+		Resumed:         s.ctr.resumed,
+		Completed:       s.ctr.completed,
+		Cancelled:       s.ctr.cancelled,
+		Rejected:        s.ctr.rejected,
+		Utilization:     s.ctr.utilization(now, s.opts.Procs),
+		AuditViolations: -1,
+		CatSum:          s.ctr.catSum,
+		CatN:            s.ctr.catN,
+		FQueued:         queued,
+		Resv:            sched.Reservations(s.inner, queued),
+	}
+	if s.aud != nil {
+		rep := s.aud.Report()
+		snap.AuditViolations = int64(len(rep.Violations)) + int64(rep.Truncated)
+	}
+
+	infos := s.sess.Infos()
+	snap.Jobs = make(map[int]JobView, len(infos))
+	for _, info := range infos {
+		snap.Jobs[info.Job.ID] = makeView(info, s.opts.Thresholds)
+	}
+	for _, j := range sched.SortedByPolicy(queued, s.pol, snap.SimNow) {
+		if v, ok := snap.Jobs[j.ID]; ok {
+			snap.Queued = append(snap.Queued, v)
+		}
+	}
+	running := s.sess.Running()
+	snap.FRunning = make([]sched.RunningSlot, 0, len(running))
+	for _, r := range running {
+		snap.Running = append(snap.Running, makeView(r, s.opts.Thresholds))
+		snap.FRunning = append(snap.FRunning, sched.RunningSlot{Width: r.Job.Width, EstEnd: r.EstEnd})
+	}
+	return snap
+}
+
+// publish makes the current state visible to the lock-free read path. It
+// is a no-op when nothing a client could observe has changed since the
+// last publication, so a scheduler wakeup that processed no events costs
+// one integer comparison. Only the scheduler goroutine may call it.
+func (s *Server) publish() {
+	sv := s.sess.Version()
+	if s.snap.Load() != nil && sv == s.pubSessVersion && !s.pubDirty {
+		return
+	}
+	snap := s.buildSnapshot()
+	s.pub++
+	snap.Version = s.pub
+	s.snap.Store(snap)
+	s.pubSessVersion = sv
+	s.pubDirty = false
+}
+
+// forecastEntry memoizes the start-time forecast for one snapshot version.
+// ready is closed once pred is filled in, giving concurrent readers of the
+// same version single-flight semantics: exactly one runs the dry-run, the
+// rest wait on the channel.
+type forecastEntry struct {
+	version uint64
+	ready   chan struct{}
+	pred    map[int]int64
+}
+
+// forecastFor returns the start-time forecast for snap's state, running the
+// conservative dry-run at most once per snapshot version no matter how many
+// clients poll. Safe to call from any goroutine.
+func (s *Server) forecastFor(snap *Snapshot) map[int]int64 {
+	if len(snap.FQueued) == 0 {
+		return nil
+	}
+	for {
+		e := s.fc.Load()
+		if e != nil && e.version == snap.Version {
+			<-e.ready
+			return e.pred
+		}
+		if e != nil && e.version > snap.Version {
+			// A newer state is already cached. Don't regress the cache for
+			// a reader holding an old snapshot; just compute its view.
+			return s.computeForecast(snap)
+		}
+		ne := &forecastEntry{version: snap.Version, ready: make(chan struct{})}
+		if s.fc.CompareAndSwap(e, ne) {
+			ne.pred = s.computeForecast(snap)
+			close(ne.ready)
+			return ne.pred
+		}
+	}
+}
+
+// computeForecast runs the dry-run over the snapshot's captured inputs.
+func (s *Server) computeForecast(snap *Snapshot) map[int]int64 {
+	s.dryRuns.Add(1)
+	return sched.ForecastFromState(snap.Procs, snap.SimNow, snap.FRunning, snap.FQueued, s.pol, snap.Resv)
+}
+
+// DryRuns reports how many forecast dry-runs the server has executed —
+// the stress test asserts that polling an unchanged state version does not
+// add any.
+func (s *Server) DryRuns() int64 { return s.dryRuns.Load() }
+
+// Current returns the latest published snapshot. A server always has one:
+// New publishes the initial empty state before returning.
+func (s *Server) Current() *Snapshot { return s.snap.Load() }
+
+// withForecasts copies views and attaches predicted starts to the jobs
+// that are still waiting. The input slice (usually shared with a published
+// snapshot) is never modified.
+func withForecasts(views []JobView, pred map[int]int64) []JobView {
+	if len(views) == 0 {
+		return nil
+	}
+	out := make([]JobView, len(views))
+	copy(out, views)
+	for i := range out {
+		if t, ok := pred[out[i].ID]; ok {
+			t := t
+			out[i].PredictedStart = &t
+		}
+	}
+	return out
+}
+
+// queueResponse renders GET /v1/queue from a snapshot plus its forecast.
+func queueResponse(snap *Snapshot, pred map[int]int64) QueueResponse {
+	return QueueResponse{
+		Version:   snap.Version,
+		Now:       snap.Now,
+		Scheduler: snap.Scheduler,
+		Procs:     snap.Procs,
+		ProcsBusy: snap.ProcsBusy,
+		Submitted: snap.Submitted,
+		Pending:   snap.Pending,
+		Queued:    withForecasts(snap.Queued, pred),
+		Running:   snap.Running,
+		Completed: snap.Completed,
+		Cancelled: snap.Cancelled,
+	}
+}
+
+// jobResponse renders one job's view from a snapshot, attaching the
+// memoized forecast when the job is still waiting.
+func (s *Server) jobResponse(snap *Snapshot, id int) (JobView, bool) {
+	v, ok := snap.Jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	if v.State == sim.StateQueued.String() || v.State == sim.StatePending.String() {
+		if t, ok := s.forecastFor(snap)[id]; ok {
+			t := t
+			v.PredictedStart = &t
+		}
+	}
+	return v, true
+}

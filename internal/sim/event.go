@@ -16,11 +16,7 @@
 // described in DESIGN.md §9.
 package sim
 
-import (
-	"container/heap"
-
-	"repro/internal/job"
-)
+import "repro/internal/job"
 
 // EventKind discriminates the two event types the engine knows about.
 type EventKind int
@@ -64,13 +60,9 @@ type Event struct {
 	seq   int64 // insertion order, the final tie-breaker
 }
 
-// eventHeap implements container/heap ordering by (Time, Kind, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
+// eventLess is the total event order: by time, then kind (completions
+// before arrivals), then insertion order.
+func eventLess(a, b Event) bool {
 	if a.Time != b.Time {
 		return a.Time < b.Time
 	}
@@ -80,24 +72,17 @@ func (h eventHeap) Less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // EventQueue is a deterministic priority queue of events. Ties on time break
 // by kind (completions first) and then by insertion order, so identical
 // inputs always replay identically.
+//
+// The heap stores Event values in a hand-rolled binary heap rather than
+// *Event through container/heap: no per-event allocation on Push (the only
+// allocations are slice growth, amortised away once the backing array is
+// warm) and no interface boxing on Pop. alloc pins in event_test.go keep the
+// steady state at zero allocations per push/pop pair.
 type EventQueue struct {
-	h    eventHeap
+	h    []Event
 	next int64
 }
 
@@ -113,26 +98,67 @@ func (q *EventQueue) Push(t int64, kind EventKind, j *job.Job) {
 
 // PushEpoch enqueues an event tagged with a dispatch epoch (see Event).
 func (q *EventQueue) PushEpoch(t int64, kind EventKind, j *job.Job, epoch int) {
-	e := &Event{Time: t, Kind: kind, Job: j, epoch: epoch, seq: q.next}
+	q.h = append(q.h, Event{Time: t, Kind: kind, Job: j, epoch: epoch, seq: q.next})
 	q.next++
-	heap.Push(&q.h, e)
+	q.siftUp(len(q.h) - 1)
 }
 
-// Pop removes and returns the earliest event, or nil when empty.
-func (q *EventQueue) Pop() *Event {
+// Pop removes and returns the earliest event; ok is false when empty.
+func (q *EventQueue) Pop() (e Event, ok bool) {
 	if len(q.h) == 0 {
-		return nil
+		return Event{}, false
 	}
-	return heap.Pop(&q.h).(*Event)
+	e = q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = Event{} // drop the Job pointer for the collector
+	q.h = q.h[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	return e, true
 }
 
-// Peek returns the earliest event without removing it, or nil when empty.
-func (q *EventQueue) Peek() *Event {
+// Peek returns the earliest event without removing it; ok is false when
+// empty.
+func (q *EventQueue) Peek() (Event, bool) {
 	if len(q.h) == 0 {
-		return nil
+		return Event{}, false
 	}
-	return q.h[0]
+	return q.h[0], true
 }
 
 // Len returns the number of pending events.
 func (q *EventQueue) Len() int { return len(q.h) }
+
+// siftUp restores the heap property after appending at index i.
+func (q *EventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(q.h[i], q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property after replacing the root.
+func (q *EventQueue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && eventLess(q.h[right], q.h[left]) {
+			least = right
+		}
+		if !eventLess(q.h[least], q.h[i]) {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
+}

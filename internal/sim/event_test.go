@@ -21,7 +21,7 @@ func TestEventQueueOrdering(t *testing.T) {
 		k EventKind
 	}
 	for q.Len() > 0 {
-		e := q.Pop()
+		e, _ := q.Pop()
 		got = append(got, struct {
 			t int64
 			k EventKind
@@ -52,7 +52,7 @@ func TestEventQueueFIFOAmongTies(t *testing.T) {
 		q.Push(7, Arrival, &job.Job{ID: i})
 	}
 	for i := 1; i <= 10; i++ {
-		e := q.Pop()
+		e, _ := q.Pop()
 		if e.Job.ID != i {
 			t.Fatalf("tie order broken: popped %d, want %d", e.Job.ID, i)
 		}
@@ -61,7 +61,13 @@ func TestEventQueueFIFOAmongTies(t *testing.T) {
 
 func TestEventQueueEmpty(t *testing.T) {
 	q := NewEventQueue()
-	if q.Pop() != nil || q.Peek() != nil || q.Len() != 0 {
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reports an event")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue reports an event")
+	}
+	if q.Len() != 0 {
 		t.Fatal("empty queue misbehaves")
 	}
 }
@@ -69,10 +75,10 @@ func TestEventQueueEmpty(t *testing.T) {
 func TestEventQueuePeekDoesNotRemove(t *testing.T) {
 	q := NewEventQueue()
 	q.Push(3, Arrival, &job.Job{ID: 1})
-	if q.Peek().Time != 3 || q.Len() != 1 {
+	if e, ok := q.Peek(); !ok || e.Time != 3 || q.Len() != 1 {
 		t.Fatal("peek broken")
 	}
-	if q.Pop().Time != 3 || q.Len() != 0 {
+	if e, ok := q.Pop(); !ok || e.Time != 3 || q.Len() != 0 {
 		t.Fatal("pop after peek broken")
 	}
 }
@@ -88,7 +94,8 @@ func TestEventQueueSortedProperty(t *testing.T) {
 		}
 		var popped []int64
 		for q.Len() > 0 {
-			popped = append(popped, q.Pop().Time)
+			e, _ := q.Pop()
+			popped = append(popped, e.Time)
 		}
 		return sort.SliceIsSorted(popped, func(i, j int) bool { return popped[i] < popped[j] })
 	}
@@ -103,5 +110,63 @@ func TestEventKindString(t *testing.T) {
 	}
 	if EventKind(5).String() != "unknown" {
 		t.Fatal("unknown kind name")
+	}
+}
+
+// TestEventQueueZeroAllocSteadyState pins the reason the heap stores Event
+// values instead of *Event: once the backing array is warm, a push/pop
+// cycle allocates nothing. The warm-up pass grows the slice; the measured
+// passes reuse it.
+func TestEventQueueZeroAllocSteadyState(t *testing.T) {
+	const n = 256
+	q := NewEventQueue()
+	j := &job.Job{ID: 1}
+	fill := func() {
+		for i := 0; i < n; i++ {
+			q.Push(int64((i*131)%977), EventKind(i%2), j)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+	fill() // warm the backing array
+	if got := testing.AllocsPerRun(10, fill); got != 0 {
+		t.Fatalf("warm push/pop of %d events allocates %.1f times, want 0", n, got)
+	}
+}
+
+// TestEventQueueInterleavedPops drives the heap with interleaved pushes and
+// pops: every pop must return the minimum of the queue's current contents,
+// and the final drain must come out fully sorted.
+func TestEventQueueInterleavedPops(t *testing.T) {
+	q := NewEventQueue()
+	j := &job.Job{ID: 9}
+	pending := make(map[int64]int) // multiset of times still enqueued
+	push := []int64{50, 10, 30, 10, 70, 20, 30}
+	for i, tt := range push {
+		q.Push(tt, Arrival, j)
+		pending[tt]++
+		if i%2 == 1 {
+			e, ok := q.Pop()
+			if !ok {
+				t.Fatal("pop failed with events pending")
+			}
+			for at := range pending {
+				if at < e.Time {
+					t.Fatalf("popped %d while %d still enqueued", e.Time, at)
+				}
+			}
+			if pending[e.Time]--; pending[e.Time] == 0 {
+				delete(pending, e.Time)
+			}
+		}
+	}
+	prev := int64(-1)
+	for q.Len() > 0 {
+		e, _ := q.Pop()
+		if e.Time < prev {
+			t.Fatalf("drain out of order: %d after %d", e.Time, prev)
+		}
+		prev = e.Time
 	}
 }

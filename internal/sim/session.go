@@ -106,9 +106,10 @@ type Session struct {
 	preemptor Preemptor
 	timers    map[int64]bool
 
-	now     int64 // last processed instant
-	stepped bool  // has any instant been processed
-	err     error // sticky engine failure; the session is dead once set
+	now     int64  // last processed instant
+	stepped bool   // has any instant been processed
+	version uint64 // bumped on every externally visible state change
+	err     error  // sticky engine failure; the session is dead once set
 }
 
 // Open starts a session on machine m under scheduler s. obs may be nil.
@@ -136,6 +137,14 @@ func Open(m Machine, s Scheduler, obs *Observer) (*Session, error) {
 // Now returns the last processed instant (0 before any event fires).
 func (ss *Session) Now() int64 { return ss.now }
 
+// Version is a cheap, monotonically increasing state-change counter: it
+// bumps on every successful Submit and Cancel and on every processed event
+// instant. A serving layer can compare versions to know whether anything a
+// client could observe has changed since it last rendered the session, and
+// skip the rebuild when nothing has. Only the session's owning goroutine
+// may call it (like every other method).
+func (ss *Session) Version() uint64 { return ss.version }
+
 // Err returns the sticky engine failure, or nil while the session is
 // healthy.
 func (ss *Session) Err() error { return ss.err }
@@ -162,6 +171,7 @@ func (ss *Session) Submit(j *job.Job) error {
 	}
 	ss.jobs[j.ID] = &sessionJob{j: j}
 	ss.submitted++
+	ss.version++
 	ss.q.Push(j.Arrival, Arrival, j)
 	return nil
 }
@@ -187,6 +197,7 @@ func (ss *Session) Cancel(id int) bool {
 		// skipped when the instant comes.
 		sj.cancelled = true
 		ss.cancelled++
+		ss.version++
 		return true
 	}
 	c, ok := ss.s.(canceler)
@@ -195,6 +206,7 @@ func (ss *Session) Cancel(id int) bool {
 	}
 	sj.cancelled = true
 	ss.cancelled++
+	ss.version++
 	// Canceler contract: freed capacity (a released reservation compresses
 	// the queue) must be offered back to the scheduler at the same instant.
 	if err := ss.launch(ss.now); err != nil {
@@ -205,8 +217,8 @@ func (ss *Session) Cancel(id int) bool {
 
 // NextEventTime reports the instant of the earliest pending event, if any.
 func (ss *Session) NextEventTime() (int64, bool) {
-	e := ss.q.Peek()
-	if e == nil {
+	e, ok := ss.q.Peek()
+	if !ok {
 		return 0, false
 	}
 	return e.Time, true
@@ -306,17 +318,23 @@ func (ss *Session) Step() (bool, error) {
 	if ss.err != nil {
 		return false, ss.err
 	}
-	if ss.q.Len() == 0 {
+	head, ok := ss.q.Peek()
+	if !ok {
 		return false, nil
 	}
-	now := ss.q.Peek().Time
+	now := head.Time
 	ss.now = now
 	ss.stepped = true
+	ss.version++
 	// Deliver every event at this instant before asking for launches:
 	// completions free processors and arrivals extend the queue, and the
 	// scheduler should see the complete picture.
-	for ss.q.Len() > 0 && ss.q.Peek().Time == now {
-		e := ss.q.Pop()
+	for {
+		head, ok := ss.q.Peek()
+		if !ok || head.Time != now {
+			break
+		}
+		e, _ := ss.q.Pop()
 		switch e.Kind {
 		case Completion:
 			st := ss.states[e.Job.ID]
@@ -455,6 +473,19 @@ func (ss *Session) Info(id int) (JobInfo, bool) {
 		info.State = StateQueued
 	}
 	return info, true
+}
+
+// Infos returns a point-in-time snapshot of every submitted job, in no
+// particular order. Serving layers use it to build immutable state
+// snapshots in one pass instead of querying job by job.
+func (ss *Session) Infos() []JobInfo {
+	out := make([]JobInfo, 0, len(ss.jobs))
+	for id := range ss.jobs {
+		if info, ok := ss.Info(id); ok {
+			out = append(out, info)
+		}
+	}
+	return out
 }
 
 // Queued returns the scheduler's waiting jobs (including suspended ones for
