@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-verbose race serve-race vet bench bench-json bench-gate doclint experiments results examples cover clean fuzz-smoke check serve-smoke
+.PHONY: all build test test-verbose race serve-race vet bench bench-json bench-gate doclint experiments results examples cover clean fuzz-smoke check serve-smoke crash-smoke
 
 all: build vet test
 
 # The full pre-merge gate: compile, vet, doc-comment lint, unit tests,
-# race detector, and a short smoke run of every fuzz target (see
-# fuzz-smoke).
-check: build vet doclint test race fuzz-smoke
+# race detector, a short smoke run of every fuzz target (see fuzz-smoke),
+# and the SIGKILL/recover durability drill (see crash-smoke).
+check: build vet doclint test race fuzz-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -40,21 +40,22 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Benchmark ledger (see PERFORMANCE.md). bench-json runs the tracked
-# benchmark suite — engine hot paths in the root package plus the serving
-# read path in internal/serve — and writes the machine-readable run to
+# benchmark suite — engine hot paths in the root package, the serving read
+# path in internal/serve, and the durability layer (journal append and
+# crash recovery) — and writes the machine-readable run to
 # bench_current.json; bench-gate compares it against the committed
-# BENCH_PR5.json baseline and fails on any regression beyond
+# BENCH_PR6.json baseline and fails on any regression beyond
 # BENCH_TOLERANCE (a fraction: 0.20 = 20%).
 BENCHTIME ?= 1s
 BENCH_TOLERANCE ?= 0.20
 
 bench-json:
-	$(GO) test -run='^$$' -bench='BenchmarkProfile|BenchmarkScheduler|BenchmarkCompression$$|BenchmarkSessionStep|BenchmarkBatchRun|BenchmarkEventQueue|BenchmarkServeRead|BenchmarkForecastCached|BenchmarkForecastUncached' \
-		-benchtime=$(BENCHTIME) -benchmem . ./internal/serve \
+	$(GO) test -run='^$$' -bench='BenchmarkProfile|BenchmarkScheduler|BenchmarkCompression$$|BenchmarkSessionStep|BenchmarkBatchRun|BenchmarkEventQueue|BenchmarkServeRead|BenchmarkForecastCached|BenchmarkForecastUncached|BenchmarkWALAppend|BenchmarkWALFsyncedAppend|BenchmarkRecovery' \
+		-benchtime=$(BENCHTIME) -benchmem . ./internal/serve ./internal/wal \
 		| $(GO) run ./cmd/benchdiff -parse > bench_current.json
 
 bench-gate: bench-json
-	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR5.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR6.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
 
 # Short fuzzing pass over every fuzz target. Each target gets FUZZTIME of
 # coverage-guided input generation on top of its checked-in seed corpus;
@@ -68,6 +69,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzProfileOps -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzProfileEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedulerRun -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME)
 
 # Every package must carry a doc comment; see scripts/doclint.sh.
 doclint:
@@ -78,6 +80,13 @@ doclint:
 # a clean SIGTERM drain.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Durability drill: SIGKILL a journaling schedd mid-write-burst five times
+# on one shared journal; every cycle must recover byte-identically (state
+# hash pinned by an independent shadow replay) with no acknowledged write
+# lost.
+crash-smoke:
+	sh scripts/crash-smoke.sh
 
 # Regenerate every paper table/figure and the extension studies.
 experiments:

@@ -1,6 +1,6 @@
 // Command benchdiff maintains the repo's benchmark ledger: it parses `go
 // test -bench` output into machine-readable JSON, merges a baseline and a
-// current run into the committed ledger (currently BENCH_PR5.json), gates CI on
+// current run into the committed ledger (currently BENCH_PR6.json), gates CI on
 // regressions against that ledger, and samples availability-profile sizes
 // per scheduler kind. PERFORMANCE.md documents the workflow; the Makefile
 // wires the common invocations as bench-json and bench-gate.
@@ -8,8 +8,8 @@
 // Modes (exactly one):
 //
 //	benchdiff -parse < bench_output.txt > run.json
-//	benchdiff -merge -baseline base.json -current cur.json [-statsfile stats.json] [-note "..."] > BENCH_PR5.json
-//	benchdiff -gate -ledger BENCH_PR5.json -current cur.json [-tolerance 0.20]
+//	benchdiff -merge -baseline base.json -current cur.json [-statsfile stats.json] [-note "..."] > BENCH_PR6.json
+//	benchdiff -gate -ledger BENCH_PR6.json -current cur.json [-tolerance 0.20]
 //	benchdiff -stats > stats.json
 package main
 
@@ -62,7 +62,7 @@ type ProfileStat struct {
 	MeanPoints float64 `json:"mean_points"`
 }
 
-// Ledger is the committed benchmark record (BENCH_PR5.json).
+// Ledger is the committed benchmark record (BENCH_PR6.json).
 type Ledger struct {
 	Note         string                 `json:"note,omitempty"`
 	Benchmarks   map[string]Entry       `json:"benchmarks"`
@@ -254,7 +254,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		statsMode = fs.Bool("stats", false, "sample per-scheduler profile sizes to JSON")
 		baseline  = fs.String("baseline", "", "baseline run JSON (for -merge)")
 		current   = fs.String("current", "", "current run JSON (for -merge and -gate)")
-		ledger    = fs.String("ledger", "BENCH_PR5.json", "committed ledger JSON (for -gate)")
+		ledger    = fs.String("ledger", "BENCH_PR6.json", "committed ledger JSON (for -gate)")
 		statsFile = fs.String("statsfile", "", "profile-stats JSON to embed (for -merge)")
 		note      = fs.String("note", "", "free-form note recorded in the ledger")
 		tolerance = fs.Float64("tolerance", 0.20, "allowed slowdown fraction before -gate fails")

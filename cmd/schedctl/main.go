@@ -7,6 +7,7 @@
 //	schedctl stat 42
 //	schedctl cancel 42
 //	schedctl queue
+//	schedctl info     # durability: journal position, checkpoint age
 //
 // The daemon address comes from -addr or the SCHEDD_ADDR environment
 // variable, defaulting to http://127.0.0.1:8080.
@@ -51,7 +52,7 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	addr := fs.String("addr", defaultAddr(), "schedd base URL")
 	fs.Usage = func() {
-		fmt.Fprintf(out, "usage: schedctl [-addr URL] <submit|stat|cancel|queue|health|metrics> [args]\n")
+		fmt.Fprintf(out, "usage: schedctl [-addr URL] <submit|stat|cancel|queue|info|health|metrics> [args]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +74,8 @@ func run(args []string, out io.Writer) error {
 		return c.cancel(rest)
 	case "queue":
 		return c.queue()
+	case "info":
+		return c.info()
 	case "health":
 		return c.passthrough("/healthz")
 	case "metrics":
@@ -206,6 +209,57 @@ func (c *client) queue() error {
 		fmt.Fprintf(c.out, "queued (%d):\n", len(q.Queued))
 		for _, v := range q.Queued {
 			c.printJob(v)
+		}
+	}
+	return nil
+}
+
+// info renders GET /v1/debug/durability: whether the daemon journals its
+// state, where the journal stands, and how stale the last checkpoint is.
+func (c *client) info() error {
+	var d struct {
+		Enabled          bool    `json:"enabled"`
+		Dir              string  `json:"dir"`
+		Fsync            bool    `json:"fsync"`
+		SnapshotVersion  uint64  `json:"snapshot_version"`
+		SimNow           int64   `json:"sim_now"`
+		StateHash        string  `json:"state_hash"`
+		Seq              uint64  `json:"seq"`
+		CheckpointSeq    uint64  `json:"checkpoint_seq"`
+		TailRecords      uint64  `json:"tail_records"`
+		CheckpointAgeSec float64 `json:"checkpoint_age_sec"`
+		Recovery         *struct {
+			CheckpointSeq  uint64   `json:"checkpoint_seq"`
+			CheckpointOps  int      `json:"checkpoint_ops"`
+			TailRecords    int      `json:"tail_records"`
+			TruncatedBytes int64    `json:"truncated_bytes"`
+			Warnings       []string `json:"warnings"`
+		} `json:"recovery"`
+	}
+	if err := c.do("GET", "/v1/debug/durability", nil, &d); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "snapshot version %d  t=%d  state hash %s\n", d.SnapshotVersion, d.SimNow, d.StateHash)
+	if !d.Enabled {
+		fmt.Fprintln(c.out, "durability: off (no -data-dir)")
+		return nil
+	}
+	sync := "page-cache (process-crash safe)"
+	if d.Fsync {
+		sync = "fsync per commit (machine-crash safe)"
+	}
+	fmt.Fprintf(c.out, "durability: on  dir %s  %s\n", d.Dir, sync)
+	fmt.Fprintf(c.out, "journal: seq %d  checkpoint seq %d  tail %d records\n", d.Seq, d.CheckpointSeq, d.TailRecords)
+	if d.CheckpointAgeSec > 0 {
+		fmt.Fprintf(c.out, "last checkpoint: %.0fs ago\n", d.CheckpointAgeSec)
+	} else {
+		fmt.Fprintln(c.out, "last checkpoint: never")
+	}
+	if r := d.Recovery; r != nil && (r.CheckpointOps > 0 || r.TailRecords > 0) {
+		fmt.Fprintf(c.out, "recovered at boot: checkpoint seq %d (%d ops) + %d journal records, %d torn bytes truncated\n",
+			r.CheckpointSeq, r.CheckpointOps, r.TailRecords, r.TruncatedBytes)
+		for _, w := range r.Warnings {
+			fmt.Fprintf(c.out, "recovery warning: %s\n", w)
 		}
 	}
 	return nil

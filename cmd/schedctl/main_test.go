@@ -89,6 +89,44 @@ func TestCtlLifecycle(t *testing.T) {
 	}
 }
 
+func TestCtlInfo(t *testing.T) {
+	addr := testDaemon(t)
+	out := ctl(t, addr, "info")
+	if !strings.Contains(out, "durability: off") || !strings.Contains(out, "state hash") {
+		t.Fatalf("info output = %q", out)
+	}
+}
+
+func TestCtlInfoDurable(t *testing.T) {
+	srv, err := serve.New(serve.Options{
+		Procs: 8, Scheduler: "easy", Audit: true, Speed: 1e-9,
+		Durability: serve.DurabilityOptions{Dir: t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("daemon drain: %v", err)
+		}
+		srv.Close()
+	})
+
+	ctl(t, ts.URL, "submit", "-width", "2", "-runtime", "30")
+	out := ctl(t, ts.URL, "info")
+	for _, want := range []string{"durability: on", "journal: seq", "page-cache"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCtlSubmitBatch(t *testing.T) {
 	addr := testDaemon(t)
 	out := ctl(t, addr, "submit", "-width", "2", "-runtime", "30", "-n", "3")

@@ -7,6 +7,13 @@
 //	schedd -procs 128 -sched easy -policy SJF -addr 127.0.0.1:8080
 //	schedd -procs 430 -sched conservative -swf trace.swf -speed 60
 //	schedd -procs 128 -model SDSC -jobs 2000 -speed 0   # replay flat out
+//	schedd -procs 128 -data-dir /var/lib/schedd        # durable daemon
+//
+// With -data-dir every accepted mutation is journaled to a write-ahead log
+// before it is acknowledged, and a restart recovers the exact pre-crash
+// state (newest checkpoint plus journal tail; see internal/wal). -fsync
+// extends the guarantee from process crashes to machine crashes at the
+// cost of one sync per commit batch.
 //
 // SIGINT/SIGTERM drain gracefully: admissions stop, the remaining schedule
 // fast-forwards to completion, and the exit status reflects whether the
@@ -61,6 +68,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		est     = fs.String("est", "actual", "estimate model for synthetic replay: keep, exact, actual, R=<f>")
 		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiles a live daemon; see PERFORMANCE.md)")
 		mboxRd  = fs.Bool("mailbox-reads", false, "serve GETs through the scheduler mailbox instead of the lock-free snapshot path (A/B baseline for cmd/schedload)")
+		dataDir = fs.String("data-dir", "", "write-ahead journal directory; empty runs in-memory only. An existing journal is recovered at boot")
+		ckptInt = fs.Duration("checkpoint-interval", time.Minute, "checkpoint at least this often while the journal grows")
+		ckptOps = fs.Int("checkpoint-ops", 4096, "checkpoint after this many journal records past the previous checkpoint")
+		fsyncOn = fs.Bool("fsync", false, "fsync the journal once per commit batch; off survives process crashes (SIGKILL), on also survives machine crashes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,20 +85,49 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		Speed:        *speed,
 		Debug:        *pprofOn,
 		MailboxReads: *mboxRd,
+		Durability: serve.DurabilityOptions{
+			Dir:             *dataDir,
+			Fsync:           *fsyncOn,
+			CheckpointEvery: *ckptInt,
+			CheckpointOps:   *ckptOps,
+		},
 	})
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 
-	replay, err := loadReplay(*swfPath, *model, *jobs, *seed, *load, *est, *procs)
-	if err != nil {
-		return err
+	recovered := srv.Recovery() != nil && srv.Recovery().Replayed()
+	if ri := srv.Recovery(); recovered {
+		fmt.Fprintf(out, "schedd: recovered %s: checkpoint seq %d (%d ops) + %d journal records",
+			*dataDir, ri.CheckpointSeq, ri.CheckpointOps, ri.TailRecords)
+		if ri.TruncatedBytes > 0 {
+			fmt.Fprintf(out, ", truncated %d bytes of torn tail", ri.TruncatedBytes)
+		}
+		fmt.Fprintln(out)
+		for _, w := range ri.Warnings {
+			fmt.Fprintf(out, "schedd: recovery warning: %s\n", w)
+		}
 	}
-	if len(replay) > 0 {
-		if err := srv.Preload(replay); err != nil {
+
+	if recovered {
+		// The journal already holds this daemon's history (including any
+		// preload from its first boot); preloading again would double the
+		// workload.
+		if *swfPath != "" || *model != "" {
+			fmt.Fprintln(out, "schedd: journal recovered, skipping -swf/-model preload")
+		}
+	} else {
+		replay, err := loadReplay(*swfPath, *model, *jobs, *seed, *load, *est, *procs)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "schedd: preloaded %d jobs for replay\n", len(replay))
+		if len(replay) > 0 {
+			if err := srv.Preload(replay); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "schedd: preloaded %d jobs for replay\n", len(replay))
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -150,6 +150,59 @@ func TestDaemonSyntheticReplay(t *testing.T) {
 	}
 }
 
+func TestDaemonDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	durable := []string{"-procs", "8", "-sched", "easy", "-speed", "1e-9", "-data-dir", dir}
+	url, stop := boot(t, durable...)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(url+"/v1/jobs", "application/json",
+			strings.NewReader(`{"width": 2, "runtime": 100}`))
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /v1/jobs: status %d", resp.StatusCode)
+		}
+	}
+	var live struct {
+		Enabled bool   `json:"enabled"`
+		Seq     uint64 `json:"seq"`
+	}
+	getJSONinto(t, url+"/v1/debug/durability", &live)
+	if !live.Enabled || live.Seq == 0 {
+		t.Fatalf("live durability info = %+v, want journaling", live)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Restart on the same journal: the drained run recovers (3 completed
+	// jobs) instead of starting empty.
+	url2, stop2 := boot(t, durable...)
+	var info struct {
+		Enabled  bool `json:"enabled"`
+		Recovery *struct {
+			CheckpointSeq uint64 `json:"checkpoint_seq"`
+			CheckpointOps int    `json:"checkpoint_ops"`
+		} `json:"recovery"`
+	}
+	getJSONinto(t, url2+"/v1/debug/durability", &info)
+	if !info.Enabled || info.Recovery == nil || info.Recovery.CheckpointOps == 0 {
+		t.Fatalf("restart durability info = %+v, want recovery from the parting checkpoint", info)
+	}
+	var q struct {
+		Completed int64 `json:"completed"`
+	}
+	getJSONinto(t, url2+"/v1/queue", &q)
+	if q.Completed != 3 {
+		t.Fatalf("recovered queue has %d completed jobs, want 3", q.Completed)
+	}
+	if err := stop2(); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
 func TestDaemonBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-sched", "bogus"},

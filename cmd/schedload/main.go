@@ -6,6 +6,14 @@
 //	schedload -readers 8 -writers 1 -duration 5s
 //	schedload -mailbox                      # the pre-snapshot baseline
 //	schedload -addr 127.0.0.1:8080 -queue 0 # aim at a live daemon
+//	schedload -data-dir /tmp/wal            # WAL-on (A/B vs the same run without)
+//	schedload -kill -schedd ./schedd        # SIGKILL a real daemon mid-burst
+//
+// Crash mode (-kill) spawns a real schedd with a journal, hammers it with
+// acknowledged writes, SIGKILLs it mid-burst, and verifies recovery two
+// ways: an in-process shadow replay of the dead daemon's journal, and the
+// restarted daemon's own recovery — both must land on the same state hash,
+// and every acknowledged write must survive. See scripts/crash-smoke.sh.
 //
 // Self-hosted runs (the default) drive the daemon's HTTP handler in
 // process, so the numbers measure the service itself — snapshot rendering,
@@ -120,9 +128,28 @@ func run(args []string, out io.Writer) error {
 		duration = fs.Duration("duration", 5*time.Second, "measurement window")
 		mailbox  = fs.Bool("mailbox", false, "self-hosted only: route reads through the scheduler mailbox (the pre-snapshot baseline)")
 		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
+		dataDir  = fs.String("data-dir", "", "self-hosted: journal directory (WAL on); empty runs in-memory — the A/B for the durability overhead. In -kill mode, the journal directory shared across crashes")
+		fsyncOn  = fs.Bool("fsync", false, "journal with one fsync per commit batch")
+		kill     = fs.Bool("kill", false, "crash mode: spawn a real schedd, SIGKILL it mid-burst, restart, verify no acknowledged write was lost")
+		schedd   = fs.String("schedd", "schedd", "kill mode: path to the schedd binary")
+		iters    = fs.Int("iters", 3, "kill mode: crash/restart iterations")
+		burst    = fs.Duration("burst", 300*time.Millisecond, "kill mode: write burst before each SIGKILL")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *kill {
+		return runKill(killConfig{
+			scheddBin: *schedd,
+			dir:       *dataDir,
+			procs:     *procs,
+			kind:      *kind,
+			policy:    *policy,
+			fsync:     *fsyncOn,
+			writers:   max(*writers, 1),
+			iters:     *iters,
+			burst:     *burst,
+		}, out)
 	}
 	if *readers < 1 || *duration <= 0 {
 		return fmt.Errorf("need at least one reader and a positive duration")
@@ -140,13 +167,24 @@ func run(args []string, out io.Writer) error {
 		mode = "remote"
 		tgt = httpTarget{base: "http://" + *addr, client: &http.Client{Timeout: 10 * time.Second}}
 	} else {
-		srv, err := serve.New(serve.Options{
+		opts := serve.Options{
 			Procs:        *procs,
 			Scheduler:    *kind,
 			Policy:       *policy,
 			Speed:        1e-9, // hold virtual time still so the load is the only variable
 			MailboxReads: *mailbox,
-		})
+		}
+		if *dataDir != "" {
+			// WAL-on run: every write is journaled (group-committed per
+			// mailbox batch) before it is acknowledged. Compare writes QPS
+			// against the same invocation without -data-dir.
+			opts.Durability = serve.DurabilityOptions{Dir: *dataDir, Fsync: *fsyncOn}
+			mode += "+wal"
+			if *fsyncOn {
+				mode += "+fsync"
+			}
+		}
+		srv, err := serve.New(opts)
 		if err != nil {
 			return err
 		}
@@ -156,6 +194,7 @@ func run(args []string, out io.Writer) error {
 		defer func() {
 			cancel()
 			<-done
+			srv.Close()
 		}()
 		tgt = handlerTarget{h: srv.Handler()}
 	}

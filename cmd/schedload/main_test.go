@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -33,6 +35,62 @@ func TestLoadSelfHostedBothModes(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestLoadWALMode runs a short self-hosted burst with the journal on: the
+// writes must still complete without errors and the mode tag must say so.
+func TestLoadWALMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-procs", "16", "-queue", "8",
+		"-readers", "1", "-writers", "2",
+		"-duration", "200ms",
+		"-data-dir", t.TempDir(),
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "mode=snapshot+wal") {
+		t.Errorf("missing WAL mode tag in report:\n%s", s)
+	}
+	for _, want := range []string{"writes:", "errors=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestLoadKillMode is the end-to-end crash drill: build the real schedd
+// binary, SIGKILL it mid-burst twice, and require both recoveries to match
+// the shadow replay of the journal.
+func TestLoadKillMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crash-cycles a real daemon")
+	}
+	bin := filepath.Join(t.TempDir(), "schedd")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/schedd").CombinedOutput(); err != nil {
+		t.Fatalf("build schedd: %v\n%s", err, out)
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-kill", "-schedd", bin,
+		"-data-dir", t.TempDir(),
+		"-procs", "16", "-writers", "2",
+		"-iters", "2", "-burst", "250ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("kill mode: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"iteration 1:", "iteration 2:",
+		"matches shadow", "no acknowledged write lost",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("kill report missing %q:\n%s", want, s)
+		}
 	}
 }
 

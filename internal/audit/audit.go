@@ -474,6 +474,17 @@ func (a *Auditor) Cancel(now int64, j *job.Job) bool {
 // QueuedJobs delegates.
 func (a *Auditor) QueuedJobs() []*job.Job { return a.inner.QueuedJobs() }
 
+// Reservation forwards the wrapped scheduler's reservation, if it keeps
+// them, so code probing the scheduler structurally (state hashing, the
+// serving snapshot) sees the same answer through the audit wrapper as it
+// would against the bare scheduler.
+func (a *Auditor) Reservation(id int) (int64, bool) {
+	if a.resv == nil {
+		return 0, false
+	}
+	return a.resv.Reservation(id)
+}
+
 // afterEvent runs the cross-cutting checks that hold between engine
 // interactions: reservation/guarantee discipline and head tracking.
 func (a *Auditor) afterEvent(now int64) {

@@ -112,6 +112,7 @@ func makeView(info sim.JobInfo, th job.Thresholds) JobView {
 //	GET    /v1/queue      whole-service snapshot → 200 QueueResponse
 //	GET    /healthz       liveness               → 200 {"status":"ok"}
 //	GET    /metrics       Prometheus text format
+//	GET    /v1/debug/durability  journal position → 200 DurabilityInfo
 //
 // With Options.Debug, the Go runtime profiler is mounted as well:
 //
@@ -124,6 +125,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/queue", s.handleQueue)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/debug/durability", s.handleDurability)
 	if s.opts.Debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -276,6 +278,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Version:  snap.Version,
 		Draining: snap.Draining,
 	})
+}
+
+// handleDurability reports the journal position relative to the serving
+// state (see DurabilityInfo). It rides the mailbox so the journal fields
+// and the state hash are read on the scheduler goroutine.
+func (s *Server) handleDurability(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Durability())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 // ErrStopped is returned for writes that reach the server after its
@@ -76,6 +77,9 @@ type Options struct {
 	// baseline for the lock-free read path — cmd/schedload and the serving
 	// benchmarks run both modes on the same machine to report the speedup.
 	MailboxReads bool
+	// Durability configures the write-ahead journal; the zero value (no
+	// directory) runs the daemon in-memory only. See durable.go.
+	Durability DurabilityOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +92,7 @@ func (o Options) withDefaults() Options {
 	if o.Thresholds == (job.Thresholds{}) {
 		o.Thresholds = job.PaperThresholds()
 	}
+	o.Durability = o.Durability.withDefaults()
 	return o
 }
 
@@ -126,6 +131,16 @@ type Server struct {
 	pubSessVersion uint64 // session version the last snapshot was built from
 	pubDirty       bool   // counter changed without a session mutation (e.g. a rejected submit)
 	batch          []command
+
+	// Durability state, owned by the scheduler goroutine (see durable.go).
+	log             *wal.Log
+	walRecs         []wal.Record // staged records of the in-flight commit batch
+	walVer          uint64       // session version at the last staged record
+	history         []wal.Record // coalesced full replay sequence (next checkpoint's ops)
+	ckptAt          time.Time    // wall time of the last checkpoint (age trigger)
+	ckptUnix        int64        // unix time of the last durable checkpoint (reporting)
+	recovered       *RecoveryInfo
+	replayedAdvance bool // recovery replayed a clock advance; resume there
 }
 
 // New builds a server. Run must be called before writes are accepted; the
@@ -170,6 +185,11 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Durability.Dir != "" {
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+	}
 	s.publish()
 	return s, nil
 }
@@ -182,10 +202,14 @@ func (s *Server) Preload(jobs []*job.Job) error {
 		if err := s.sess.Submit(j); err != nil {
 			return err
 		}
+		s.note(wal.Record{Op: wal.OpSubmit, Job: jobRecOf(j)})
 		s.ctr.submitted++
 		if j.ID >= s.nextID {
 			s.nextID = j.ID + 1
 		}
+	}
+	if err := s.commitWAL(); err != nil {
+		return err
 	}
 	s.publish()
 	return nil
@@ -205,6 +229,12 @@ func (s *Server) vnow() int64 {
 // them in as-fast-as-possible mode, publishing snapshots along the way so
 // readers watch the replay progress).
 func (s *Server) advance() error {
+	if s.clock == nil {
+		// Before Run there is no clock (tests and tools drive the loop's
+		// paths synchronously); deliver everything due at the current
+		// instant so a submission's arrival is still processed in place.
+		return s.sess.AdvanceTo(s.sess.Now())
+	}
 	if s.clock.Max() {
 		for i := 1; ; i++ {
 			ok, err := s.sess.Step()
@@ -230,15 +260,27 @@ func (s *Server) Run(ctx context.Context) error {
 	defer close(s.stopped)
 	if s.clock == nil {
 		// Virtual time starts at the first pending arrival (replay) or 0
-		// (live service).
+		// (live service) — except after a recovery that replayed a clock
+		// advance, which resumes exactly where the crashed process stood
+		// instead of jumping ahead to the next pending completion.
 		base := int64(0)
 		if t, ok := s.sess.NextEventTime(); ok {
 			base = t
+		}
+		if s.replayedAdvance {
+			base = s.sess.Now()
 		}
 		s.clock = NewClock(base, s.opts.Speed, time.Now())
 	}
 	for {
 		if err := s.advance(); err != nil {
+			return err
+		}
+		s.noteAdvance()
+		if err := s.commitWAL(); err != nil {
+			return err
+		}
+		if err := s.maybeCheckpoint(); err != nil {
 			return err
 		}
 		s.publish()
@@ -250,7 +292,9 @@ func (s *Server) Run(ctx context.Context) error {
 		}
 		select {
 		case c := <-s.cmds:
-			s.runBatch(c)
+			if err := s.runBatch(c); err != nil {
+				return err
+			}
 		case <-timerC:
 		case <-ctx.Done():
 			if timer != nil {
@@ -265,11 +309,15 @@ func (s *Server) Run(ctx context.Context) error {
 }
 
 // runBatch executes first plus every command already waiting in the
-// mailbox, publishes one snapshot for the whole batch, and only then
+// mailbox, commits the batch's journal records with one write (the group
+// commit), publishes one snapshot for the whole batch, and only then
 // releases the waiting handlers — so each handler reads a snapshot that
-// includes its own write, and a burst of N submissions costs one snapshot
-// rebuild and at most one forecast dry-run instead of N.
-func (s *Server) runBatch(first command) {
+// includes its own write, a burst of N submissions costs one snapshot
+// rebuild and at most one forecast dry-run instead of N, and nothing is
+// acknowledged before it is durable. A commit failure leaves the
+// done-channels unclosed and stops the loop; the waiting handlers observe
+// ErrStopped instead of a false acknowledgement.
+func (s *Server) runBatch(first command) error {
 	s.batch = append(s.batch[:0], first)
 	for {
 		select {
@@ -283,11 +331,15 @@ func (s *Server) runBatch(first command) {
 	for _, c := range s.batch {
 		c.fn()
 	}
+	if err := s.commitWAL(); err != nil {
+		return err
+	}
 	s.publish()
 	for i, c := range s.batch {
 		close(c.done)
 		s.batch[i] = command{} // drop the closure for the collector
 	}
+	return nil
 }
 
 // drain fast-forwards the session to completion and verifies the close-out
@@ -297,6 +349,12 @@ func (s *Server) runBatch(first command) {
 // drain (and beyond — the last snapshot outlives the loop).
 func (s *Server) drain() error {
 	s.drained = true
+	// Journal the drain before fast-forwarding: a crash mid-drain replays
+	// the fast-forward and recovers to the drained terminal state.
+	s.note(wal.Record{Op: wal.OpDrain})
+	if err := s.commitWAL(); err != nil {
+		return err
+	}
 	s.pubDirty = true // the draining flag itself is an observable change
 	s.publish()
 	for i := 1; ; i++ {
@@ -317,6 +375,14 @@ func (s *Server) drain() error {
 	}
 	if s.aud != nil {
 		if err := s.aud.Err(); err != nil {
+			return err
+		}
+	}
+	// A parting checkpoint makes the next boot instant: recovery reads the
+	// drained state straight from the checkpoint instead of replaying the
+	// whole journal.
+	if s.log != nil {
+		if err := s.checkpoint(); err != nil {
 			return err
 		}
 	}
@@ -368,12 +434,14 @@ func (s *Server) submitJob(req SubmitRequest) (int, error) {
 	}
 	s.nextID++
 	s.ctr.submitted++
+	s.note(wal.Record{Op: wal.OpSubmit, Job: jobRecOf(j)})
 	// Deliver the arrival immediately so the response reflects the job's
 	// real fate at this instant (running already, or queued with a
 	// forecast).
 	if err := s.advance(); err != nil {
 		return 0, err
 	}
+	s.noteAdvance()
 	return j.ID, nil
 }
 
@@ -386,6 +454,7 @@ func (s *Server) cancel(id int) error {
 		return &clientError{code: 409, err: fmt.Errorf("serve: job %d is not cancellable (already started or finished)", id)}
 	}
 	s.ctr.cancelled++
+	s.note(wal.Record{Op: wal.OpCancel, ID: id})
 	return nil
 }
 

@@ -1,0 +1,180 @@
+package sim_test
+
+// StateHash is the durability layer's equivalence oracle: a recovering
+// daemon replays the journal and compares hashes against the crashed
+// process. These tests pin the two properties that make that comparison
+// meaningful — path-independence (incremental and batch execution of the
+// same submissions land on the same hash, for every scheduler kind, with
+// and without the audit wrapper) and sensitivity (a divergent history
+// lands on a different hash).
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestStateHashIncrementalEqualsBatch(t *testing.T) {
+	jobs, procs := equivWorkload(t)
+	pol, err := sched.PolicyByName("FCFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range sched.Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			mk, err := sched.MakerFor(kind, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Batch: submit everything up front, then drain.
+			batch, err := sim.Open(sim.Machine{Procs: procs}, mk(procs), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range jobs {
+				if err := batch.Submit(j); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := batch.Drain(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Incremental: advance virtual time to each arrival before
+			// submitting, behind the audit wrapper (which must be
+			// hash-transparent now that it forwards reservations).
+			aud := audit.New(procs, mk(procs), audit.OptionsForKind(kind, pol))
+			inc, err := sim.Open(sim.Machine{Procs: procs}, aud, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range jobs {
+				if err := inc.AdvanceTo(j.Arrival - 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := inc.Submit(j); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := inc.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if err := aud.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			if bh, ih := batch.StateHash(), inc.StateHash(); bh != ih {
+				t.Fatalf("batch hash %#x != incremental hash %#x", bh, ih)
+			}
+		})
+	}
+}
+
+// TestStateHashStableAcrossCalls pins that hashing is a pure read: two
+// consecutive calls agree, and hashing does not disturb the session.
+func TestStateHashStableAcrossCalls(t *testing.T) {
+	jobs, procs := equivWorkload(t)
+	pol, _ := sched.PolicyByName("FCFS")
+	mk, err := sched.MakerFor("easy", pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := sim.Open(sim.Machine{Procs: procs}, mk(procs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs[:50] {
+		if err := ss.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.AdvanceTo(jobs[20].Arrival); err != nil {
+		t.Fatal(err)
+	}
+	h1 := ss.StateHash()
+	if h2 := ss.StateHash(); h2 != h1 {
+		t.Fatalf("hash changed between calls: %#x then %#x", h1, h2)
+	}
+	ver := ss.Version()
+	ss.StateHash()
+	if ss.Version() != ver {
+		t.Fatal("StateHash mutated the session version")
+	}
+}
+
+// TestStateHashSensitivity pins that histories a client can tell apart
+// hash differently: an extra submission, a cancellation, and a different
+// clock all perturb the digest.
+func TestStateHashSensitivity(t *testing.T) {
+	jobs, procs := equivWorkload(t)
+	pol, _ := sched.PolicyByName("FCFS")
+	mk, err := sched.MakerFor("conservative", pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func() *sim.Session {
+		ss, err := sim.Open(sim.Machine{Procs: procs}, mk(procs), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ss
+	}
+	feed := func(ss *sim.Session, n int) {
+		for _, j := range jobs[:n] {
+			if err := ss.Submit(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	base := open()
+	feed(base, 40)
+	if err := base.AdvanceTo(jobs[10].Arrival); err != nil {
+		t.Fatal(err)
+	}
+	h0 := base.StateHash()
+
+	extra := open()
+	feed(extra, 41)
+	if err := extra.AdvanceTo(jobs[10].Arrival); err != nil {
+		t.Fatal(err)
+	}
+	if h := extra.StateHash(); h == h0 {
+		t.Fatal("extra submission did not change the hash")
+	}
+
+	cancelled := open()
+	feed(cancelled, 40)
+	if err := cancelled.AdvanceTo(jobs[10].Arrival); err != nil {
+		t.Fatal(err)
+	}
+	victim := pickQueued(t, cancelled)
+	if !cancelled.Cancel(victim) {
+		t.Fatalf("cancel of queued job %d refused", victim)
+	}
+	if h := cancelled.StateHash(); h == h0 {
+		t.Fatal("cancellation did not change the hash")
+	}
+
+	later := open()
+	feed(later, 40)
+	if err := later.AdvanceTo(jobs[10].Arrival + 1); err != nil {
+		t.Fatal(err)
+	}
+	if h := later.StateHash(); h == h0 {
+		t.Fatal("advancing the clock did not change the hash")
+	}
+}
+
+func pickQueued(t *testing.T, ss *sim.Session) int {
+	t.Helper()
+	q := ss.Queued()
+	if len(q) == 0 {
+		t.Skip("no queued job to cancel at this instant")
+	}
+	return q[len(q)-1].ID
+}

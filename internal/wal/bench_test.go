@@ -1,0 +1,50 @@
+package wal
+
+// The WAL benchmarks feed the repo's benchmark ledger (PERFORMANCE.md,
+// BENCH_PR6.json): BenchmarkWALAppend measures the group-commit append path
+// without fsync — the configuration the sustained-write-QPS acceptance
+// number is recorded under — at batch sizes bracketing the mailbox's
+// behaviour (1 = idle trickle, 64 = saturated burst). The fsync variant is
+// deliberately named outside the tracked pattern: its cost is the storage
+// stack's, not this code's, and shared CI runners make it too noisy to gate.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchAppend(b *testing.B, batch int, fsync bool) {
+	l, _, err := Open(b.TempDir(), Options{Fsync: fsync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	recs := make([]Record, batch)
+	for i := range recs {
+		if i%2 == 0 {
+			recs[i] = Record{Op: OpSubmit, Job: &JobRec{ID: i + 1, Arrival: 100, Runtime: 600, Estimate: 1200, Width: 8}}
+		} else {
+			recs[i] = Record{Op: OpAdvance, To: int64(i) * 50}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(l.buf)))
+}
+
+// Sub-benchmark names avoid a trailing dash-number: benchdiff strips one
+// "-N" suffix as the GOMAXPROCS tag, which would swallow "batch-64".
+func BenchmarkWALAppend(b *testing.B) {
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) { benchAppend(b, batch, false) })
+	}
+}
+
+func BenchmarkWALFsyncedAppend(b *testing.B) {
+	b.Run("batch64", func(b *testing.B) { benchAppend(b, 64, true) })
+}

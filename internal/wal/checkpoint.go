@@ -1,0 +1,133 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// FormatVersion is bumped whenever the on-disk encoding changes
+// incompatibly; recovery refuses journals from the future.
+const FormatVersion = 1
+
+// Config pins the server configuration a journal was written under.
+// Recovery refuses to replay a journal into a differently configured
+// scheduler — a 128-proc EASY journal applied to a 64-proc conservative
+// daemon would "succeed" into silent nonsense.
+type Config struct {
+	Procs     int    `json:"procs"`
+	Scheduler string `json:"scheduler"`
+	Policy    string `json:"policy"`
+	Audit     bool   `json:"audit"`
+}
+
+// Meta is a checkpoint's header: where in the journal it stands and what
+// state replaying its ops must reproduce.
+type Meta struct {
+	Format int    `json:"format"`
+	Seq    uint64 `json:"seq"` // last journal record the checkpoint covers
+	Ops    int    `json:"ops"` // number of compacted op lines that follow
+	Config Config `json:"config"`
+
+	// SimNow, NextID and Drained describe the serving state at Seq; the
+	// recovering server cross-checks them after replay.
+	SimNow  int64 `json:"sim_now"`
+	NextID  int   `json:"next_id"`
+	Drained bool  `json:"drained,omitempty"`
+	// StateHash is sim.Session.StateHash() at Seq, encoded as a decimal
+	// string so JSON number round-tripping cannot shave low bits.
+	StateHash uint64 `json:"state_hash,string"`
+	// Submitted/Cancelled counter values at Seq (replay cross-check).
+	Submitted int64 `json:"submitted"`
+	Cancelled int64 `json:"cancelled"`
+
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+}
+
+// writeCheckpoint durably writes one checkpoint file: meta line followed by
+// meta.Ops framed record lines, all CRC-framed, written to a temp file,
+// synced, then renamed into place so a crash never leaves a half-visible
+// checkpoint under its final name.
+func writeCheckpoint(dir string, meta Meta, ops []Record) error {
+	if meta.CreatedUnix == 0 {
+		meta.CreatedUnix = time.Now().Unix()
+	}
+	header, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("wal: encode checkpoint meta: %w", err)
+	}
+	buf := appendFramed(nil, header)
+	for _, r := range ops {
+		if buf, err = appendRecord(buf, r); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ckptName(meta.Seq))); err != nil {
+		return fmt.Errorf("wal: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint loads and fully validates one checkpoint file. Any defect
+// — framing, CRC, JSON, op count, op sequence — invalidates the whole file;
+// a checkpoint is all-or-nothing by design.
+func readCheckpoint(path string) (Meta, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("wal: %w", err)
+	}
+	lines := bytes.Split(data, []byte{'\n'})
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return Meta{}, nil, fmt.Errorf("wal: checkpoint %s is empty", path)
+	}
+	header, err := unframe(lines[0])
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("wal: checkpoint %s header: %w", path, err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(header, &meta); err != nil {
+		return Meta{}, nil, fmt.Errorf("wal: checkpoint %s meta: %w", path, err)
+	}
+	if meta.Format != FormatVersion {
+		return Meta{}, nil, fmt.Errorf("wal: checkpoint %s has format %d, this build reads %d", path, meta.Format, FormatVersion)
+	}
+	if len(lines)-1 != meta.Ops {
+		return Meta{}, nil, fmt.Errorf("wal: checkpoint %s has %d op lines, meta promises %d", path, len(lines)-1, meta.Ops)
+	}
+	ops := make([]Record, 0, meta.Ops)
+	var lastSeq uint64
+	for i, line := range lines[1:] {
+		r, err := decodeRecord(line)
+		if err != nil {
+			return Meta{}, nil, fmt.Errorf("wal: checkpoint %s op %d: %w", path, i, err)
+		}
+		if r.Seq <= lastSeq || r.Seq > meta.Seq {
+			return Meta{}, nil, fmt.Errorf("wal: checkpoint %s op %d: seq %d out of order (cover is %d)", path, i, r.Seq, meta.Seq)
+		}
+		lastSeq = r.Seq
+		ops = append(ops, r)
+	}
+	return meta, ops, nil
+}

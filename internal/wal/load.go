@@ -1,0 +1,181 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// State is everything recovery needs: the newest valid checkpoint (with its
+// compacted op prefix) and the journal tail past it. Replaying
+// CheckpointOps then Tail, in order, reconstructs the durable state.
+type State struct {
+	// Checkpoint is nil when recovery starts from genesis.
+	Checkpoint    *Meta
+	CheckpointOps []Record
+	// Tail holds the journal records past the checkpoint, contiguous from
+	// Checkpoint.Seq+1 (or from 1 at genesis).
+	Tail []Record
+	// NextSeq is 1 + the highest sequence number the journal has used.
+	NextSeq uint64
+	// TruncatedBytes counts bytes of torn final record removed from the
+	// newest segment — the expected residue of a crash mid-append.
+	TruncatedBytes int64
+	// Warnings records non-fatal oddities (e.g. an unreadable newer
+	// checkpoint that was skipped for an older valid one).
+	Warnings []string
+}
+
+// Ops returns the full replay sequence: checkpoint prefix then tail.
+func (st *State) Ops() []Record {
+	out := make([]Record, 0, len(st.CheckpointOps)+len(st.Tail))
+	out = append(out, st.CheckpointOps...)
+	return append(out, st.Tail...)
+}
+
+// Load recovers the durable state from dir without opening it for writing —
+// the read-only half of Open, exported for tools (the crash-mode load
+// generator replays the journal into a shadow server to differentially
+// verify the daemon's own recovery). It truncates a torn final record as a
+// side effect, exactly as Open would.
+func Load(dir string) (*State, error) {
+	st, _, err := load(dir)
+	return st, err
+}
+
+// load scans dir and returns the recovered state plus per-segment info for
+// the Log's bookkeeping.
+func load(dir string) (*State, []segInfo, error) {
+	st := &State{NextSeq: 1}
+
+	// Newest checkpoint that fully validates wins; broken ones are skipped
+	// with a warning as long as an older checkpoint or a genesis-complete
+	// journal can still anchor recovery.
+	ckpts, err := listSorted(dir, ckptPrefix, ckptSuffix)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return st, nil, nil
+		}
+		return nil, nil, err
+	}
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		meta, ops, err := readCheckpoint(ckpts[i].path)
+		if err != nil {
+			st.Warnings = append(st.Warnings, err.Error())
+			continue
+		}
+		st.Checkpoint = &meta
+		st.CheckpointOps = ops
+		break
+	}
+	ckptSeq := uint64(0)
+	if st.Checkpoint != nil {
+		ckptSeq = st.Checkpoint.Seq
+	}
+
+	segs, err := listSorted(dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []Record
+	for i := range segs {
+		isLast := i == len(segs)-1
+		recs, tornAt, err := scanSegment(segs[i].path, isLast)
+		if err != nil {
+			return nil, nil, err
+		}
+		if tornAt >= 0 {
+			fi, err := os.Stat(segs[i].path)
+			if err != nil {
+				return nil, nil, fmt.Errorf("wal: %w", err)
+			}
+			st.TruncatedBytes = fi.Size() - tornAt
+			if err := os.Truncate(segs[i].path, tornAt); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+		}
+		if len(recs) > 0 && recs[0].Seq != segs[i].first {
+			return nil, nil, fmt.Errorf("%w: segment %s starts at seq %d, name promises %d",
+				ErrCorrupt, segs[i].path, recs[0].Seq, segs[i].first)
+		}
+		for k := 1; k < len(recs); k++ {
+			if recs[k].Seq != recs[k-1].Seq+1 {
+				return nil, nil, fmt.Errorf("%w: segment %s jumps from seq %d to %d",
+					ErrCorrupt, segs[i].path, recs[k-1].Seq, recs[k].Seq)
+			}
+		}
+		segs[i].last = segs[i].first - 1
+		if len(recs) > 0 {
+			segs[i].last = recs[len(recs)-1].Seq
+		}
+		all = append(all, recs...)
+	}
+
+	// The replay tail is everything past the checkpoint. It must be
+	// contiguous from ckptSeq+1 — a gap means a segment the checkpoint does
+	// not cover went missing, and replaying around it would half-apply.
+	for _, r := range all {
+		if r.Seq <= ckptSeq {
+			continue // compacted into the checkpoint; pruning just hadn't caught up
+		}
+		want := ckptSeq + uint64(len(st.Tail)) + 1
+		if r.Seq != want {
+			return nil, nil, fmt.Errorf("%w: journal tail needs seq %d next but found %d (checkpoint covers through %d)",
+				ErrCorrupt, want, r.Seq, ckptSeq)
+		}
+		st.Tail = append(st.Tail, r)
+	}
+	st.NextSeq = ckptSeq + uint64(len(st.Tail)) + 1
+	return st, segs, nil
+}
+
+// scanSegment reads one segment's records. In the last (active) segment a
+// trailing defect — partial line or failed CRC with nothing valid after it
+// — is a torn write: scanSegment reports the byte offset to truncate at.
+// Anywhere else a defect is corruption.
+func scanSegment(path string, isLast bool) (recs []Record, tornAt int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, -1, fmt.Errorf("wal: %w", err)
+	}
+	offset := 0
+	for offset < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			// Partial final line: torn in the active segment, corrupt in a
+			// sealed one.
+			if isLast {
+				return recs, int64(offset), nil
+			}
+			return nil, -1, fmt.Errorf("%w: sealed segment %s ends mid-record", ErrCorrupt, path)
+		}
+		r, decErr := decodeRecord(data[offset : offset+nl])
+		if decErr != nil {
+			if isLast && !anyValidRecord(data[offset+nl+1:]) {
+				return recs, int64(offset), nil
+			}
+			return nil, -1, fmt.Errorf("%w: %s at byte %d: %v", ErrCorrupt, path, offset, decErr)
+		}
+		recs = append(recs, r)
+		offset += nl + 1
+	}
+	return recs, -1, nil
+}
+
+// anyValidRecord reports whether rest contains at least one decodable
+// record — the discriminator between a torn tail (nothing valid after the
+// damage; truncate) and mid-file corruption (valid data after the damage;
+// fail loudly rather than drop acknowledged writes).
+func anyValidRecord(rest []byte) bool {
+	for _, line := range bytes.Split(rest, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		if _, err := decodeRecord(line); err == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+// Package wal is the scheduling daemon's durability layer: an append-only,
+// CRC-framed, fsync-batched JSONL write-ahead journal of every mailbox
+// mutation (submit, cancel, clock advance, drain), plus periodic checkpoints
+// that bound recovery cost and let old journal segments be deleted.
+//
+// The design leans on the fact that the event engine is deterministic: a
+// sim.Session's state is a pure function of the ordered mutation sequence
+// applied to it. The journal therefore records logical operations, not
+// state diffs, and recovery is replay. A checkpoint is an order-preserving
+// compaction of the operation prefix it covers (consecutive clock advances
+// collapse into the last one — the only rewrite that provably cannot change
+// how events group into scheduling passes) together with the replaying
+// server's state hash, so a recovering daemon can verify that replaying the
+// checkpoint lands byte-identically where the checkpointing daemon stood.
+//
+// On-disk layout inside a data directory:
+//
+//	wal-<firstseq>.log        journal segments, CRC-framed JSONL
+//	checkpoint-<seq>.ckpt     checkpoints; <seq> is the last op covered
+//	LOCK                      flock guard against two daemons sharing a dir
+//
+// Each journal line is "crc32c(payload) in 8 hex digits, a space, the JSON
+// payload, newline". A torn final record (partial line, or a CRC mismatch on
+// the very last record) is the expected signature of a crash mid-append and
+// is truncated away on recovery; a bad record with valid records after it
+// can only be corruption and fails recovery loudly. Records carry strictly
+// increasing sequence numbers so a gap between a checkpoint and its tail —
+// or between segments — is detected instead of silently half-applied.
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// Op enumerates the journaled mutation kinds.
+const (
+	// OpSubmit records one accepted job submission (the full job record,
+	// including the arrival instant the daemon assigned).
+	OpSubmit = "submit"
+	// OpCancel records a successful cancellation of a queued or pending job.
+	OpCancel = "cancel"
+	// OpAdvance records that the session processed every event up to and
+	// including virtual instant To. Replaying AdvanceTo(To) regroups the
+	// same events into the same per-instant scheduling passes.
+	OpAdvance = "advance"
+	// OpDrain records the start of a graceful drain: admissions stopped and
+	// the remaining schedule fast-forwards to completion. Replay re-runs the
+	// fast-forward, so a crash mid-drain recovers to the drained state.
+	OpDrain = "drain"
+)
+
+// JobRec is the journaled form of a submitted job. It mirrors job.Job field
+// for field; wal keeps its own struct so the on-disk schema is explicit and
+// cannot drift silently when the in-memory job grows fields.
+type JobRec struct {
+	ID       int   `json:"id"`
+	Arrival  int64 `json:"arr"`
+	Runtime  int64 `json:"rt"`
+	Estimate int64 `json:"est"`
+	Width    int   `json:"w"`
+	User     int   `json:"u,omitempty"`
+}
+
+// Record is one journal entry. Seq is assigned by the Writer at append time
+// and is strictly increasing across the whole journal (checkpoints included).
+type Record struct {
+	Seq uint64  `json:"s"`
+	Op  string  `json:"op"`
+	Job *JobRec `json:"job,omitempty"` // OpSubmit
+	ID  int     `json:"id,omitempty"`  // OpCancel
+	To  int64   `json:"to,omitempty"`  // OpAdvance
+}
+
+// castagnoli is the CRC32-C table; the same polynomial storage systems use,
+// chosen over IEEE for its error-detection properties on short records.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFramed encodes payload as one CRC-framed journal line onto dst.
+func appendFramed(dst, payload []byte) []byte {
+	dst = append(dst, []byte(fmt.Sprintf("%08x ", crc32.Checksum(payload, castagnoli)))...)
+	dst = append(dst, payload...)
+	return append(dst, '\n')
+}
+
+// appendRecord encodes one record as a framed line onto dst.
+func appendRecord(dst []byte, r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return dst, fmt.Errorf("wal: encode record %d: %w", r.Seq, err)
+	}
+	return appendFramed(dst, payload), nil
+}
+
+// unframe validates one journal line (without its trailing newline) and
+// returns the JSON payload.
+func unframe(line []byte) ([]byte, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("wal: short or unframed line (%d bytes)", len(line))
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, fmt.Errorf("wal: bad CRC field: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("wal: CRC mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return payload, nil
+}
+
+// decodeRecord validates and decodes one framed journal line.
+func decodeRecord(line []byte) (Record, error) {
+	payload, err := unframe(line)
+	if err != nil {
+		return Record{}, err
+	}
+	var r Record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return Record{}, fmt.Errorf("wal: bad record JSON: %w", err)
+	}
+	switch r.Op {
+	case OpSubmit, OpCancel, OpAdvance, OpDrain:
+	default:
+		return Record{}, fmt.Errorf("wal: unknown op %q at seq %d", r.Op, r.Seq)
+	}
+	return r, nil
+}
+
+// Coalesce appends r to ops, collapsing consecutive advances: an advance
+// directly after another advance replaces it, because AdvanceTo(t2) after
+// AdvanceTo(t1<=t2) processes exactly the instants the pair did, in the same
+// per-instant groups. Advances separated by a submit or cancel are NOT
+// merged — that would regroup same-instant events into a different
+// scheduling pass. This is the only compaction checkpoints apply.
+func Coalesce(ops []Record, r Record) []Record {
+	if r.Op == OpAdvance && len(ops) > 0 && ops[len(ops)-1].Op == OpAdvance {
+		ops[len(ops)-1] = r
+		return ops
+	}
+	return append(ops, r)
+}

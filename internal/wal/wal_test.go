@@ -1,0 +1,352 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) (*Log, *State) {
+	t.Helper()
+	l, st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, st
+}
+
+func submitRec(id int) Record {
+	return Record{Op: OpSubmit, Job: &JobRec{ID: id, Arrival: int64(id) * 10, Runtime: 60, Estimate: 120, Width: 4, User: 7}}
+}
+
+func TestEmptyJournal(t *testing.T) {
+	dir := t.TempDir()
+	l, st := mustOpen(t, dir)
+	if st.Checkpoint != nil || len(st.Tail) != 0 || st.NextSeq != 1 {
+		t.Fatalf("fresh dir recovered %+v", st)
+	}
+	if l.Seq() != 0 {
+		t.Fatalf("fresh log Seq = %d", l.Seq())
+	}
+	// A dir that does not exist yet behaves the same through Load.
+	st2, err := Load(filepath.Join(dir, "nonexistent"))
+	if err != nil || st2.NextSeq != 1 {
+		t.Fatalf("Load(missing) = %+v, %v", st2, err)
+	}
+}
+
+func TestAppendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	batch1 := []Record{submitRec(1), {Op: OpAdvance, To: 10}}
+	batch2 := []Record{submitRec(2), {Op: OpCancel, ID: 1}, {Op: OpAdvance, To: 25}}
+	if err := l.Append(batch1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(batch2); err != nil {
+		t.Fatal(err)
+	}
+	if l.Seq() != 5 {
+		t.Fatalf("Seq = %d, want 5", l.Seq())
+	}
+	l.Close()
+
+	_, st := mustOpen(t, dir)
+	if st.Checkpoint != nil {
+		t.Fatal("no checkpoint was written")
+	}
+	want := append(append([]Record{}, batch1...), batch2...)
+	if !reflect.DeepEqual(st.Tail, want) {
+		t.Fatalf("recovered tail %+v\nwant %+v", st.Tail, want)
+	}
+	if st.NextSeq != 6 {
+		t.Fatalf("NextSeq = %d, want 6", st.NextSeq)
+	}
+}
+
+func TestTornTailPartialLine(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Record{submitRec(1), submitRec(2)}); err != nil {
+		t.Fatal(err)
+	}
+	seg := l.SegmentPath()
+	l.Close()
+	// Simulate a crash mid-append: half a record, no newline.
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`deadbeef {"s":3,"op":"sub`)
+	f.Close()
+
+	l2, st := mustOpen(t, dir)
+	if len(st.Tail) != 2 || st.TruncatedBytes == 0 {
+		t.Fatalf("torn tail: recovered %d records, truncated %d bytes", len(st.Tail), st.TruncatedBytes)
+	}
+	// The journal must be appendable again at seq 3.
+	if err := l2.Append([]Record{submitRec(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Seq() != 3 {
+		t.Fatalf("Seq after torn recovery = %d, want 3", l2.Seq())
+	}
+}
+
+func TestTornTailBadCRC(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Record{submitRec(1), submitRec(2), submitRec(3)}); err != nil {
+		t.Fatal(err)
+	}
+	seg := l.SegmentPath()
+	l.Close()
+	// Flip a byte inside the LAST record's payload: torn write, truncate.
+	data, _ := os.ReadFile(seg)
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	last := lines[len(lines)-1]
+	corrupted := strings.Join(lines[:len(lines)-1], "") + flipPayloadByte(last) + "\n"
+	os.WriteFile(seg, []byte(corrupted), 0o644)
+
+	_, st := mustOpen(t, dir)
+	if len(st.Tail) != 2 {
+		t.Fatalf("bad-CRC tail: recovered %d records, want 2", len(st.Tail))
+	}
+}
+
+func TestCorruptMidFileFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Record{submitRec(1), submitRec(2), submitRec(3)}); err != nil {
+		t.Fatal(err)
+	}
+	seg := l.SegmentPath()
+	l.Close()
+	// Flip a byte in the SECOND record: valid data follows, so this is
+	// corruption, not a torn tail — recovery must refuse, never half-apply.
+	data, _ := os.ReadFile(seg)
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	lines[1] = flipPayloadByte(strings.TrimSuffix(lines[1], "\n")) + "\n"
+	os.WriteFile(seg, []byte(strings.Join(lines, "")), 0o644)
+
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-file corruption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckpointAndTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	var history []Record
+	for i := 1; i <= 4; i++ {
+		recs := []Record{submitRec(i), {Op: OpAdvance, To: int64(i) * 10}}
+		if err := l.Append(recs); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			history = Coalesce(history, r)
+		}
+	}
+	meta := Meta{SimNow: 40, NextID: 5, StateHash: 0xfeedface12345678, Submitted: 4,
+		Config: Config{Procs: 64, Scheduler: "easy", Policy: "FCFS", Audit: true}}
+	if err := l.Checkpoint(meta, history); err != nil {
+		t.Fatal(err)
+	}
+	if l.CheckpointSeq() != 8 {
+		t.Fatalf("CheckpointSeq = %d, want 8", l.CheckpointSeq())
+	}
+	tail := []Record{submitRec(5), {Op: OpAdvance, To: 50}}
+	if err := l.Append(tail); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, st := mustOpen(t, dir)
+	if st.Checkpoint == nil {
+		t.Fatalf("no checkpoint recovered (warnings: %v)", st.Warnings)
+	}
+	if st.Checkpoint.Seq != 8 || st.Checkpoint.StateHash != meta.StateHash || st.Checkpoint.Config != meta.Config {
+		t.Fatalf("checkpoint meta %+v", st.Checkpoint)
+	}
+	if !reflect.DeepEqual(st.CheckpointOps, history) {
+		t.Fatalf("checkpoint ops %+v\nwant %+v", st.CheckpointOps, history)
+	}
+	if !reflect.DeepEqual(st.Tail, tail) {
+		t.Fatalf("tail %+v\nwant %+v", st.Tail, tail)
+	}
+	if st.NextSeq != 11 {
+		t.Fatalf("NextSeq = %d, want 11", st.NextSeq)
+	}
+}
+
+func TestCheckpointPrunesOldFiles(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	var history []Record
+	for round := 0; round < 3; round++ {
+		for i := 1; i <= 2; i++ {
+			recs := []Record{submitRec(round*2 + i)}
+			if err := l.Append(recs); err != nil {
+				t.Fatal(err)
+			}
+			history = Coalesce(history, recs[0])
+		}
+		if err := l.Checkpoint(Meta{NextID: round*2 + 3}, history); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	ckpts, _ := filepath.Glob(filepath.Join(dir, ckptPrefix+"*"))
+	if len(ckpts) != 1 {
+		t.Fatalf("prune left %d checkpoints: %v", len(ckpts), ckpts)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	if len(segs) != 1 {
+		t.Fatalf("prune left %d segments: %v", len(segs), segs)
+	}
+	_, st := mustOpen(t, dir)
+	if st.Checkpoint == nil || st.Checkpoint.Seq != 6 || len(st.Tail) != 0 {
+		t.Fatalf("post-prune recovery %+v", st)
+	}
+}
+
+func TestCheckpointNewerThanJournal(t *testing.T) {
+	// A checkpoint whose seq exceeds every journal record (stale segments
+	// lying around, covered ones pruned) recovers from the checkpoint alone.
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	recs := []Record{submitRec(1)}
+	if err := l.Append(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(Meta{NextID: 2}, recs); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Remove every segment, leaving only the checkpoint.
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	for _, s := range segs {
+		os.Remove(s)
+	}
+	_, st := mustOpen(t, dir)
+	if st.Checkpoint == nil || st.Checkpoint.Seq != 1 || len(st.Tail) != 0 || st.NextSeq != 2 {
+		t.Fatalf("checkpoint-only recovery %+v", st)
+	}
+}
+
+func TestInvalidCheckpointFallsBackToGenesis(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Record{submitRec(1), submitRec(2)}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// A garbage checkpoint file: skipped with a warning; the full journal
+	// still anchors recovery from genesis.
+	os.WriteFile(filepath.Join(dir, ckptName(2)), []byte("not a checkpoint\n"), 0o644)
+	_, st := mustOpen(t, dir)
+	if st.Checkpoint != nil || len(st.Tail) != 2 {
+		t.Fatalf("genesis fallback %+v", st)
+	}
+	if len(st.Warnings) == 0 {
+		t.Fatal("broken checkpoint produced no warning")
+	}
+}
+
+func TestInvalidCheckpointWithPrunedJournalFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	recs := []Record{submitRec(1)}
+	if err := l.Append(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(Meta{NextID: 2}, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Record{submitRec(2)}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Destroy the only checkpoint. The genesis segment was pruned, so the
+	// surviving tail starts at seq 2 — recovery must refuse to guess.
+	ckpts, _ := filepath.Glob(filepath.Join(dir, ckptPrefix+"*"))
+	for _, c := range ckpts {
+		os.WriteFile(c, []byte("garbage\n"), 0o644)
+	}
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("stale-checkpoint recovery: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSequenceGapFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Record{submitRec(1), submitRec(2), submitRec(3)}); err != nil {
+		t.Fatal(err)
+	}
+	seg := l.SegmentPath()
+	l.Close()
+	// Drop the middle record entirely (clean line removal, CRCs intact).
+	data, _ := os.ReadFile(seg)
+	lines := strings.SplitAfter(string(data), "\n")
+	os.WriteFile(seg, []byte(lines[0]+lines[2]), 0o644)
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sequence gap: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLockExcludesSecondWriter(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open: err = %v, want ErrLocked", err)
+	}
+	l.Close()
+	l2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestCoalesce(t *testing.T) {
+	var ops []Record
+	ops = Coalesce(ops, Record{Seq: 1, Op: OpSubmit, Job: &JobRec{ID: 1}})
+	ops = Coalesce(ops, Record{Seq: 2, Op: OpAdvance, To: 10})
+	ops = Coalesce(ops, Record{Seq: 3, Op: OpAdvance, To: 20})
+	ops = Coalesce(ops, Record{Seq: 4, Op: OpSubmit, Job: &JobRec{ID: 2}})
+	ops = Coalesce(ops, Record{Seq: 5, Op: OpAdvance, To: 20})
+	if len(ops) != 4 {
+		t.Fatalf("coalesced to %d ops, want 4: %+v", len(ops), ops)
+	}
+	if ops[1].Seq != 3 || ops[1].To != 20 {
+		t.Fatalf("consecutive advances should keep the later one, got %+v", ops[1])
+	}
+	if ops[3].Seq != 5 {
+		t.Fatalf("advance after a submit must not merge backwards, got %+v", ops[3])
+	}
+}
+
+func TestFsyncAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]Record{submitRec(1)}); err != nil {
+		t.Fatalf("fsync append: %v", err)
+	}
+}
+
+// flipPayloadByte corrupts one byte inside a framed line's JSON payload so
+// the stored CRC no longer matches.
+func flipPayloadByte(line string) string {
+	b := []byte(line)
+	b[len(b)-2] ^= 0x01
+	return string(b)
+}
