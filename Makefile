@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-verbose race serve-race vet bench bench-json bench-gate doclint experiments results examples cover clean fuzz-smoke check serve-smoke crash-smoke
+.PHONY: all build test test-verbose race serve-race fed-race vet bench bench-json bench-gate doclint experiments results examples cover clean fuzz-smoke check serve-smoke crash-smoke
 
 all: build vet test
 
@@ -32,6 +32,13 @@ race:
 serve-race:
 	$(GO) test -race -count=2 ./internal/serve ./internal/sim
 
+# Focused race-detector pass over the federation layer: scatter-gather
+# reads, routing, and the merged snapshot hammered while every shard
+# replays at full speed. -count=2 reruns with fresh schedules; CI runs
+# this as its own job (fed-race).
+fed-race:
+	$(GO) test -race -count=2 ./internal/fed
+
 # Full test log, as recorded in test_output.txt.
 test-verbose:
 	$(GO) test -v ./...
@@ -41,21 +48,21 @@ bench:
 
 # Benchmark ledger (see PERFORMANCE.md). bench-json runs the tracked
 # benchmark suite — engine hot paths in the root package, the serving read
-# path in internal/serve, and the durability layer (journal append and
-# crash recovery) — and writes the machine-readable run to
-# bench_current.json; bench-gate compares it against the committed
-# BENCH_PR6.json baseline and fails on any regression beyond
-# BENCH_TOLERANCE (a fraction: 0.20 = 20%).
+# path in internal/serve, the durability layer (journal append and crash
+# recovery), and the federation routing/merge path in internal/fed — and
+# writes the machine-readable run to bench_current.json; bench-gate
+# compares it against the committed BENCH_PR7.json baseline and fails on
+# any regression beyond BENCH_TOLERANCE (a fraction: 0.20 = 20%).
 BENCHTIME ?= 1s
 BENCH_TOLERANCE ?= 0.20
 
 bench-json:
-	$(GO) test -run='^$$' -bench='BenchmarkProfile|BenchmarkScheduler|BenchmarkCompression$$|BenchmarkSessionStep|BenchmarkBatchRun|BenchmarkEventQueue|BenchmarkServeRead|BenchmarkForecastCached|BenchmarkForecastUncached|BenchmarkWALAppend|BenchmarkWALFsyncedAppend|BenchmarkRecovery' \
-		-benchtime=$(BENCHTIME) -benchmem . ./internal/serve ./internal/wal \
+	$(GO) test -run='^$$' -bench='BenchmarkProfile|BenchmarkScheduler|BenchmarkCompression$$|BenchmarkSessionStep|BenchmarkBatchRun|BenchmarkEventQueue|BenchmarkServeRead|BenchmarkForecastCached|BenchmarkForecastUncached|BenchmarkWALAppend|BenchmarkWALFsyncedAppend|BenchmarkRecovery|BenchmarkFed' \
+		-benchtime=$(BENCHTIME) -benchmem . ./internal/serve ./internal/wal ./internal/fed \
 		| $(GO) run ./cmd/benchdiff -parse > bench_current.json
 
 bench-gate: bench-json
-	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR6.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR7.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
 
 # Short fuzzing pass over every fuzz target. Each target gets FUZZTIME of
 # coverage-guided input generation on top of its checked-in seed corpus;
@@ -70,6 +77,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzProfileEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedulerRun -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/fed -run='^$$' -fuzz=FuzzShardRouter -fuzztime=$(FUZZTIME)
 
 # Every package must carry a doc comment; see scripts/doclint.sh.
 doclint:
@@ -82,9 +90,10 @@ serve-smoke:
 	sh scripts/serve-smoke.sh
 
 # Durability drill: SIGKILL a journaling schedd mid-write-burst five times
-# on one shared journal; every cycle must recover byte-identically (state
-# hash pinned by an independent shadow replay) with no acknowledged write
-# lost.
+# on one shared journal, then SIGKILL one member of a four-shard federation
+# per cycle while its siblings keep serving; every cycle must recover
+# byte-identically (state hash pinned by an independent shadow replay) with
+# no acknowledged write lost.
 crash-smoke:
 	sh scripts/crash-smoke.sh
 

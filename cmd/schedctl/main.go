@@ -8,6 +8,7 @@
 //	schedctl cancel 42
 //	schedctl queue
 //	schedctl info     # durability: journal position, checkpoint age
+//	schedctl shards   # federation only: per-shard state table
 //
 // The daemon address comes from -addr or the SCHEDD_ADDR environment
 // variable, defaulting to http://127.0.0.1:8080.
@@ -52,7 +53,7 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	addr := fs.String("addr", defaultAddr(), "schedd base URL")
 	fs.Usage = func() {
-		fmt.Fprintf(out, "usage: schedctl [-addr URL] <submit|stat|cancel|queue|info|health|metrics> [args]\n")
+		fmt.Fprintf(out, "usage: schedctl [-addr URL] <submit|stat|cancel|queue|info|shards|health|metrics> [args]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -76,6 +77,8 @@ func run(args []string, out io.Writer) error {
 		return c.queue()
 	case "info":
 		return c.info()
+	case "shards":
+		return c.shards()
 	case "health":
 		return c.passthrough("/healthz")
 	case "metrics":
@@ -261,6 +264,40 @@ func (c *client) info() error {
 		for _, w := range r.Warnings {
 			fmt.Fprintf(c.out, "recovery warning: %s\n", w)
 		}
+	}
+	return nil
+}
+
+// shards renders GET /v1/shards (federated daemons only) as one row per
+// cluster shard.
+func (c *client) shards() error {
+	var rows []struct {
+		Shard      int    `json:"shard"`
+		Scheduler  string `json:"scheduler"`
+		Procs      int    `json:"procs"`
+		ProcsBusy  int    `json:"procs_busy"`
+		QueueDepth int    `json:"queue_depth"`
+		Running    int    `json:"running"`
+		Pending    int    `json:"pending"`
+		Version    uint64 `json:"version"`
+		Now        int64  `json:"now"`
+		Submitted  int64  `json:"submitted"`
+		Completed  int64  `json:"completed"`
+		Draining   bool   `json:"draining"`
+	}
+	if err := c.do("GET", "/v1/shards", nil, &rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "%-6s %-14s %10s %7s %8s %9s %10s %10s %8s\n",
+		"shard", "scheduler", "busy", "queued", "running", "pending", "submitted", "completed", "version")
+	for _, r := range rows {
+		state := ""
+		if r.Draining {
+			state = "  draining"
+		}
+		fmt.Fprintf(c.out, "%-6d %-14s %6d/%-3d %7d %8d %9d %10d %10d %8d%s\n",
+			r.Shard, r.Scheduler, r.ProcsBusy, r.Procs, r.QueueDepth, r.Running, r.Pending,
+			r.Submitted, r.Completed, r.Version, state)
 	}
 	return nil
 }

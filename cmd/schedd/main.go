@@ -8,6 +8,15 @@
 //	schedd -procs 430 -sched conservative -swf trace.swf -speed 60
 //	schedd -procs 128 -model SDSC -jobs 2000 -speed 0   # replay flat out
 //	schedd -procs 128 -data-dir /var/lib/schedd        # durable daemon
+//	schedd -procs 128 -shards 4 -route width           # 4-cluster federation
+//
+// With -shards N > 1 the daemon becomes a federation front end: N
+// independent cluster shards of -procs processors each behind the same
+// HTTP surface, submissions routed by -route (consistent hashing by user,
+// or width-aware least-loaded placement), queue listings and metrics
+// scatter-gathered from the shards' lock-free snapshots. With -data-dir
+// each shard journals into its own shard-NNN subdirectory and recovers
+// independently at boot.
 //
 // With -data-dir every accepted mutation is journaled to a write-ahead log
 // before it is acknowledged, and a restart recovers the exact pre-crash
@@ -32,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fed"
 	"repro/internal/job"
 	"repro/internal/serve"
 	"repro/internal/swf"
@@ -54,30 +64,44 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	fs := flag.NewFlagSet("schedd", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8080", "listen address (host:port, :0 picks a free port)")
-		procs   = fs.Int("procs", 128, "machine size in processors")
-		kind    = fs.String("sched", "easy", "scheduler kind (see sched.MakerFor)")
-		policy  = fs.String("policy", "FCFS", "queue priority policy: FCFS, SJF, XF, LJF, WFP")
-		audit   = fs.Bool("audit", true, "wrap the live session in the invariant auditor")
-		speed   = fs.Float64("speed", 1, "virtual seconds per wall second; 0 runs as fast as possible")
-		swfPath = fs.String("swf", "", "preload and replay this SWF trace")
-		model   = fs.String("model", "", "preload a synthetic workload: CTC or SDSC")
-		jobs    = fs.Int("jobs", 1000, "synthetic replay length in jobs")
-		load    = fs.Float64("load", 0.85, "offered load for synthetic replay")
-		seed    = fs.Int64("seed", 42, "random seed for synthetic replay")
-		est     = fs.String("est", "actual", "estimate model for synthetic replay: keep, exact, actual, R=<f>")
-		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiles a live daemon; see PERFORMANCE.md)")
-		mboxRd  = fs.Bool("mailbox-reads", false, "serve GETs through the scheduler mailbox instead of the lock-free snapshot path (A/B baseline for cmd/schedload)")
-		dataDir = fs.String("data-dir", "", "write-ahead journal directory; empty runs in-memory only. An existing journal is recovered at boot")
-		ckptInt = fs.Duration("checkpoint-interval", time.Minute, "checkpoint at least this often while the journal grows")
-		ckptOps = fs.Int("checkpoint-ops", 4096, "checkpoint after this many journal records past the previous checkpoint")
-		fsyncOn = fs.Bool("fsync", false, "fsync the journal once per commit batch; off survives process crashes (SIGKILL), on also survives machine crashes")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port, :0 picks a free port)")
+		procs    = fs.Int("procs", 128, "machine size in processors")
+		kind     = fs.String("sched", "easy", "scheduler kind (see sched.MakerFor)")
+		policy   = fs.String("policy", "FCFS", "queue priority policy: FCFS, SJF, XF, LJF, WFP")
+		audit    = fs.Bool("audit", true, "wrap the live session in the invariant auditor")
+		speed    = fs.Float64("speed", 1, "virtual seconds per wall second; 0 runs as fast as possible")
+		swfPath  = fs.String("swf", "", "preload and replay this SWF trace")
+		model    = fs.String("model", "", "preload a synthetic workload: CTC or SDSC")
+		jobs     = fs.Int("jobs", 1000, "synthetic replay length in jobs")
+		load     = fs.Float64("load", 0.85, "offered load for synthetic replay")
+		seed     = fs.Int64("seed", 42, "random seed for synthetic replay")
+		est      = fs.String("est", "actual", "estimate model for synthetic replay: keep, exact, actual, R=<f>")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiles a live daemon; see PERFORMANCE.md)")
+		mboxRd   = fs.Bool("mailbox-reads", false, "serve GETs through the scheduler mailbox instead of the lock-free snapshot path (A/B baseline for cmd/schedload)")
+		dataDir  = fs.String("data-dir", "", "write-ahead journal directory; empty runs in-memory only. An existing journal is recovered at boot")
+		ckptInt  = fs.Duration("checkpoint-interval", time.Minute, "checkpoint at least this often while the journal grows")
+		ckptOps  = fs.Int("checkpoint-ops", 4096, "checkpoint after this many journal records past the previous checkpoint")
+		fsyncOn  = fs.Bool("fsync", false, "fsync the journal once per commit batch; off survives process crashes (SIGKILL), on also survives machine crashes")
+		shards   = fs.Int("shards", 1, "cluster shard count; >1 runs a federation of independent shards of -procs processors each")
+		route    = fs.String("route", "hash", "federation routing policy: hash (consistent hashing by user) or width (width-aware least-loaded)")
+		idStart  = fs.Int("id-start", 1, "first job ID this daemon assigns (process-per-shard federations give each member its own congruence class)")
+		idStride = fs.Int("id-stride", 1, "job ID increment; with -id-start i and -id-stride N the daemon only ever assigns IDs ≡ i (mod N)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, have %d", *shards)
+	}
 
-	srv, err := serve.New(serve.Options{
+	if *idStart < 1 || *idStride < 1 {
+		return fmt.Errorf("-id-start and -id-stride must be at least 1")
+	}
+	if *shards > 1 && (*idStart != 1 || *idStride != 1) {
+		return fmt.Errorf("-id-start/-id-stride are for process-per-shard members; an in-process federation (-shards) assigns congruence classes itself")
+	}
+
+	so := serve.Options{
 		Procs:        *procs,
 		Scheduler:    *kind,
 		Policy:       *policy,
@@ -85,33 +109,73 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		Speed:        *speed,
 		Debug:        *pprofOn,
 		MailboxReads: *mboxRd,
+		IDStart:      *idStart,
+		IDStride:     *idStride,
 		Durability: serve.DurabilityOptions{
-			Dir:             *dataDir,
 			Fsync:           *fsyncOn,
 			CheckpointEvery: *ckptInt,
 			CheckpointOps:   *ckptOps,
 		},
-	})
-	if err != nil {
-		return err
 	}
-	defer srv.Close()
 
-	recovered := srv.Recovery() != nil && srv.Recovery().Replayed()
-	if ri := srv.Recovery(); recovered {
-		fmt.Fprintf(out, "schedd: recovered %s: checkpoint seq %d (%d ops) + %d journal records",
-			*dataDir, ri.CheckpointSeq, ri.CheckpointOps, ri.TailRecords)
-		if ri.TruncatedBytes > 0 {
-			fmt.Fprintf(out, ", truncated %d bytes of torn tail", ri.TruncatedBytes)
+	// svc is the daemon behind the HTTP listener: a single serve.Server, or
+	// a federation front end over -shards of them.
+	var svc interface {
+		Preload([]*job.Job) error
+		Run(context.Context) error
+		Close() error
+		Handler() http.Handler
+	}
+	recovered := false
+	if *shards > 1 {
+		if *mboxRd {
+			return fmt.Errorf("-mailbox-reads is a single-daemon A/B baseline and cannot combine with -shards")
 		}
-		fmt.Fprintln(out)
-		for _, w := range ri.Warnings {
-			fmt.Fprintf(out, "schedd: recovery warning: %s\n", w)
+		f, err := fed.New(fed.Options{Shards: *shards, Route: *route, Shard: so, DataDir: *dataDir})
+		if err != nil {
+			return err
+		}
+		svc = f
+		for i, sh := range f.Shards() {
+			ri := sh.Recovery()
+			if ri == nil || !ri.Replayed() {
+				continue
+			}
+			recovered = true
+			fmt.Fprintf(out, "schedd: shard %d recovered %s: checkpoint seq %d (%d ops) + %d journal records",
+				i, fed.ShardDir(*dataDir, i), ri.CheckpointSeq, ri.CheckpointOps, ri.TailRecords)
+			if ri.TruncatedBytes > 0 {
+				fmt.Fprintf(out, ", truncated %d bytes of torn tail", ri.TruncatedBytes)
+			}
+			fmt.Fprintln(out)
+			for _, w := range ri.Warnings {
+				fmt.Fprintf(out, "schedd: shard %d recovery warning: %s\n", i, w)
+			}
+		}
+	} else {
+		so.Durability.Dir = *dataDir
+		srv, err := serve.New(so)
+		if err != nil {
+			return err
+		}
+		svc = srv
+		if ri := srv.Recovery(); ri != nil && ri.Replayed() {
+			recovered = true
+			fmt.Fprintf(out, "schedd: recovered %s: checkpoint seq %d (%d ops) + %d journal records",
+				*dataDir, ri.CheckpointSeq, ri.CheckpointOps, ri.TailRecords)
+			if ri.TruncatedBytes > 0 {
+				fmt.Fprintf(out, ", truncated %d bytes of torn tail", ri.TruncatedBytes)
+			}
+			fmt.Fprintln(out)
+			for _, w := range ri.Warnings {
+				fmt.Fprintf(out, "schedd: recovery warning: %s\n", w)
+			}
 		}
 	}
+	defer svc.Close()
 
 	if recovered {
-		// The journal already holds this daemon's history (including any
+		// The journals already hold this daemon's history (including any
 		// preload from its first boot); preloading again would double the
 		// workload.
 		if *swfPath != "" || *model != "" {
@@ -123,7 +187,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 			return err
 		}
 		if len(replay) > 0 {
-			if err := srv.Preload(replay); err != nil {
+			if err := svc.Preload(replay); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "schedd: preloaded %d jobs for replay\n", len(replay))
@@ -135,18 +199,23 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		return err
 	}
 	url := "http://" + ln.Addr().String()
-	fmt.Fprintf(out, "schedd: %s(%s) on %d procs, speed %g, listening on %s\n",
-		*kind, *policy, *procs, *speed, url)
+	if *shards > 1 {
+		fmt.Fprintf(out, "schedd: %d×%s(%s) shards, %d procs each (%d total), route %s, speed %g, listening on %s\n",
+			*shards, *kind, *policy, *procs, *shards**procs, *route, *speed, url)
+	} else {
+		fmt.Fprintf(out, "schedd: %s(%s) on %d procs, speed %g, listening on %s\n",
+			*kind, *policy, *procs, *speed, url)
+	}
 	if ready != nil {
 		ready <- url
 	}
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: svc.Handler()}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- hs.Serve(ln) }()
 
 	runErr := make(chan error, 1)
-	go func() { runErr <- srv.Run(ctx) }()
+	go func() { runErr <- svc.Run(ctx) }()
 
 	var firstErr error
 	select {

@@ -203,6 +203,144 @@ func TestDaemonDurableRestart(t *testing.T) {
 	}
 }
 
+// TestDaemonFederation boots a 3-shard federation and checks the merged
+// surface: per-shard rows, summed capacity, globally unique job IDs, and a
+// clean drain.
+func TestDaemonFederation(t *testing.T) {
+	url, stop := boot(t, "-procs", "8", "-sched", "easy", "-speed", "1e-9",
+		"-shards", "3", "-route", "width")
+
+	var rows []struct {
+		Shard int `json:"shard"`
+		Procs int `json:"procs"`
+	}
+	getJSONinto(t, url+"/v1/shards", &rows)
+	if len(rows) != 3 {
+		t.Fatalf("got %d shard rows, want 3", len(rows))
+	}
+	for i, r := range rows {
+		if r.Shard != i || r.Procs != 8 {
+			t.Fatalf("row %d: %+v", i, r)
+		}
+	}
+
+	seen := map[int]bool{}
+	for i := 0; i < 9; i++ {
+		resp, err := http.Post(url+"/v1/jobs", "application/json",
+			strings.NewReader(`{"width": 8, "runtime": 100, "user": `+strings.Repeat("1", 1+i%3)+`}`))
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		var jv struct {
+			ID int `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /v1/jobs: status %d", resp.StatusCode)
+		}
+		if seen[jv.ID] {
+			t.Fatalf("duplicate job ID %d across shards", jv.ID)
+		}
+		seen[jv.ID] = true
+	}
+
+	var q struct {
+		Procs     int   `json:"procs"`
+		Submitted int64 `json:"submitted"`
+	}
+	getJSONinto(t, url+"/v1/queue", &q)
+	if q.Procs != 24 || q.Submitted != 9 {
+		t.Fatalf("merged queue: procs=%d submitted=%d, want 24/9", q.Procs, q.Submitted)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestDaemonFederationReplay drains a synthetic trace through a 2-shard
+// federation at full speed; every preloaded job must complete and the
+// merged audit must stay silent.
+func TestDaemonFederationReplay(t *testing.T) {
+	url, stop := boot(t,
+		"-procs", "128", "-model", "SDSC", "-jobs", "40", "-seed", "7",
+		"-shards", "2", "-route", "width", "-speed", "-1")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var health struct {
+			Pending int `json:"pending"`
+		}
+		getJSONinto(t, url+"/healthz", &health)
+		if health.Pending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federated replay never finished: %d pending", health.Pending)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"schedd_jobs_submitted_total 40",
+		"schedd_jobs_completed_total 40",
+		"schedd_audit_violations 0",
+		"schedd_procs_total 256",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("merged metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestDaemonFederationDurableRestart journals a 2-shard federation into
+// per-shard directories and restarts on them: both shards must recover and
+// the merged state must carry the pre-restart jobs.
+func TestDaemonFederationDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	fedArgs := []string{"-procs", "8", "-sched", "easy", "-speed", "1e-9",
+		"-shards", "2", "-route", "width", "-data-dir", dir}
+	url, stop := boot(t, fedArgs...)
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(url+"/v1/jobs", "application/json",
+			strings.NewReader(`{"width": 2, "runtime": 100}`))
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /v1/jobs: status %d", resp.StatusCode)
+		}
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	url2, stop2 := boot(t, fedArgs...)
+	var q struct {
+		Completed int64 `json:"completed"`
+	}
+	getJSONinto(t, url2+"/v1/queue", &q)
+	if q.Completed != 4 {
+		t.Fatalf("recovered federation has %d completed jobs, want 4", q.Completed)
+	}
+	if err := stop2(); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
 func TestDaemonBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-sched", "bogus"},
@@ -212,6 +350,12 @@ func TestDaemonBadFlags(t *testing.T) {
 		{"-model", "SDSC", "-procs", "64"}, // calibrated for 128
 		{"-swf", "/nonexistent.swf"},
 		{"-model", "SDSC", "-procs", "128", "-est", "bogus"},
+		{"-shards", "0"},
+		{"-shards", "2", "-route", "bogus"},
+		{"-shards", "2", "-mailbox-reads"},
+		{"-id-start", "0"},
+		{"-id-stride", "0"},
+		{"-shards", "2", "-id-stride", "2"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

@@ -58,20 +58,22 @@ type daemon struct {
 	dead chan struct{} // closed when the process has been reaped
 }
 
-// startDaemon spawns schedd on a free port with the shared journal
-// directory and waits for its ready line.
-func startDaemon(cfg killConfig) (*daemon, error) {
+// startDaemon spawns schedd on a free port with the given journal
+// directory (plus any extra flags — the federated drill passes each
+// member's ID congruence class) and waits for its ready line.
+func startDaemon(cfg killConfig, dir string, extra ...string) (*daemon, error) {
 	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-procs", strconv.Itoa(cfg.procs),
 		"-sched", cfg.kind,
 		"-policy", cfg.policy,
 		"-speed", "1e-9", // frozen clock: the queue the crash interrupts stays put
-		"-data-dir", cfg.dir,
+		"-data-dir", dir,
 	}
 	if cfg.fsync {
 		args = append(args, "-fsync")
 	}
+	args = append(args, extra...)
 	cmd := exec.Command(cfg.scheddBin, args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
@@ -180,10 +182,11 @@ func burstWrites(d *daemon, cfg killConfig, dur time.Duration) *ackLog {
 	return acks
 }
 
-// shadowReplay loads the crashed daemon's journal and replays it from
-// genesis into an in-process server, returning the replica and its hash.
-func shadowReplay(cfg killConfig) (*serve.Server, uint64, error) {
-	st, err := wal.Load(cfg.dir)
+// shadowReplay loads the crashed daemon's journal from dir and replays it
+// from genesis into an in-process server, returning the replica and its
+// hash.
+func shadowReplay(cfg killConfig, dir string) (*serve.Server, uint64, error) {
+	st, err := wal.Load(dir)
 	if err != nil {
 		return nil, 0, fmt.Errorf("load journal: %w", err)
 	}
@@ -279,7 +282,7 @@ func runKill(cfg killConfig, out io.Writer) error {
 	fmt.Fprintf(out, "schedload kill mode: %s(%s) procs=%d writers=%d burst=%s fsync=%v journal=%s\n",
 		cfg.kind, cfg.policy, cfg.procs, cfg.writers, cfg.burst, cfg.fsync, cfg.dir)
 
-	d, err := startDaemon(cfg)
+	d, err := startDaemon(cfg, cfg.dir)
 	if err != nil {
 		return err
 	}
@@ -295,7 +298,7 @@ func runKill(cfg killConfig, out io.Writer) error {
 			return fmt.Errorf("iteration %d: no write was acknowledged before the kill; lengthen -burst", i)
 		}
 
-		shadow, shadowHash, err := shadowReplay(cfg)
+		shadow, shadowHash, err := shadowReplay(cfg, cfg.dir)
 		if err != nil {
 			return fmt.Errorf("iteration %d: %w", i, err)
 		}
@@ -303,7 +306,7 @@ func runKill(cfg killConfig, out io.Writer) error {
 			return fmt.Errorf("iteration %d: shadow replay: %w", i, err)
 		}
 
-		d, err = startDaemon(cfg)
+		d, err = startDaemon(cfg, cfg.dir)
 		if err != nil {
 			return fmt.Errorf("iteration %d: restart: %w", i, err)
 		}

@@ -1,0 +1,169 @@
+package main
+
+// Federated crash mode (-kill -shards N): the drill for the failure story a
+// federation exists to tell — one cluster shard dies, the others do not
+// care. It spawns a process-per-shard federation (N real schedd members,
+// each with its own journal directory in the fed.ShardDir layout and its
+// own job-ID congruence class, exactly the state a fed.Federation would
+// recover from), bursts writes round-robin across the members, then
+// SIGKILLs one shard per iteration and verifies three things while the
+// victim is down and after it returns:
+//
+//  1. Siblings keep serving: every surviving shard answers /healthz and
+//     acknowledges a probe submit while the victim is dead.
+//  2. The victim loses nothing: a shadow replay of its journal must hold
+//     every write it acknowledged before the kill.
+//  3. Recovery converges: the restarted victim's own recovery must land on
+//     the shadow replay's state hash, and the shard must serve again.
+//
+// The victim rotates each iteration, so an N-iteration run crashes and
+// recovers N different shards against journals that already contain
+// recovered history.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fed"
+)
+
+// burstWritesFed hammers all members round-robin for dur, returning the
+// acknowledged writes per shard. Each writer walks the members in order so
+// every shard sees a share of the burst.
+func burstWritesFed(members []*daemon, cfg killConfig, dur time.Duration) []*ackLog {
+	acks := make([]*ackLog, len(members))
+	var wg sync.WaitGroup
+	for s, d := range members {
+		s, d := s, d
+		acks[s] = &ackLog{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			perShard := cfg
+			perShard.writers = max(cfg.writers/len(members), 1)
+			got := burstWrites(d, perShard, dur)
+			acks[s].submitted = got.submitted
+			acks[s].cancelled = got.cancelled
+		}()
+	}
+	wg.Wait()
+	return acks
+}
+
+// healthOK reports whether a member answers /healthz with 200.
+func healthOK(url string) error {
+	resp, err := killClient.Get(url + "/healthz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// startMember boots shard s of n: its own journal directory and its own
+// job-ID congruence class (IDs ≡ s+1 mod n), so the federation's IDs stay
+// globally unique across processes with zero coordination.
+func startMember(cfg killConfig, s, n int) (*daemon, error) {
+	return startDaemon(cfg, fed.ShardDir(cfg.dir, s),
+		"-id-start", strconv.Itoa(s+1), "-id-stride", strconv.Itoa(n))
+}
+
+func runKillFed(cfg killConfig, shards int, out io.Writer) error {
+	if cfg.iters < 1 {
+		return fmt.Errorf("kill mode needs at least one iteration")
+	}
+	if cfg.dir == "" {
+		dir, err := os.MkdirTemp("", "schedload-killfed-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.dir = dir
+	}
+	fmt.Fprintf(out, "schedload federated kill mode: %d shards of %s(%s) procs=%d writers=%d burst=%s fsync=%v journals=%s/shard-*\n",
+		shards, cfg.kind, cfg.policy, cfg.procs, cfg.writers, cfg.burst, cfg.fsync, cfg.dir)
+
+	members := make([]*daemon, shards)
+	for s := range members {
+		if err := os.MkdirAll(fed.ShardDir(cfg.dir, s), 0o755); err != nil {
+			return err
+		}
+		d, err := startMember(cfg, s, shards)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		members[s] = d
+	}
+	defer func() {
+		for _, d := range members {
+			d.sigkill()
+		}
+	}()
+
+	totalAcked := 0
+	for i := 1; i <= cfg.iters; i++ {
+		victim := (i - 1) % shards
+		acks := burstWritesFed(members, cfg, cfg.burst)
+		members[victim].sigkill()
+		if len(acks[victim].submitted) == 0 {
+			return fmt.Errorf("iteration %d: shard %d had no acknowledged write before the kill; lengthen -burst", i, victim)
+		}
+
+		// The whole point of sharding: siblings must not notice.
+		for s, d := range members {
+			if s == victim {
+				continue
+			}
+			if err := healthOK(d.url); err != nil {
+				return fmt.Errorf("iteration %d: shard %d unhealthy while shard %d is down: %w", i, s, victim, err)
+			}
+			if err := probeSubmit(d.url); err != nil {
+				return fmt.Errorf("iteration %d: shard %d not accepting writes while shard %d is down: %w", i, s, victim, err)
+			}
+		}
+
+		shadow, shadowHash, err := shadowReplay(cfg, fed.ShardDir(cfg.dir, victim))
+		if err != nil {
+			return fmt.Errorf("iteration %d: shard %d: %w", i, victim, err)
+		}
+		if err := verifyAcks(shadow.Current(), acks[victim]); err != nil {
+			return fmt.Errorf("iteration %d: shard %d shadow replay: %w", i, victim, err)
+		}
+
+		d, err := startMember(cfg, victim, shards)
+		if err != nil {
+			return fmt.Errorf("iteration %d: shard %d restart: %w", i, victim, err)
+		}
+		members[victim] = d
+		daemonHash, recovered, err := daemonDurability(d.url)
+		if err != nil {
+			return fmt.Errorf("iteration %d: shard %d: %w", i, victim, err)
+		}
+		if !recovered {
+			return fmt.Errorf("iteration %d: restarted shard %d reports no recovery", i, victim)
+		}
+		if want := strconv.FormatUint(shadowHash, 10); daemonHash != want {
+			return fmt.Errorf("iteration %d: shard %d recovery diverged: daemon hash %s, shadow replay %s", i, victim, daemonHash, want)
+		}
+		if err := probeSubmit(d.url); err != nil {
+			return fmt.Errorf("iteration %d: shard %d not serving after recovery: %w", i, victim, err)
+		}
+		for _, a := range acks {
+			totalAcked += len(a.submitted) + len(a.cancelled)
+		}
+		fmt.Fprintf(out, "iteration %d: shard %d killed after %d acks, %d siblings stayed live, recovery hash %s matches shadow\n",
+			i, victim, len(acks[victim].submitted)+len(acks[victim].cancelled), shards-1, daemonHash)
+	}
+	fmt.Fprintf(out, "federated kill mode: %d/%d crash/restart cycles clean across %d shards, %d acknowledged writes, no acknowledged write lost\n",
+		cfg.iters, cfg.iters, shards, totalAcked)
+	return nil
+}

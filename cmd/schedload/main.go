@@ -8,12 +8,24 @@
 //	schedload -addr 127.0.0.1:8080 -queue 0 # aim at a live daemon
 //	schedload -data-dir /tmp/wal            # WAL-on (A/B vs the same run without)
 //	schedload -kill -schedd ./schedd        # SIGKILL a real daemon mid-burst
+//	schedload -shards 8 -readers 0 -writers 16   # federated write scaling
+//	schedload -kill -shards 4 -schedd ./schedd   # SIGKILL one shard of four
 //
 // Crash mode (-kill) spawns a real schedd with a journal, hammers it with
 // acknowledged writes, SIGKILLs it mid-burst, and verifies recovery two
 // ways: an in-process shadow replay of the dead daemon's journal, and the
 // restarted daemon's own recovery — both must land on the same state hash,
 // and every acknowledged write must survive. See scripts/crash-smoke.sh.
+// With -shards N the crash drill runs against a process-per-shard
+// federation (per-shard journals in the fed.ShardDir layout, job IDs in
+// per-shard congruence classes): one shard is SIGKILLed per iteration while
+// its siblings must keep acknowledging writes, and the victim must recover
+// to the shadow replay's hash.
+//
+// With -shards N (no -kill) the self-hosted daemon is an in-process
+// federation front end over N shards of -procs processors each, routed by
+// -route; the write-scaling table in PERFORMANCE.md §8 comes from sweeping
+// -shards with -readers 0.
 //
 // Self-hosted runs (the default) drive the daemon's HTTP handler in
 // process, so the numbers measure the service itself — snapshot rendering,
@@ -40,6 +52,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fed"
 	"repro/internal/serve"
 )
 
@@ -51,23 +64,26 @@ func main() {
 }
 
 // target abstracts where requests go: the in-process handler for
-// self-hosted runs, a real HTTP endpoint for -addr runs.
+// self-hosted runs, a real HTTP endpoint for -addr runs. The response body
+// comes back so the seeding path can read the assigned job IDs (a
+// federation hands out IDs in per-shard congruence classes, so they cannot
+// be guessed from the submission count).
 type target interface {
-	do(method, path string, body []byte) (int, error)
+	do(method, path string, body []byte) (int, []byte, error)
 }
 
 // handlerTarget drives an http.Handler directly — no sockets, no client
 // pooling, just the service's own request cost.
 type handlerTarget struct{ h http.Handler }
 
-func (t handlerTarget) do(method, path string, body []byte) (int, error) {
+func (t handlerTarget) do(method, path string, body []byte) (int, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	rec := httptest.NewRecorder()
 	t.h.ServeHTTP(rec, httptest.NewRequest(method, path, rd))
-	return rec.Code, nil
+	return rec.Code, rec.Body.Bytes(), nil
 }
 
 // httpTarget talks to a live daemon over TCP.
@@ -76,22 +92,25 @@ type httpTarget struct {
 	client *http.Client
 }
 
-func (t httpTarget) do(method, path string, body []byte) (int, error) {
+func (t httpTarget) do(method, path string, body []byte) (int, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, t.base+path, rd)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	io.Copy(io.Discard, resp.Body)
+	data, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
 }
 
 // classStats aggregates one request class (reads or writes).
@@ -110,6 +129,8 @@ type report struct {
 	Readers  int        `json:"readers"`
 	Writers  int        `json:"writers"`
 	Queue    int        `json:"queue"`
+	Shards   int        `json:"shards,omitempty"`
+	Route    string     `json:"route,omitempty"`
 	Reads    classStats `json:"reads"`
 	Writes   classStats `json:"writes"`
 }
@@ -134,12 +155,17 @@ func run(args []string, out io.Writer) error {
 		schedd   = fs.String("schedd", "schedd", "kill mode: path to the schedd binary")
 		iters    = fs.Int("iters", 3, "kill mode: crash/restart iterations")
 		burst    = fs.Duration("burst", 300*time.Millisecond, "kill mode: write burst before each SIGKILL")
+		shards   = fs.Int("shards", 1, "self-hosted: federate this many shards of -procs processors each behind one front end; in -kill mode, spawn a process-per-shard federation and crash one shard per iteration")
+		routeF   = fs.String("route", "width", "federation routing policy: hash or width")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, have %d", *shards)
+	}
 	if *kill {
-		return runKill(killConfig{
+		cfg := killConfig{
 			scheddBin: *schedd,
 			dir:       *dataDir,
 			procs:     *procs,
@@ -149,10 +175,14 @@ func run(args []string, out io.Writer) error {
 			writers:   max(*writers, 1),
 			iters:     *iters,
 			burst:     *burst,
-		}, out)
+		}
+		if *shards > 1 {
+			return runKillFed(cfg, *shards, out)
+		}
+		return runKill(cfg, out)
 	}
-	if *readers < 1 || *duration <= 0 {
-		return fmt.Errorf("need at least one reader and a positive duration")
+	if *readers < 0 || *writers < 0 || *readers+*writers < 1 || *duration <= 0 {
+		return fmt.Errorf("need at least one reader or writer and a positive duration")
 	}
 
 	var tgt target
@@ -174,56 +204,96 @@ func run(args []string, out io.Writer) error {
 			Speed:        1e-9, // hold virtual time still so the load is the only variable
 			MailboxReads: *mailbox,
 		}
+		walMode := ""
 		if *dataDir != "" {
 			// WAL-on run: every write is journaled (group-committed per
 			// mailbox batch) before it is acknowledged. Compare writes QPS
 			// against the same invocation without -data-dir.
-			opts.Durability = serve.DurabilityOptions{Dir: *dataDir, Fsync: *fsyncOn}
-			mode += "+wal"
+			walMode = "+wal"
 			if *fsyncOn {
-				mode += "+fsync"
+				walMode += "+fsync"
 			}
-		}
-		srv, err := serve.New(opts)
-		if err != nil {
-			return err
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
-		go func() { done <- srv.Run(ctx) }()
-		defer func() {
-			cancel()
-			<-done
-			srv.Close()
-		}()
-		tgt = handlerTarget{h: srv.Handler()}
+		if *shards > 1 {
+			// Federated self-host: N shards behind one scatter-gather front
+			// end, each shard its own scheduler goroutine (and journal
+			// directory when -data-dir is set). Sweeping -shards with
+			// -readers 0 is the write-scaling experiment in BENCH_PR7.json.
+			if *mailbox {
+				cancel()
+				return fmt.Errorf("-mailbox cannot combine with -shards")
+			}
+			f, err := fed.New(fed.Options{Shards: *shards, Route: *routeF, Shard: opts, DataDir: *dataDir})
+			if err != nil {
+				cancel()
+				return err
+			}
+			mode = fmt.Sprintf("fed-%d-%s%s", *shards, f.Router().Name(), walMode)
+			go func() { done <- f.Run(ctx) }()
+			defer func() {
+				cancel()
+				<-done
+				f.Close()
+			}()
+			tgt = handlerTarget{h: f.Handler()}
+		} else {
+			opts.Durability = serve.DurabilityOptions{Dir: *dataDir, Fsync: *fsyncOn}
+			mode += walMode
+			srv, err := serve.New(opts)
+			if err != nil {
+				cancel()
+				return err
+			}
+			go func() { done <- srv.Run(ctx) }()
+			defer func() {
+				cancel()
+				<-done
+				srv.Close()
+			}()
+			tgt = handlerTarget{h: srv.Handler()}
+		}
 	}
 
-	// Seed: one job pins the whole machine, then a standing queue builds the
-	// state every read has to render (and every mailbox read has to rebuild).
-	ids := make([]int, 0, *queue+1)
-	seed := func(width int, runtime int64) error {
-		body, _ := json.Marshal(map[string]any{"width": width, "runtime": runtime})
-		code, err := tgt.do("POST", "/v1/jobs", body)
+	// Seed: one full-width job per shard pins the whole federation, then a
+	// standing queue builds the state every read has to render (and every
+	// write's scheduling pass has to scan). The assigned IDs come from the
+	// responses — a federation hands them out in per-shard congruence
+	// classes, so they cannot be derived from the submission count.
+	ids := make([]int, 0, *queue+*shards)
+	seed := func(width int, runtime int64, user int) error {
+		body, _ := json.Marshal(map[string]any{"width": width, "runtime": runtime, "user": user})
+		code, data, err := tgt.do("POST", "/v1/jobs", body)
 		if err != nil {
 			return err
 		}
 		if code != http.StatusCreated {
 			return fmt.Errorf("seed submit: HTTP %d", code)
 		}
-		ids = append(ids, len(ids)+1)
+		var v struct {
+			ID int `json:"id"`
+		}
+		if err := json.Unmarshal(data, &v); err != nil {
+			return fmt.Errorf("seed submit: %w", err)
+		}
+		ids = append(ids, v.ID)
 		return nil
 	}
 	if *queue > 0 {
-		if err := seed(*procs, 1_000_000); err != nil {
-			return err
+		// Width routing lands exactly one pin per shard: every pin fills an
+		// idle shard, which the next placement then sees as busy.
+		for s := 0; s < *shards; s++ {
+			if err := seed(*procs, 1_000_000, s+1); err != nil {
+				return err
+			}
 		}
 		for i := 0; i < *queue; i++ {
 			w := 1 + (i%16)*4
 			if w > *procs {
 				w = *procs
 			}
-			if err := seed(w, int64(1000+100*i)); err != nil {
+			if err := seed(w, int64(1000+100*i), 1+i%200); err != nil {
 				return err
 			}
 		}
@@ -254,7 +324,7 @@ func run(args []string, out io.Writer) error {
 					path = "/healthz"
 				}
 				t0 := time.Now()
-				code, err := tgt.do("GET", path, nil)
+				code, _, err := tgt.do("GET", path, nil)
 				if err != nil || code != http.StatusOK {
 					readErr[r]++
 					continue
@@ -273,9 +343,13 @@ func run(args []string, out io.Writer) error {
 			defer wg.Done()
 			lat := make([]time.Duration, 0, 1<<12)
 			for i := 0; time.Now().Before(stopAt); i++ {
-				body, _ := json.Marshal(map[string]any{"width": 1 + i%8, "runtime": 10_000})
+				// Each writer cycles through its own user slice so hash
+				// routing spreads the stream across shards.
+				body, _ := json.Marshal(map[string]any{
+					"width": 1 + i%8, "runtime": 10_000, "user": 1 + (w*31+i)%200,
+				})
 				t0 := time.Now()
-				code, err := tgt.do("POST", "/v1/jobs", body)
+				code, _, err := tgt.do("POST", "/v1/jobs", body)
 				if err != nil || code != http.StatusCreated {
 					writeErr[w]++
 					continue
@@ -295,6 +369,9 @@ func run(args []string, out io.Writer) error {
 		Queue:    *queue,
 		Reads:    summarize(readLat, readErr, *duration),
 		Writes:   summarize(writeLat, writeErr, *duration),
+	}
+	if *shards > 1 {
+		rep.Shards, rep.Route = *shards, *routeF
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(out)

@@ -115,14 +115,112 @@ func TestLoadJSONReport(t *testing.T) {
 // TestLoadFlagValidation pins the argument errors.
 func TestLoadFlagValidation(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-readers", "0"}, &out); err == nil {
-		t.Error("zero readers should fail")
+	if err := run([]string{"-readers", "0", "-writers", "0"}, &out); err == nil {
+		t.Error("zero readers and writers should fail")
 	}
 	if err := run([]string{"-addr", "127.0.0.1:1", "-mailbox"}, &out); err == nil {
 		t.Error("-addr with -mailbox should fail")
 	}
 	if err := run([]string{"-duration", "0s"}, &out); err == nil {
 		t.Error("zero duration should fail")
+	}
+	if err := run([]string{"-shards", "0"}, &out); err == nil {
+		t.Error("zero shards should fail")
+	}
+	if err := run([]string{"-shards", "2", "-mailbox"}, &out); err == nil {
+		t.Error("-shards with -mailbox should fail")
+	}
+	if err := run([]string{"-shards", "2", "-route", "bogus", "-duration", "100ms"}, &out); err == nil {
+		t.Error("unknown route should fail")
+	}
+}
+
+// TestLoadFederated runs short federated bursts: a read+write mix over a
+// width-routed federation and a write-only sweep (the shape of the
+// BENCH_PR7 scaling experiment), both of which must complete error-free
+// with the federated mode tag.
+func TestLoadFederated(t *testing.T) {
+	t.Run("mixed", func(t *testing.T) {
+		var out strings.Builder
+		err := run([]string{
+			"-procs", "16", "-queue", "16", "-shards", "2", "-route", "width",
+			"-readers", "2", "-writers", "2", "-duration", "200ms",
+		}, &out)
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+		s := out.String()
+		if !strings.Contains(s, "mode=fed-2-width") {
+			t.Errorf("missing federated mode tag:\n%s", s)
+		}
+		for _, want := range []string{"reads:", "writes:", "errors=0"} {
+			if !strings.Contains(s, want) {
+				t.Errorf("report missing %q:\n%s", want, s)
+			}
+		}
+	})
+	t.Run("write-only-json", func(t *testing.T) {
+		var out strings.Builder
+		err := run([]string{
+			"-procs", "16", "-queue", "8", "-shards", "2", "-route", "hash",
+			"-readers", "0", "-writers", "2", "-duration", "200ms", "-json",
+		}, &out)
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+		s := out.String()
+		for _, want := range []string{`"mode": "fed-2-hash"`, `"shards": 2`, `"route": "hash"`} {
+			if !strings.Contains(s, want) {
+				t.Errorf("JSON report missing %q:\n%s", want, s)
+			}
+		}
+	})
+	t.Run("federated-wal", func(t *testing.T) {
+		var out strings.Builder
+		err := run([]string{
+			"-procs", "16", "-queue", "4", "-shards", "2",
+			"-readers", "1", "-writers", "1", "-duration", "150ms",
+			"-data-dir", t.TempDir(),
+		}, &out)
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+		if s := out.String(); !strings.Contains(s, "mode=fed-2-width+wal") {
+			t.Errorf("missing federated WAL mode tag:\n%s", s)
+		}
+	})
+}
+
+// TestLoadKillFederated is the federated crash drill: four real schedd
+// members with per-shard journals, one SIGKILLed per iteration while the
+// drill requires the survivors to keep acknowledging writes and the victim
+// to recover to the shadow replay's hash.
+func TestLoadKillFederated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crash-cycles a real 4-shard federation")
+	}
+	bin := filepath.Join(t.TempDir(), "schedd")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/schedd").CombinedOutput(); err != nil {
+		t.Fatalf("build schedd: %v\n%s", err, out)
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-kill", "-shards", "4", "-schedd", bin,
+		"-data-dir", t.TempDir(),
+		"-procs", "16", "-writers", "4",
+		"-iters", "2", "-burst", "300ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("federated kill mode: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"iteration 1: shard 0 killed", "iteration 2: shard 1 killed",
+		"3 siblings stayed live", "matches shadow", "no acknowledged write lost",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("federated kill report missing %q:\n%s", want, s)
+		}
 	}
 }
 

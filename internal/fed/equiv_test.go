@@ -1,0 +1,266 @@
+package fed
+
+// Replay equivalence: the proof that the federation layer adds zero
+// distortion. A one-shard federation must render byte-identical responses
+// to a bare serve.Server for the same request stream — not "equivalent",
+// identical bytes, pinned both on a live standing queue (forecasts
+// attached) and after a full trace drain. An N-shard federation cannot be
+// byte-identical to one big cluster (it IS N small ones), so there the
+// suite bounds the distortion instead: per-category mean bounded slowdown
+// of a width-routed federation must stay within a constant factor of
+// dedicated per-stream clusters of the same size.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// body issues one request against a handler and returns status and body.
+func body(t *testing.T, h http.Handler, method, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// sdscJobs generates the standard equivalence workload.
+func sdscJobs(t *testing.T, n int, seed int64) ([]*job.Job, int) {
+	t.Helper()
+	m, err := workload.NewSDSC(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := m.Generate(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.ApplyEstimates(raw, workload.Actual{}, seed+1), m.Procs
+}
+
+// drain polls until nothing is pending on the handler's health endpoint.
+func drain(t *testing.T, h http.Handler) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var hz struct {
+			Pending int `json:"pending"`
+		}
+		if rec := doJSON(t, h, "GET", "/healthz", nil, &hz); rec.Code != 200 {
+			t.Fatalf("healthz: %d", rec.Code)
+		}
+		if hz.Pending == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replay did not drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFedSingleShardByteIdentical is the identity half of the equivalence
+// suite: every read endpoint of a 1-shard federation must render the same
+// bytes as a standalone server fed the same mutations, both mid-flight
+// with a standing queue and after a max-speed trace drain.
+func TestFedSingleShardByteIdentical(t *testing.T) {
+	t.Run("standing-queue", func(t *testing.T) {
+		opts := serve.Options{Procs: 16, Scheduler: "easy", Policy: "FCFS", Audit: true, Speed: 1e-9}
+		srv, err := serve.New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, stop := frozenFed(t, Options{Shards: 1, Shard: opts})
+		defer stop()
+		scancel := startServe(t, srv)
+		defer scancel()
+
+		for i := 0; i < 20; i++ {
+			req := serve.SubmitRequest{Width: 1 + (i*3)%16, Runtime: int64(100 + 50*i), User: i % 4}
+			var a, b serve.JobView
+			ra := doJSON(t, srv.Handler(), "POST", "/v1/jobs", req, &a)
+			rb := doJSON(t, f.Handler(), "POST", "/v1/jobs", req, &b)
+			if ra.Code != rb.Code || ra.Body.String() != rb.Body.String() {
+				t.Fatalf("submit %d diverged:\nserver: %d %s\nfed:    %d %s", i, ra.Code, ra.Body.String(), rb.Code, rb.Body.String())
+			}
+		}
+		// One cancel, one error-path probe, then compare every read.
+		for _, req := range [][2]string{{"DELETE", "/v1/jobs/7"}, {"DELETE", "/v1/jobs/99999"}} {
+			ca, ba := body(t, srv.Handler(), req[0], req[1])
+			cb, bb := body(t, f.Handler(), req[0], req[1])
+			if ca != cb || ba != bb {
+				t.Fatalf("%s %s diverged: %d %q vs %d %q", req[0], req[1], ca, ba, cb, bb)
+			}
+		}
+		compareReads(t, srv.Handler(), f.Handler(), 20)
+	})
+
+	t.Run("trace-drain", func(t *testing.T) {
+		jobs, procs := sdscJobs(t, 200, 3)
+		opts := serve.Options{Procs: procs, Scheduler: "easy", Policy: "FCFS", Audit: true, Speed: -1}
+
+		srv, err := serve.New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Preload(jobs); err != nil {
+			t.Fatal(err)
+		}
+		f, err := New(Options{Shards: 1, Shard: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Preload(jobs); err != nil {
+			t.Fatal(err)
+		}
+		scancel := startServe(t, srv)
+		defer scancel()
+		fstop := startFedRun(t, f)
+		defer fstop()
+
+		drain(t, srv.Handler())
+		drain(t, f.Handler())
+		compareReads(t, srv.Handler(), f.Handler(), len(jobs))
+	})
+}
+
+// compareReads asserts byte-identity across the whole read surface.
+func compareReads(t *testing.T, a, b http.Handler, jobs int) {
+	t.Helper()
+	paths := []string{"/v1/queue", "/metrics", "/healthz", "/v1/jobs/99999", "/v1/jobs/notanid"}
+	for id := 1; id <= jobs; id++ {
+		paths = append(paths, fmt.Sprintf("/v1/jobs/%d", id))
+	}
+	for _, p := range paths {
+		ca, ba := body(t, a, "GET", p)
+		cb, bb := body(t, b, "GET", p)
+		if ca != cb {
+			t.Fatalf("GET %s: status %d vs %d", p, ca, cb)
+		}
+		if ba != bb {
+			t.Fatalf("GET %s diverged:\nserver: %s\nfed:    %s", p, ba, bb)
+		}
+	}
+}
+
+// startServe runs a bare server in the background.
+func startServe(t *testing.T, s *serve.Server) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	return func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not stop")
+		}
+		s.Close()
+	}
+}
+
+// startFedRun runs a prebuilt federation in the background.
+func startFedRun(t *testing.T, f *Federation) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Run(ctx) }()
+	return func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("federation did not stop")
+		}
+		f.Close()
+	}
+}
+
+// TestFedShardedSlowdownBounded is the N-shard half: four independent SDSC
+// streams through a width-routed 4-shard federation must land within a
+// constant factor of the same four streams on four dedicated clusters of
+// the same size. The paper's per-category mean bounded slowdowns are the
+// yardstick: sharding may cost some backfill flexibility at the split
+// points, but it must not change the performance regime of any category.
+func TestFedShardedSlowdownBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trace drain")
+	}
+	const shards = 4
+	streams := make([][]*job.Job, shards)
+	var procs int
+	for s := range streams {
+		jobs, p := sdscJobs(t, 150, int64(11+s))
+		procs = p
+		// Relabel IDs and users so the four streams are disjoint: IDs into
+		// per-stream ranges, users into per-stream blocks.
+		for _, j := range jobs {
+			j.ID += s * 1000
+			j.User += s * 500
+		}
+		streams[s] = jobs
+	}
+
+	// Baseline: each stream on its own dedicated cluster.
+	var baseSum [job.NumCategories]float64
+	var baseN [job.NumCategories]int64
+	for s, jobs := range streams {
+		srv, err := serve.New(serve.Options{Procs: procs, Scheduler: "easy", Policy: "FCFS", Audit: true, Speed: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Preload(jobs); err != nil {
+			t.Fatalf("stream %d: %v", s, err)
+		}
+		scancel := startServe(t, srv)
+		drain(t, srv.Handler())
+		snap := srv.Current()
+		for c := job.Category(0); c < job.NumCategories; c++ {
+			baseSum[c] += snap.CatSum[c]
+			baseN[c] += snap.CatN[c]
+		}
+		scancel()
+	}
+
+	// Federation: all four streams through the width router.
+	merged := make([]*job.Job, 0, 4*150)
+	for _, jobs := range streams {
+		merged = append(merged, jobs...)
+	}
+	f, err := New(Options{Shards: shards, Route: "width", Shard: serve.Options{Procs: procs, Scheduler: "easy", Policy: "FCFS", Audit: true, Speed: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Preload(merged); err != nil {
+		t.Fatal(err)
+	}
+	fstop := startFedRun(t, f)
+	drain(t, f.Handler())
+	snap := f.MergedSnapshot()
+	if got := snap.Completed + snap.Cancelled; got != int64(len(merged)) {
+		t.Fatalf("federation finished %d of %d jobs", got, len(merged))
+	}
+	fstop()
+
+	for c := job.Category(0); c < job.NumCategories; c++ {
+		if baseN[c] == 0 || snap.CatN[c] == 0 {
+			continue
+		}
+		base := baseSum[c] / float64(baseN[c])
+		fedMean := snap.CatSum[c] / float64(snap.CatN[c])
+		// Routing cannot see future arrivals, so the federation's split is
+		// coarser than four dedicated clusters; allow a generous constant
+		// factor plus an additive floor for near-1 slowdowns.
+		if fedMean > base*3+10 {
+			t.Errorf("category %s: federation mean slowdown %.2f vs dedicated %.2f (bound 3x+10)", c, fedMean, base)
+		}
+	}
+}

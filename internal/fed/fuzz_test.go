@@ -1,0 +1,165 @@
+package fed
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// splitmix64 is the fuzz harness's deterministic expander: one 64-bit seed
+// fans out into however many pseudo-random values a case needs.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// FuzzShardRouter holds both routing policies to the placement contract no
+// matter what workload shape the fuzzer invents:
+//
+//   - determinism: the same key against the same loads routes to the same
+//     shard, twice in a row and across fresh router instances;
+//   - hash stability: hash placement ignores the load vector entirely, so
+//     no amount of unrelated traffic rebalances an existing user;
+//   - conservation: partitioning a workload loses no job and duplicates no
+//     job — every ID lands in exactly one part;
+//   - feasibility: the width policy never picks an infeasible shard while
+//     a feasible one exists;
+//   - purity: routing never mutates the caller's load vector.
+func FuzzShardRouter(f *testing.F) {
+	f.Add(uint8(4), false, uint64(1), uint16(50))
+	f.Add(uint8(4), true, uint64(2), uint16(50))
+	f.Add(uint8(1), false, uint64(3), uint16(10))
+	f.Add(uint8(7), true, uint64(0xdead), uint16(200))
+	f.Fuzz(func(t *testing.T, nShards uint8, useWidth bool, seed uint64, n uint16) {
+		shards := 1 + int(nShards%8)
+		count := int(n % 256)
+		route := "hash"
+		if useWidth {
+			route = "width"
+		}
+		r, err := RouterByName(route, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := RouterByName(route, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := seed
+		loads := make([]Load, shards)
+		for i := range loads {
+			loads[i] = Load{
+				Procs:      8 << (splitmix64(&rng) % 4), // 8..64
+				Busy:       int(splitmix64(&rng) % 64),
+				QueuedWork: int64(splitmix64(&rng) % 1_000_000),
+			}
+		}
+		jobs := make([]*job.Job, count)
+		for i := range jobs {
+			jobs[i] = &job.Job{
+				ID:       i + 1,
+				User:     int(splitmix64(&rng) % 300),
+				Width:    1 + int(splitmix64(&rng)%96),
+				Runtime:  1 + int64(splitmix64(&rng)%100_000),
+				Estimate: 1 + int64(splitmix64(&rng)%100_000),
+			}
+		}
+
+		maxProcs := 0
+		for _, ld := range loads {
+			if ld.Procs > maxProcs {
+				maxProcs = ld.Procs
+			}
+		}
+		clone := func(src []Load) []Load {
+			out := make([]Load, len(src))
+			copy(out, src)
+			return out
+		}
+
+		for _, j := range jobs {
+			k := KeyOf(j)
+			before := clone(loads)
+			got := r.Route(k, loads)
+			if got < 0 || got >= shards {
+				t.Fatalf("route %+v: shard %d out of range [0,%d)", k, got, shards)
+			}
+			for i := range loads {
+				if loads[i] != before[i] {
+					t.Fatalf("route %+v mutated loads[%d]: %+v -> %+v", k, i, before[i], loads[i])
+				}
+			}
+			if again := r.Route(k, loads); again != got {
+				t.Fatalf("route %+v not deterministic: %d then %d", k, got, again)
+			}
+			if fresh := r2.Route(k, loads); fresh != got {
+				t.Fatalf("route %+v differs across router instances: %d vs %d", k, got, fresh)
+			}
+			if !useWidth {
+				// Hash placement must not depend on load at all: identical
+				// keys stay put no matter what the rest of the federation
+				// is doing (rebalance-free stability).
+				if moved := r.Route(k, make([]Load, shards)); moved != got {
+					t.Fatalf("hash route %+v depends on loads: %d vs %d", k, got, moved)
+				}
+			}
+			if useWidth && j.Width <= maxProcs && loads[got].Procs < j.Width {
+				t.Fatalf("width route %+v picked infeasible shard %d (%d procs) while a feasible shard exists", k, got, loads[got].Procs)
+			}
+		}
+
+		// Conservation: every job in exactly one part, IDs preserved.
+		parts, maxID := partitionJobs(r, clone(loads), jobs)
+		if len(parts) != shards {
+			t.Fatalf("partition produced %d parts for %d shards", len(parts), shards)
+		}
+		seen := make(map[int]int, count)
+		total := 0
+		for p, part := range parts {
+			total += len(part)
+			for _, j := range part {
+				if prev, dup := seen[j.ID]; dup {
+					t.Fatalf("job %d in parts %d and %d", j.ID, prev, p)
+				}
+				seen[j.ID] = p
+			}
+		}
+		if total != count {
+			t.Fatalf("partition holds %d jobs, want %d", total, count)
+		}
+		wantMax := 0
+		for _, j := range jobs {
+			if _, ok := seen[j.ID]; !ok {
+				t.Fatalf("job %d lost by partition", j.ID)
+			}
+			if j.ID > wantMax {
+				wantMax = j.ID
+			}
+		}
+		if maxID != wantMax {
+			t.Fatalf("partition reports max ID %d, want %d", maxID, wantMax)
+		}
+
+		// Re-partitioning the same jobs from the same starting loads is
+		// byte-for-byte the same split.
+		parts2, _ := partitionJobs(r, clone(loads), jobs)
+		for p := range parts {
+			if fmt.Sprint(idsOf(parts[p])) != fmt.Sprint(idsOf(parts2[p])) {
+				t.Fatalf("partition not deterministic at part %d", p)
+			}
+		}
+	})
+}
+
+func idsOf(jobs []*job.Job) []int {
+	ids := make([]int, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID
+	}
+	return ids
+}

@@ -1,0 +1,118 @@
+package fed
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/serve"
+)
+
+// healthResponse mirrors serve's /healthz body field for field (and in
+// field order), so a one-shard federation's health probe is byte-identical
+// to a standalone daemon's.
+type healthResponse struct {
+	Status   string `json:"status"`
+	Now      int64  `json:"now"`
+	Pending  int    `json:"pending"`
+	Version  uint64 `json:"version"`
+	Draining bool   `json:"draining,omitempty"`
+}
+
+// errorResponse mirrors serve's error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the federation's HTTP API — the same surface a single
+// daemon serves, plus the per-shard status listing:
+//
+//	POST   /v1/jobs       route to a shard, submit  → 201 JobView
+//	GET    /v1/jobs/{id}  status + forecast         → 200 JobView
+//	DELETE /v1/jobs/{id}  cancel on the owning shard → 204
+//	GET    /v1/queue      merged queue listing       → 200 QueueResponse
+//	GET    /healthz       merged liveness            → 200 {"status":"ok"}
+//	GET    /metrics       Prometheus text format, merged
+//	GET    /v1/shards     per-shard state            → 200 [ShardStatus]
+//
+// Every GET renders from published snapshots on the HTTP goroutine; no
+// read ever enters a shard's scheduler mailbox.
+func (f *Federation) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", f.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", f.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", f.handleCancel)
+	mux.HandleFunc("GET /v1/queue", f.handleQueue)
+	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	mux.HandleFunc("GET /metrics", f.handleMetrics)
+	mux.HandleFunc("GET /v1/shards", f.handleShards)
+	return mux
+}
+
+func (f *Federation) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req serve.SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		serve.WriteJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	v, err := f.Submit(req)
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusCreated, v)
+}
+
+func (f *Federation) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		serve.WriteJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job id"})
+		return
+	}
+	v, ok := f.Lookup(id)
+	if !ok {
+		serve.WriteJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + strconv.Itoa(id)})
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, v)
+}
+
+func (f *Federation) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		serve.WriteJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job id"})
+		return
+	}
+	if _, cErr := f.Cancel(id); cErr != nil {
+		serve.WriteError(w, cErr)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (f *Federation) handleQueue(w http.ResponseWriter, r *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, f.Queue())
+}
+
+func (f *Federation) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var hr healthResponse
+	if len(f.shards) == 1 {
+		snap := f.shards[0].Current()
+		hr = healthResponse{Status: "ok", Now: snap.Now, Pending: snap.Pending,
+			Version: snap.Version, Draining: snap.Draining}
+	} else {
+		snap := f.MergedSnapshot()
+		hr = healthResponse{Status: "ok", Now: snap.Now, Pending: snap.Pending,
+			Version: snap.Version, Draining: snap.Draining}
+	}
+	serve.WriteJSON(w, http.StatusOK, hr)
+}
+
+func (f *Federation) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	serve.WriteMetrics(w, f.MergedSnapshot())
+}
+
+func (f *Federation) handleShards(w http.ResponseWriter, r *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, f.Status())
+}

@@ -1,0 +1,192 @@
+package fed
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/serve"
+)
+
+// Key is the routing view of one job-to-be: everything a placement policy
+// may consult before the job exists anywhere. Routers must be pure
+// functions of (Key, loads) — the fuzz harness holds them to that.
+type Key struct {
+	// User identifies the submitting user; the hash policy keys on it so
+	// one user's jobs share a shard (queue affinity, deterministic
+	// placement).
+	User int
+	// Width is the requested processor count; the width policy refuses to
+	// place a job on a shard it cannot fit.
+	Width int
+	// Estimate is the user's runtime estimate, the work term in the
+	// width policy's load score.
+	Estimate int64
+}
+
+// KeyOf builds the routing key for a concrete job (trace preload path).
+func KeyOf(j *job.Job) Key {
+	return Key{User: j.User, Width: j.Width, Estimate: j.Estimate}
+}
+
+// Load is one shard's routing-relevant load, read from its lock-free
+// snapshot (live path) or accumulated by the partitioner (preload path).
+type Load struct {
+	// Procs is the shard's machine size.
+	Procs int
+	// Busy is the processors currently running jobs.
+	Busy int
+	// QueuedWork is Σ width·estimate over the shard's waiting jobs, in
+	// processor·seconds — the backlog the shard still has to place.
+	QueuedWork int64
+}
+
+// loadOf derives the routing load from a shard snapshot. FQueued is the
+// snapshot's captured queue (the forecast inputs), so the work sum sees
+// exactly the jobs a forecast at this version would plan.
+func loadOf(snap *serve.Snapshot) Load {
+	ld := Load{Procs: snap.Procs, Busy: snap.ProcsBusy}
+	for _, j := range snap.FQueued {
+		ld.QueuedWork += int64(j.Width) * j.Estimate
+	}
+	return ld
+}
+
+// Router picks the destination shard for one job. Implementations must be
+// deterministic in their inputs and must return an index in [0, len(loads)).
+type Router interface {
+	Name() string
+	Route(k Key, loads []Load) int
+}
+
+// RouterByName builds the routing policy for a federation of n shards:
+// "hash" (consistent hashing by user) or "width" (width-aware
+// least-loaded).
+func RouterByName(name string, n int) (Router, error) {
+	switch name {
+	case "", "hash":
+		return newHashRouter(n), nil
+	case "width":
+		return widthRouter{}, nil
+	default:
+		return nil, fmt.Errorf("fed: unknown routing policy %q (have hash, width)", name)
+	}
+}
+
+// hash64 is FNV-1a over s — stable across processes and Go versions, which
+// the replay-equivalence suite relies on.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// hashRouter places by consistent hashing on the user: each shard owns
+// ringReplicas pseudo-random points on a 64-bit ring, and a key goes to the
+// shard owning the first point at or clockwise of the key's hash. Identical
+// keys always land identically, placement is independent of submission
+// history, and growing the federation from N to N+1 shards remaps only the
+// keys falling into the new shard's arcs (~1/(N+1) of them) instead of
+// reshuffling everything, so a resharded cluster keeps most users' queue
+// affinity.
+type hashRouter struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// ringReplicas is the virtual-node count per shard. 64 points per shard
+// keeps the largest arc within a few percent of fair for the shard counts
+// the daemon runs (≤ 64) while the ring stays small enough to search in a
+// handful of cache lines.
+const ringReplicas = 64
+
+func newHashRouter(n int) *hashRouter {
+	pts := make([]ringPoint, 0, n*ringReplicas)
+	for i := 0; i < n; i++ {
+		for r := 0; r < ringReplicas; r++ {
+			pts = append(pts, ringPoint{hash: hash64(fmt.Sprintf("shard-%d-vnode-%d", i, r)), shard: i})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].hash != pts[b].hash {
+			return pts[a].hash < pts[b].hash
+		}
+		return pts[a].shard < pts[b].shard // full determinism even on a 64-bit collision
+	})
+	return &hashRouter{points: pts}
+}
+
+func (h *hashRouter) Name() string { return "hash" }
+
+func (h *hashRouter) Route(k Key, _ []Load) int {
+	x := hash64(fmt.Sprintf("user-%d", k.User))
+	i := sort.Search(len(h.points), func(i int) bool { return h.points[i].hash >= x })
+	if i == len(h.points) {
+		i = 0 // wrap: the first point owns the arc past the last one
+	}
+	return h.points[i].shard
+}
+
+// widthRouter places each job on the least-loaded shard that can fit it:
+// among shards with Procs ≥ Width, the one with the smallest backlog per
+// processor (QueuedWork/Procs, ties broken by busy fraction, then by the
+// key's hash so a cold federation spreads instead of piling onto shard 0).
+// When no shard can fit the job, it goes to the widest shard, whose
+// scheduler rejects it with the same 400 a single cluster of that size
+// would give.
+type widthRouter struct{}
+
+func (widthRouter) Name() string { return "width" }
+
+func (widthRouter) Route(k Key, loads []Load) int {
+	feasible := make([]int, 0, len(loads))
+	for i, ld := range loads {
+		if ld.Procs >= k.Width {
+			feasible = append(feasible, i)
+		}
+	}
+	if len(feasible) == 0 {
+		widest := 0
+		for i, ld := range loads {
+			if ld.Procs > loads[widest].Procs {
+				widest = i
+			}
+		}
+		return widest
+	}
+	best := feasible[0]
+	for _, i := range feasible[1:] {
+		if widthLess(loads[i], loads[best]) {
+			best = i
+		}
+	}
+	// Break exact ties by key hash over the tied shards: deterministic for
+	// identical keys, but different users fan out instead of all landing on
+	// the lowest index while every shard is equally idle.
+	tied := feasible[:0]
+	for _, i := range feasible {
+		if !widthLess(loads[best], loads[i]) && !widthLess(loads[i], loads[best]) {
+			tied = append(tied, i)
+		}
+	}
+	if len(tied) > 1 {
+		return tied[hash64(fmt.Sprintf("user-%d", k.User))%uint64(len(tied))]
+	}
+	return best
+}
+
+// widthLess orders shard loads: smaller backlog per processor first, then
+// smaller busy fraction.
+func widthLess(a, b Load) bool {
+	// QueuedWork/Procs compared cross-multiplied to stay in integers.
+	qa, qb := a.QueuedWork*int64(b.Procs), b.QueuedWork*int64(a.Procs)
+	if qa != qb {
+		return qa < qb
+	}
+	return a.Busy*b.Procs < b.Busy*a.Procs
+}

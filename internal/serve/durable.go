@@ -96,12 +96,18 @@ type DurabilityInfo struct {
 // config is the configuration fingerprint pinned into every checkpoint;
 // recovery refuses a journal written under a different one.
 func (s *Server) config() wal.Config {
-	return wal.Config{
+	c := wal.Config{
 		Procs:     s.opts.Procs,
 		Scheduler: s.opts.Scheduler,
 		Policy:    s.opts.Policy,
 		Audit:     s.opts.Audit,
 	}
+	// A standalone daemon (stride 1) leaves the class fields zero so its
+	// journals stay interchangeable with pre-federation ones.
+	if s.opts.IDStride > 1 {
+		c.IDStart, c.IDStride = s.opts.IDStart, s.opts.IDStride
+	}
+	return c
 }
 
 // openWAL locks the data directory, recovers the durable state into the
@@ -195,9 +201,7 @@ func (s *Server) apply(r wal.Record) error {
 			return err
 		}
 		s.ctr.submitted++
-		if j.ID >= s.nextID {
-			s.nextID = j.ID + 1
-		}
+		s.bumpNextID(j.ID)
 	case wal.OpCancel:
 		if !s.sess.Cancel(r.ID) {
 			return fmt.Errorf("serve: journaled cancel of job %d did not apply", r.ID)
@@ -208,6 +212,8 @@ func (s *Server) apply(r wal.Record) error {
 			return err
 		}
 		s.replayedAdvance = true
+	case wal.OpFloor:
+		s.bumpNextID(r.ID)
 	case wal.OpDrain:
 		s.drained = true
 		s.replayedAdvance = true

@@ -136,77 +136,66 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// writeJSON writes v with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v with the given status. Exported so the federation
+// front end (internal/fed) renders responses byte-identically to a single
+// daemon.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps request failures onto HTTP statuses: clientError carries
+// WriteError maps request failures onto HTTP statuses: clientError carries
 // its own, ErrStopped means the service is shutting down, anything else is
-// an engine failure.
-func writeError(w http.ResponseWriter, err error) {
+// an engine failure. Exported for the federation front end, which forwards
+// shard errors unchanged.
+func WriteError(w http.ResponseWriter, err error) {
 	var ce *clientError
 	switch {
 	case errors.As(err, &ce):
-		writeJSON(w, ce.code, errorResponse{Error: ce.Error()})
+		WriteJSON(w, ce.code, errorResponse{Error: ce.Error()})
 	case errors.Is(err, ErrStopped):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		WriteJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		WriteJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		WriteJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
 		return
 	}
-	var id int
-	var subErr error
-	if err := s.exec(func() { id, subErr = s.submitJob(req) }); err != nil {
-		writeError(w, err)
+	v, err := s.Submit(req)
+	if err != nil {
+		WriteError(w, err)
 		return
 	}
-	if subErr != nil {
-		writeError(w, subErr)
-		return
-	}
-	// exec returns only after the batch's snapshot is published, so the
-	// latest snapshot is guaranteed to contain the new job — and the
-	// forecast attached below is the memoized one for that version, shared
-	// with every other response at the same state.
-	v, ok := s.jobResponse(s.snap.Load(), id)
-	if !ok {
-		writeError(w, errors.New("serve: submitted job missing from snapshot"))
-		return
-	}
-	writeJSON(w, http.StatusCreated, v)
+	WriteJSON(w, http.StatusCreated, v)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job id"})
+		WriteJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job id"})
 		return
 	}
 	var v JobView
 	var ok bool
 	if s.opts.MailboxReads {
 		if err := s.exec(func() { v, ok = s.mailboxJobView(id) }); err != nil {
-			writeError(w, err)
+			WriteError(w, err)
 			return
 		}
 	} else {
-		v, ok = s.jobResponse(s.snap.Load(), id)
+		v, ok = s.Lookup(id)
 	}
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + strconv.Itoa(id)})
+		WriteJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + strconv.Itoa(id)})
 		return
 	}
-	writeJSON(w, http.StatusOK, v)
+	WriteJSON(w, http.StatusOK, v)
 }
 
 // mailboxJobView is the baseline status path: render the job and (for
@@ -229,16 +218,11 @@ func (s *Server) mailboxJobView(id int) (JobView, bool) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job id"})
+		WriteJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job id"})
 		return
 	}
-	var cErr error
-	if err := s.exec(func() { cErr = s.cancel(id) }); err != nil {
-		writeError(w, err)
-		return
-	}
-	if cErr != nil {
-		writeError(w, cErr)
+	if err := s.Cancel(id); err != nil {
+		WriteError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -250,15 +234,14 @@ func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 		var snap *Snapshot
 		var pred map[int]int64
 		if err := s.exec(func() { snap, pred = s.buildSnapshot(), s.forecasts() }); err != nil {
-			writeError(w, err)
+			WriteError(w, err)
 			return
 		}
 		resp = queueResponse(snap, pred)
 	} else {
-		snap := s.snap.Load()
-		resp = queueResponse(snap, s.forecastFor(snap))
+		resp = s.Queue()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -267,11 +250,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// Even the baseline serves health from the snapshot once the loop
 		// is gone: a draining daemon must keep answering its liveness probe.
 		if err := s.exec(func() { snap = s.buildSnapshot() }); err != nil && !errors.Is(err, ErrStopped) {
-			writeError(w, err)
+			WriteError(w, err)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, healthResponse{
+	WriteJSON(w, http.StatusOK, healthResponse{
 		Status:   "ok",
 		Now:      snap.Now,
 		Pending:  snap.Pending,
@@ -284,17 +267,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // state (see DurabilityInfo). It rides the mailbox so the journal fields
 // and the state hash are read on the scheduler goroutine.
 func (s *Server) handleDurability(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Durability())
+	WriteJSON(w, http.StatusOK, s.Durability())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	if s.opts.MailboxReads {
 		if err := s.exec(func() { snap = s.buildSnapshot() }); err != nil && !errors.Is(err, ErrStopped) {
-			writeError(w, err)
+			WriteError(w, err)
 			return
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	writeMetrics(w, snap)
+	WriteMetrics(w, snap)
 }

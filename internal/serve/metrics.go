@@ -86,12 +86,13 @@ func (c *counters) utilization(now int64, procs int) float64 {
 	return float64(c.busyArea) / (float64(procs) * float64(c.lastT))
 }
 
-// writeMetrics renders the Prometheus text exposition format from one
+// WriteMetrics renders the Prometheus text exposition format from one
 // immutable snapshot, kept by hand rather than through a client library: the
 // format is five lines of syntax and the repo takes no dependencies. Because
 // it reads only the snapshot it is safe on any goroutine, and a draining or
-// stopped daemon keeps exposing its final state.
-func writeMetrics(w io.Writer, snap *Snapshot) {
+// stopped daemon keeps exposing its final state. Exported so the federation
+// front end renders its merged snapshot in the identical format.
+func WriteMetrics(w io.Writer, snap *Snapshot) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}

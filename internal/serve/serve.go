@@ -80,6 +80,13 @@ type Options struct {
 	// Durability configures the write-ahead journal; the zero value (no
 	// directory) runs the daemon in-memory only. See durable.go.
 	Durability DurabilityOptions
+	// IDStart and IDStride pin the server's job-ID arithmetic sequence:
+	// assigned IDs are IDStart, IDStart+IDStride, IDStart+2·IDStride, ...
+	// The defaults (1, 1) are the standalone daemon's 1, 2, 3, ...; a
+	// federation gives shard i of N the class (i+1, N) so IDs are globally
+	// unique without shards coordinating. See internal/fed.
+	IDStart  int
+	IDStride int
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +98,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Thresholds == (job.Thresholds{}) {
 		o.Thresholds = job.PaperThresholds()
+	}
+	if o.IDStride < 1 {
+		o.IDStride = 1
+	}
+	if o.IDStart < 1 {
+		o.IDStart = 1
 	}
 	o.Durability = o.Durability.withDefaults()
 	return o
@@ -169,7 +182,7 @@ func New(opts Options) (*Server, error) {
 		// forecast invalidation) regardless of how the goroutines interleave.
 		cmds:    make(chan command, 128),
 		stopped: make(chan struct{}),
-		nextID:  1,
+		nextID:  opts.IDStart,
 	}
 	runnable := s.inner
 	if opts.Audit {
@@ -204,9 +217,7 @@ func (s *Server) Preload(jobs []*job.Job) error {
 		}
 		s.note(wal.Record{Op: wal.OpSubmit, Job: jobRecOf(j)})
 		s.ctr.submitted++
-		if j.ID >= s.nextID {
-			s.nextID = j.ID + 1
-		}
+		s.bumpNextID(j.ID)
 	}
 	if err := s.commitWAL(); err != nil {
 		return err
@@ -432,7 +443,7 @@ func (s *Server) submitJob(req SubmitRequest) (int, error) {
 		s.pubDirty = true // visible in /metrics even though the session is unchanged
 		return 0, &clientError{code: 400, err: err}
 	}
-	s.nextID++
+	s.nextID += s.opts.IDStride
 	s.ctr.submitted++
 	s.note(wal.Record{Op: wal.OpSubmit, Job: jobRecOf(j)})
 	// Deliver the arrival immediately so the response reflects the job's
@@ -443,6 +454,18 @@ func (s *Server) submitJob(req SubmitRequest) (int, error) {
 	}
 	s.noteAdvance()
 	return j.ID, nil
+}
+
+// bumpNextID moves nextID past id while staying in the server's ID
+// congruence class (nextID ≡ IDStart mod IDStride, an invariant every
+// caller preserves). Preloaded traces and journal replay carry IDs from
+// outside the class, so the next live assignment must clear them.
+func (s *Server) bumpNextID(id int) {
+	if id < s.nextID {
+		return
+	}
+	stride := s.opts.IDStride
+	s.nextID += ((id-s.nextID)/stride + 1) * stride
 }
 
 // cancel withdraws a job that has not started.

@@ -46,6 +46,11 @@ type Snapshot struct {
 	// Counter values at publication time.
 	Submitted, Started, Resumed, Completed, Cancelled, Rejected int64
 	Utilization                                                 float64
+	// BusyArea is ∫ procs-in-use dt (processor·seconds of virtual time)
+	// integrated up to BusyUpTo — the raw terms behind Utilization, carried
+	// so a federation can merge utilizations exactly instead of averaging
+	// already-divided fractions.
+	BusyArea, BusyUpTo int64
 	// AuditViolations is -1 when the audit wrapper is off.
 	AuditViolations int64
 	CatSum          [job.NumCategories]float64
@@ -82,6 +87,8 @@ func (s *Server) buildSnapshot() *Snapshot {
 		Cancelled:       s.ctr.cancelled,
 		Rejected:        s.ctr.rejected,
 		Utilization:     s.ctr.utilization(now, s.opts.Procs),
+		BusyArea:        s.ctr.busyArea, // utilization() above integrated to now
+		BusyUpTo:        s.ctr.lastT,
 		AuditViolations: -1,
 		CatSum:          s.ctr.catSum,
 		CatN:            s.ctr.catN,

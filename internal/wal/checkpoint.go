@@ -22,6 +22,11 @@ type Config struct {
 	Scheduler string `json:"scheduler"`
 	Policy    string `json:"policy"`
 	Audit     bool   `json:"audit"`
+	// IDStart/IDStride pin a federated shard's job-ID congruence class
+	// (shard i of N assigns IDs i+1, i+1+N, ...). Zero for a standalone
+	// daemon, so pre-federation journals stay recoverable.
+	IDStart  int `json:"id_start,omitempty"`
+	IDStride int `json:"id_stride,omitempty"`
 }
 
 // Meta is a checkpoint's header: where in the journal it stands and what

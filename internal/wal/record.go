@@ -49,6 +49,12 @@ const (
 	// the remaining schedule fast-forwards to completion. Replay re-runs the
 	// fast-forward, so a crash mid-drain recovers to the drained state.
 	OpDrain = "drain"
+	// OpFloor records an ID reservation: every job ID up to and including ID
+	// is taken, so the next assigned ID must land above it (in the daemon's
+	// own ID congruence class — see serve.Options.IDStride). Federation
+	// front ends journal one after partitioning a preloaded trace, so a
+	// recovered shard cannot re-issue an ID a sibling shard already holds.
+	OpFloor = "floor"
 )
 
 // JobRec is the journaled form of a submitted job. It mirrors job.Job field

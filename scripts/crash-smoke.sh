@@ -4,11 +4,18 @@
 # shared journal. Each cycle verifies recovery two independent ways — a
 # shadow replay of the journal from genesis and the restarted daemon's own
 # checkpoint+tail recovery — and requires both to land on the same state
-# hash with every acknowledged write present. Run via `make crash-smoke`.
+# hash with every acknowledged write present.
+#
+# The second drill does the same to a four-shard federation of real schedd
+# processes with per-shard journals: one member is SIGKILLed per cycle, its
+# three siblings must keep serving reads and acknowledging writes the whole
+# time it is down, and the victim must recover to its shadow replay's hash.
+# Run via `make crash-smoke`.
 set -eu
 
 iters=${CRASH_ITERS:-5}
 burst=${CRASH_BURST:-300ms}
+fed_iters=${CRASH_FED_ITERS:-4}
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -20,4 +27,8 @@ go build -o "$workdir/schedload" ./cmd/schedload
     -data-dir "$workdir/journal" \
     -procs 32 -writers 2 -iters "$iters" -burst "$burst"
 
-echo "crash-smoke: OK ($iters SIGKILL/recover cycles, no acknowledged write lost)"
+"$workdir/schedload" -kill -shards 4 -schedd "$workdir/schedd" \
+    -data-dir "$workdir/fedjournal" \
+    -procs 32 -writers 4 -iters "$fed_iters" -burst "$burst"
+
+echo "crash-smoke: OK ($iters single + $fed_iters federated SIGKILL/recover cycles, no acknowledged write lost)"
