@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-verbose race serve-race fed-race vet bench bench-json bench-gate doclint experiments results examples cover clean fuzz-smoke check serve-smoke crash-smoke
+.PHONY: all build test test-verbose race serve-race fed-race replica-race vet bench bench-json bench-gate doclint experiments results examples cover clean fuzz-smoke check serve-smoke crash-smoke
 
 all: build vet test
 
@@ -39,6 +39,14 @@ serve-race:
 fed-race:
 	$(GO) test -race -count=2 ./internal/fed
 
+# Focused race-detector pass over the replication layer: the live-follow
+# stress test tails a journal (and the WAL-shipping endpoint) while the
+# leader's scheduler goroutine appends at full tilt, plus the lock-free
+# tailer's own concurrency tests in internal/wal. -count=2 reruns with
+# fresh schedules; CI runs this as its own job (replica-race).
+replica-race:
+	$(GO) test -race -count=2 ./internal/replica ./internal/wal
+
 # Full test log, as recorded in test_output.txt.
 test-verbose:
 	$(GO) test -v ./...
@@ -49,20 +57,21 @@ bench:
 # Benchmark ledger (see PERFORMANCE.md). bench-json runs the tracked
 # benchmark suite — engine hot paths in the root package, the serving read
 # path in internal/serve, the durability layer (journal append and crash
-# recovery), and the federation routing/merge path in internal/fed — and
-# writes the machine-readable run to bench_current.json; bench-gate
-# compares it against the committed BENCH_PR7.json baseline and fails on
-# any regression beyond BENCH_TOLERANCE (a fraction: 0.20 = 20%).
+# recovery), the federation routing/merge path in internal/fed, and the
+# replication apply/read path in internal/replica — and writes the
+# machine-readable run to bench_current.json; bench-gate compares it
+# against the committed BENCH_PR8.json baseline and fails on any
+# regression beyond BENCH_TOLERANCE (a fraction: 0.20 = 20%).
 BENCHTIME ?= 1s
 BENCH_TOLERANCE ?= 0.20
 
 bench-json:
-	$(GO) test -run='^$$' -bench='BenchmarkProfile|BenchmarkScheduler|BenchmarkCompression$$|BenchmarkSessionStep|BenchmarkBatchRun|BenchmarkEventQueue|BenchmarkServeRead|BenchmarkForecastCached|BenchmarkForecastUncached|BenchmarkWALAppend|BenchmarkWALFsyncedAppend|BenchmarkRecovery|BenchmarkFed' \
-		-benchtime=$(BENCHTIME) -benchmem . ./internal/serve ./internal/wal ./internal/fed \
+	$(GO) test -run='^$$' -bench='BenchmarkProfile|BenchmarkScheduler|BenchmarkCompression$$|BenchmarkSessionStep|BenchmarkBatchRun|BenchmarkEventQueue|BenchmarkServeRead|BenchmarkForecastCached|BenchmarkForecastUncached|BenchmarkWALAppend|BenchmarkWALFsyncedAppend|BenchmarkRecovery|BenchmarkFed|BenchmarkReplica' \
+		-benchtime=$(BENCHTIME) -benchmem . ./internal/serve ./internal/wal ./internal/fed ./internal/replica \
 		| $(GO) run ./cmd/benchdiff -parse > bench_current.json
 
 bench-gate: bench-json
-	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR7.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR8.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
 
 # Short fuzzing pass over every fuzz target. Each target gets FUZZTIME of
 # coverage-guided input generation on top of its checked-in seed corpus;

@@ -7,8 +7,10 @@
 //	schedctl stat 42
 //	schedctl cancel 42
 //	schedctl queue
-//	schedctl info     # durability: journal position, checkpoint age
-//	schedctl shards   # federation only: per-shard state table
+//	schedctl info         # durability: journal position, checkpoint age
+//	schedctl shards       # federation only: per-shard state table
+//	schedctl replication  # leader/follower position, lag, registered followers
+//	schedctl promote      # promote a follower replica to leader
 //
 // The daemon address comes from -addr or the SCHEDD_ADDR environment
 // variable, defaulting to http://127.0.0.1:8080.
@@ -53,7 +55,7 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	addr := fs.String("addr", defaultAddr(), "schedd base URL")
 	fs.Usage = func() {
-		fmt.Fprintf(out, "usage: schedctl [-addr URL] <submit|stat|cancel|queue|info|shards|health|metrics> [args]\n")
+		fmt.Fprintf(out, "usage: schedctl [-addr URL] <submit|stat|cancel|queue|info|shards|replication|promote|health|metrics> [args]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +81,10 @@ func run(args []string, out io.Writer) error {
 		return c.info()
 	case "shards":
 		return c.shards()
+	case "replication":
+		return c.replication()
+	case "promote":
+		return c.promote()
 	case "health":
 		return c.passthrough("/healthz")
 	case "metrics":
@@ -299,6 +305,77 @@ func (c *client) shards() error {
 			r.Shard, r.Scheduler, r.ProcsBusy, r.Procs, r.QueueDepth, r.Running, r.Pending,
 			r.Submitted, r.Completed, r.Version, state)
 	}
+	return nil
+}
+
+// replicationInfo mirrors serve.ReplicationInfo; schedctl decodes only
+// what it prints.
+type replicationInfo struct {
+	Role        string `json:"role"`
+	Term        uint64 `json:"term"`
+	Seq         uint64 `json:"seq"`
+	Source      string `json:"source"`
+	AppliedSeq  uint64 `json:"applied_seq"`
+	LeaderSeq   uint64 `json:"leader_seq"`
+	LagOps      uint64 `json:"lag_ops"`
+	LagVirtual  int64  `json:"lag_virtual_time"`
+	Resyncs     int64  `json:"resyncs"`
+	RetainFloor uint64 `json:"retain_floor"`
+	Followers   []struct {
+		ID       string  `json:"id"`
+		AckedSeq uint64  `json:"acked_seq"`
+		AgeSec   float64 `json:"age_sec"`
+	} `json:"followers"`
+	Promoted bool `json:"promoted"`
+}
+
+func (c *client) printReplication(ri replicationInfo) {
+	switch ri.Role {
+	case "leader":
+		line := fmt.Sprintf("leader  term %d  seq %d", ri.Term, ri.Seq)
+		if ri.Promoted {
+			line += "  (promoted from follower)"
+		}
+		fmt.Fprintln(c.out, line)
+		if ri.RetainFloor > 0 {
+			fmt.Fprintf(c.out, "retention floor: seq %d\n", ri.RetainFloor)
+		}
+		if ri.Resyncs > 0 {
+			fmt.Fprintf(c.out, "full resyncs served: %d (retention lost the incremental race)\n", ri.Resyncs)
+		}
+		for _, f := range ri.Followers {
+			fmt.Fprintf(c.out, "follower %s  acked seq %d  last seen %.1fs ago\n", f.ID, f.AckedSeq, f.AgeSec)
+		}
+	case "follower":
+		fmt.Fprintf(c.out, "follower of %s  term %d\n", ri.Source, ri.Term)
+		fmt.Fprintf(c.out, "applied seq %d  leader seq %d  lag %d ops, %d virtual seconds\n",
+			ri.AppliedSeq, ri.LeaderSeq, ri.LagOps, ri.LagVirtual)
+		if ri.Resyncs > 0 {
+			fmt.Fprintf(c.out, "full resyncs: %d\n", ri.Resyncs)
+		}
+	default:
+		fmt.Fprintln(c.out, "standalone (no journal to replicate)")
+	}
+}
+
+// replication renders GET /v1/debug/replication for either role.
+func (c *client) replication() error {
+	var ri replicationInfo
+	if err := c.do("GET", "/v1/debug/replication", nil, &ri); err != nil {
+		return err
+	}
+	c.printReplication(ri)
+	return nil
+}
+
+// promote asks a follower replica to take over as leader.
+func (c *client) promote() error {
+	var ri replicationInfo
+	if err := c.do("POST", "/v1/promote", nil, &ri); err != nil {
+		return err
+	}
+	fmt.Fprintln(c.out, "promoted")
+	c.printReplication(ri)
 	return nil
 }
 

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/fed"
 	"repro/internal/job"
+	"repro/internal/replica"
 	"repro/internal/serve"
 	"repro/internal/swf"
 	"repro/internal/workload"
@@ -86,6 +87,12 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		route    = fs.String("route", "hash", "federation routing policy: hash (consistent hashing by user) or width (width-aware least-loaded)")
 		idStart  = fs.Int("id-start", 1, "first job ID this daemon assigns (process-per-shard federations give each member its own congruence class)")
 		idStride = fs.Int("id-stride", 1, "job ID increment; with -id-start i and -id-stride N the daemon only ever assigns IDs ≡ i (mod N)")
+		follow   = fs.String("follow", "", "run as a read replica of this leader: its base URL (or a federation shard's .../v1/shards/N), or its journal directory on shared storage")
+		replOf   = fs.String("replica-of", "", "alias for -follow")
+		replID   = fs.String("follower-id", "", "follower name in the leader's registry (pins the journal retention floor); defaults to follower-<pid>")
+		replPoll = fs.Duration("replica-poll", 25*time.Millisecond, "replication pull interval")
+		promAft  = fs.Int("promote-after", 0, "self-promote to leader after this many consecutive failed leader health probes; 0 never promotes automatically")
+		leadURL  = fs.String("leader-health", "", "leader liveness probe base URL for -promote-after (defaults to -follow when it is an HTTP URL)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,15 +125,59 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		},
 	}
 
-	// svc is the daemon behind the HTTP listener: a single serve.Server, or
-	// a federation front end over -shards of them.
-	var svc interface {
-		Preload([]*job.Job) error
-		Run(context.Context) error
-		Close() error
-		Handler() http.Handler
+	// svc is the daemon behind the HTTP listener: a single serve.Server, a
+	// federation front end over -shards of them, or a follower replica.
+	var svc service
+	if *replOf != "" {
+		if *follow != "" && *follow != *replOf {
+			return fmt.Errorf("-follow and -replica-of name different leaders (%q vs %q)", *follow, *replOf)
+		}
+		*follow = *replOf
 	}
+
 	recovered := false
+	if *follow != "" {
+		if *shards > 1 {
+			return fmt.Errorf("-follow replicates one leader; run one follower per federation shard against /v1/shards/N/wal instead of combining with -shards")
+		}
+		if *mboxRd {
+			return fmt.Errorf("-mailbox-reads is a single-daemon A/B baseline and cannot combine with -follow")
+		}
+		if *swfPath != "" || *model != "" {
+			return fmt.Errorf("a follower's workload comes from its leader; drop -swf/-model")
+		}
+		id := *replID
+		if id == "" {
+			id = fmt.Sprintf("follower-%d", os.Getpid())
+		}
+		rep, err := replica.New(replica.Options{
+			Source:      *follow,
+			Serve:       so,
+			ID:          id,
+			PromoteDir:  *dataDir,
+			Fsync:       *fsyncOn,
+			Poll:        *replPoll,
+			HealthURL:   *leadURL,
+			AutoPromote: *promAft,
+		})
+		if err != nil {
+			return err
+		}
+		svc = rep
+		defer svc.Close()
+
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		url := "http://" + ln.Addr().String()
+		fmt.Fprintf(out, "schedd: %s(%s) on %d procs, following %s, listening on %s\n",
+			*kind, *policy, *procs, *follow, url)
+		if ready != nil {
+			ready <- url
+		}
+		return serveLoop(ctx, out, ln, svc)
+	}
 	if *shards > 1 {
 		if *mboxRd {
 			return fmt.Errorf("-mailbox-reads is a single-daemon A/B baseline and cannot combine with -shards")
@@ -209,7 +260,20 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	if ready != nil {
 		ready <- url
 	}
+	return serveLoop(ctx, out, ln, svc)
+}
 
+// service is the daemon behind the HTTP listener, whichever shape it takes.
+type service interface {
+	Preload([]*job.Job) error
+	Run(context.Context) error
+	Close() error
+	Handler() http.Handler
+}
+
+// serveLoop runs the HTTP listener and the scheduler (or replication) loop
+// until ctx is cancelled, then shuts both down.
+func serveLoop(ctx context.Context, out io.Writer, ln net.Listener, svc service) error {
 	hs := &http.Server{Handler: svc.Handler()}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- hs.Serve(ln) }()

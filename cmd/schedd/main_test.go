@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -341,6 +342,74 @@ func TestDaemonFederationDurableRestart(t *testing.T) {
 	}
 }
 
+// TestDaemonFollower boots a durable leader and a follower replica of its
+// HTTP endpoint: the follower must catch up, serve the read surface,
+// refuse writes with 421, and honor the ?min_seq= read barrier.
+func TestDaemonFollower(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-procs", "8", "-sched", "easy", "-speed", "1e-9"}
+	leaderURL, stopLeader := boot(t, append(args, "-data-dir", dir)...)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(leaderURL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"width": 2, "runtime": 100}`))
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /v1/jobs: status %d", resp.StatusCode)
+		}
+	}
+
+	folURL, stopFol := boot(t, append(args,
+		"-follow", leaderURL, "-follower-id", "t1", "-replica-poll", "5ms")...)
+	var ri struct {
+		Role       string `json:"role"`
+		AppliedSeq uint64 `json:"applied_seq"`
+		LeaderSeq  uint64 `json:"leader_seq"`
+		LagOps     uint64 `json:"lag_ops"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		getJSONinto(t, folURL+"/v1/debug/replication", &ri)
+		if ri.AppliedSeq > 0 && ri.LagOps == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v", ri)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ri.Role != "follower" {
+		t.Fatalf("role = %q, want follower", ri.Role)
+	}
+
+	var q struct {
+		Submitted int64 `json:"submitted"`
+	}
+	getJSONinto(t, folURL+"/v1/queue?min_seq="+strconv.FormatUint(ri.AppliedSeq, 10), &q)
+	if q.Submitted != 3 {
+		t.Fatalf("follower queue: submitted = %d, want 3", q.Submitted)
+	}
+
+	resp, err := http.Post(folURL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"width": 1, "runtime": 10}`))
+	if err != nil {
+		t.Fatalf("POST to follower: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("write on follower: status %d, want 421", resp.StatusCode)
+	}
+
+	if err := stopFol(); err != nil {
+		t.Fatalf("follower stop: %v", err)
+	}
+	if err := stopLeader(); err != nil {
+		t.Fatalf("leader drain: %v", err)
+	}
+}
+
 func TestDaemonBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-sched", "bogus"},
@@ -356,6 +425,10 @@ func TestDaemonBadFlags(t *testing.T) {
 		{"-id-start", "0"},
 		{"-id-stride", "0"},
 		{"-shards", "2", "-id-stride", "2"},
+		{"-follow", "http://localhost:1", "-shards", "2"},
+		{"-follow", "http://localhost:1", "-mailbox-reads"},
+		{"-follow", "http://localhost:1", "-model", "SDSC", "-procs", "128"},
+		{"-follow", "http://localhost:1", "-replica-of", "http://localhost:2"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

@@ -48,6 +48,7 @@ type killConfig struct {
 	writers   int
 	iters     int
 	burst     time.Duration
+	env       []string // extra subprocess environment (the replica bench pins GOMAXPROCS=1)
 }
 
 // daemon is one running schedd subprocess.
@@ -75,6 +76,9 @@ func startDaemon(cfg killConfig, dir string, extra ...string) (*daemon, error) {
 	}
 	args = append(args, extra...)
 	cmd := exec.Command(cfg.scheddBin, args...)
+	if len(cfg.env) > 0 {
+		cmd.Env = append(os.Environ(), cfg.env...)
+	}
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	stdout, err := cmd.StdoutPipe()

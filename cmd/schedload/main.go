@@ -10,6 +10,8 @@
 //	schedload -kill -schedd ./schedd        # SIGKILL a real daemon mid-burst
 //	schedload -shards 8 -readers 0 -writers 16   # federated write scaling
 //	schedload -kill -shards 4 -schedd ./schedd   # SIGKILL one shard of four
+//	schedload -replicas 2 -schedd ./schedd       # leader + 2 read replicas, read QPS
+//	schedload -promote -schedd ./schedd          # leader-kill → follower-promotes drill
 //
 // Crash mode (-kill) spawns a real schedd with a journal, hammers it with
 // acknowledged writes, SIGKILLs it mid-burst, and verifies recovery two
@@ -157,12 +159,47 @@ func run(args []string, out io.Writer) error {
 		burst    = fs.Duration("burst", 300*time.Millisecond, "kill mode: write burst before each SIGKILL")
 		shards   = fs.Int("shards", 1, "self-hosted: federate this many shards of -procs processors each behind one front end; in -kill mode, spawn a process-per-shard federation and crash one shard per iteration")
 		routeF   = fs.String("route", "width", "federation routing policy: hash or width")
+		replicas = fs.Int("replicas", -1, "read-replica bench: spawn a real leader plus this many journal-tailing followers (GOMAXPROCS=1 each) and measure each process's read capacity in sequential phases; 0 is the single-daemon baseline; needs -schedd")
+		wrRate   = fs.Int("write-rate", 20, "replica bench: paced writes/second across all writers during every phase; 0 runs the writers closed-loop")
+		promote  = fs.Bool("promote", false, "failover drill: SIGKILL a real leader mid-burst, require its follower to self-promote with no acknowledged write lost; needs -schedd")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, have %d", *shards)
+	}
+	if *promote || *replicas >= 0 {
+		if *kill || *shards > 1 || *mailbox || *addr != "" {
+			return fmt.Errorf("replica modes run their own real daemons: drop -kill/-shards/-mailbox/-addr")
+		}
+		if *promote && *replicas >= 0 {
+			return fmt.Errorf("-promote and -replicas are separate modes")
+		}
+		cfg := killConfig{
+			scheddBin: *schedd,
+			dir:       *dataDir,
+			procs:     *procs,
+			kind:      *kind,
+			policy:    *policy,
+			fsync:     *fsyncOn,
+			writers:   max(*writers, 1),
+			iters:     *iters,
+			burst:     *burst,
+		}
+		if *promote {
+			return runPromote(cfg, out)
+		}
+		return runReplicaBench(replicaBenchConfig{
+			killConfig: cfg,
+			replicas:   *replicas,
+			queue:      *queue,
+			readers:    *readers,
+			writers:    *writers,
+			writeRate:  *wrRate,
+			duration:   *duration,
+			jsonOut:    *jsonOut,
+		}, out)
 	}
 	if *kill {
 		cfg := killConfig{

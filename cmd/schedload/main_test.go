@@ -224,6 +224,93 @@ func TestLoadKillFederated(t *testing.T) {
 	}
 }
 
+// buildSchedd compiles the real daemon once per test that needs it.
+func buildSchedd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "schedd")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/schedd").CombinedOutput(); err != nil {
+		t.Fatalf("build schedd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestLoadReplicaBench spins a leader plus one follower, requires the
+// followers to catch up before the window opens, and the read mix to be
+// error-free across both endpoints.
+func TestLoadReplicaBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real daemons")
+	}
+	bin := buildSchedd(t)
+	var out strings.Builder
+	err := run([]string{
+		"-replicas", "1", "-schedd", bin,
+		"-data-dir", t.TempDir(),
+		"-procs", "16", "-queue", "16",
+		"-readers", "2", "-writers", "1",
+		"-duration", "300ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("replica bench: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "mode=replica-1") {
+		t.Errorf("missing replica mode tag:\n%s", s)
+	}
+	for _, want := range []string{"leader:", "follower-1:", "aggregate read capacity", "writes:", "errors=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestLoadPromoteMode is the end-to-end failover drill: SIGKILL the leader
+// mid-burst twice and require the follower to promote each time with the
+// shadow replay's hash and every acknowledged write.
+func TestLoadPromoteMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crash-cycles real daemons")
+	}
+	bin := buildSchedd(t)
+	var out strings.Builder
+	err := run([]string{
+		"-promote", "-schedd", bin,
+		"-data-dir", t.TempDir(),
+		"-procs", "16", "-writers", "2",
+		"-iters", "2", "-burst", "250ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("promote mode: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"cycle 1:", "cycle 2:",
+		"follower promoted (term 1)", "follower promoted (term 2)",
+		"matches shadow", "no acknowledged write lost",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("promote report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestLoadReplicaFlagValidation pins the replica-mode argument errors.
+func TestLoadReplicaFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-replicas", "1", "-kill"}, &out); err == nil {
+		t.Error("-replicas with -kill should fail")
+	}
+	if err := run([]string{"-promote", "-shards", "2"}, &out); err == nil {
+		t.Error("-promote with -shards should fail")
+	}
+	if err := run([]string{"-promote", "-replicas", "1"}, &out); err == nil {
+		t.Error("-promote with -replicas should fail")
+	}
+	if err := run([]string{"-replicas", "1", "-readers", "0"}, &out); err == nil {
+		t.Error("replica bench without readers should fail")
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	if got := percentile(sorted, 0.5); got != 5 {

@@ -34,6 +34,7 @@ type errorResponse struct {
 //	GET    /healthz       merged liveness            → 200 {"status":"ok"}
 //	GET    /metrics       Prometheus text format, merged
 //	GET    /v1/shards     per-shard state            → 200 [ShardStatus]
+//	GET    /v1/shards/{shard}/wal  that shard's journal stream (replication)
 //
 // Every GET renders from published snapshots on the HTTP goroutine; no
 // read ever enters a shard's scheduler mailbox.
@@ -46,7 +47,31 @@ func (f *Federation) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", f.handleHealthz)
 	mux.HandleFunc("GET /metrics", f.handleMetrics)
 	mux.HandleFunc("GET /v1/shards", f.handleShards)
+	mux.HandleFunc("GET /v1/shards/{shard}/wal", f.handleShardWAL)
 	return mux
+}
+
+// walShard is the slice of the Shard surface replication needs; *serve.Server
+// implements it, test fakes need not.
+type walShard interface {
+	ServeWAL(http.ResponseWriter, *http.Request)
+}
+
+// handleShardWAL exposes each durable shard's journal stream, so a replica
+// set can follow a federation shard by shard: a follower of shard i tails
+// GET /v1/shards/i/wal exactly as it would a standalone leader's /v1/wal.
+func (f *Federation) handleShardWAL(w http.ResponseWriter, r *http.Request) {
+	i, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil || i < 0 || i >= len(f.shards) {
+		serve.WriteJSON(w, http.StatusNotFound, errorResponse{Error: "unknown shard " + r.PathValue("shard")})
+		return
+	}
+	ws, ok := f.shards[i].(walShard)
+	if !ok {
+		serve.WriteJSON(w, http.StatusNotFound, errorResponse{Error: "shard does not ship its journal"})
+		return
+	}
+	ws.ServeWAL(w, r)
 }
 
 func (f *Federation) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,172 @@
+package replica
+
+// A source yields the leader's journal incrementally. Two implementations:
+// dirSource tails a shared journal directory with wal.Tailer (safe against
+// the live appender — the WAL's single-writer framing makes a torn read
+// distinguishable from corruption), and httpSource pulls the leader's
+// GET /v1/wal stream. Both fall back to a full checkpoint image when the
+// incremental position has been pruned.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// resyncState is a full checkpoint+tail image the replica must rebuild
+// from, with the sequence it lands the replica at.
+type resyncState struct {
+	state      *wal.State
+	appliedSeq uint64
+}
+
+// pullResult is one replication pull: either an incremental record batch
+// or a full resync image. hasMeta marks sources that report the leader's
+// own position (HTTP headers); directory mode infers it from the records.
+type pullResult struct {
+	recs      []wal.Record
+	state     *resyncState
+	hasMeta   bool
+	leaderSeq uint64
+	leaderNow int64
+}
+
+type source interface {
+	// pull returns records after seq `after`, at most max. An empty result
+	// with nil state means caught up.
+	pull(after uint64, max int) (pullResult, error)
+}
+
+// dirSource tails the leader's journal directory directly.
+type dirSource struct {
+	dir string
+	tl  *wal.Tailer
+}
+
+func (d *dirSource) pull(after uint64, max int) (pullResult, error) {
+	if d.tl == nil || d.tl.Seq() != after {
+		d.tl = wal.NewTailer(d.dir, after)
+	}
+	recs, err := d.tl.Next(max)
+	if errors.Is(err, wal.ErrGone) {
+		// Our position was pruned (or the journal starts at a checkpoint):
+		// load the full durable image. Load is read-only — no flock, no
+		// truncation — so this is safe against the live leader.
+		st, lerr := wal.Load(d.dir)
+		if lerr != nil {
+			return pullResult{}, lerr
+		}
+		d.tl = nil
+		return pullResult{state: &resyncState{state: st, appliedSeq: st.NextSeq - 1}}, nil
+	}
+	if err != nil {
+		return pullResult{}, err
+	}
+	return pullResult{recs: recs}, nil
+}
+
+// httpSource pulls the leader's /v1/wal endpoint.
+type httpSource struct {
+	base string // full endpoint URL
+	id   string
+	c    *http.Client
+}
+
+func newHTTPSource(src, id string) *httpSource {
+	base := strings.TrimSuffix(src, "/")
+	// A bare daemon address gets the standard endpoint appended; a URL that
+	// already carries a path (a federation shard prefix like
+	// http://host/v1/shards/2) gets /wal.
+	if u, err := url.Parse(base); err == nil && (u.Path == "" || u.Path == "/") {
+		base += "/v1/wal"
+	} else {
+		base += "/wal"
+	}
+	return &httpSource{base: base, id: id, c: &http.Client{Timeout: 10 * time.Second}}
+}
+
+func (h *httpSource) pull(after uint64, max int) (pullResult, error) {
+	u := fmt.Sprintf("%s?from=%d&max=%d&follower=%s", h.base, after+1, max, url.QueryEscape(h.id))
+	resp, err := h.c.Get(u)
+	if err != nil {
+		return pullResult{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return pullResult{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return pullResult{}, fmt.Errorf("replica: leader %s: %s: %s", h.base, resp.Status, bytes.TrimSpace(body))
+	}
+	res := pullResult{hasMeta: true}
+	res.leaderSeq, _ = strconv.ParseUint(resp.Header.Get("X-Schedd-Seq"), 10, 64)
+	res.leaderNow, _ = strconv.ParseInt(resp.Header.Get("X-Schedd-Now"), 10, 64)
+	if resp.Header.Get("X-Schedd-Resync") == "1" {
+		st, applied, err := decodeResync(body)
+		if err != nil {
+			return pullResult{}, err
+		}
+		res.state = &resyncState{state: st, appliedSeq: applied}
+		return res, nil
+	}
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := wal.DecodeRecord(line)
+		if err != nil {
+			return pullResult{}, fmt.Errorf("replica: leader %s sent a bad frame: %w", h.base, err)
+		}
+		res.recs = append(res.recs, rec)
+	}
+	return res, nil
+}
+
+// decodeResync parses a full-resync body: one checkpoint meta line, then
+// the checkpoint's compacted ops and the journal tail, all CRC-framed.
+func decodeResync(body []byte) (*wal.State, uint64, error) {
+	st := &wal.State{}
+	applied := uint64(0)
+	first := true
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			m, err := wal.DecodeMeta(line)
+			if err != nil {
+				return nil, 0, fmt.Errorf("replica: bad resync meta: %w", err)
+			}
+			st.Checkpoint = &m
+			applied = m.Seq
+			continue
+		}
+		rec, err := wal.DecodeRecord(line)
+		if err != nil {
+			return nil, 0, fmt.Errorf("replica: bad resync frame: %w", err)
+		}
+		if st.Checkpoint != nil && rec.Seq <= st.Checkpoint.Seq {
+			st.CheckpointOps = append(st.CheckpointOps, rec)
+		} else {
+			st.Tail = append(st.Tail, rec)
+			if rec.Seq > applied {
+				applied = rec.Seq
+			}
+		}
+	}
+	if st.Checkpoint == nil {
+		return nil, 0, errors.New("replica: resync body carried no checkpoint")
+	}
+	st.NextSeq = applied + 1
+	return st, applied, nil
+}

@@ -125,6 +125,9 @@ func (s *Server) openWAL() error {
 		s.log = nil
 		return err
 	}
+	s.walSeq.Store(l.Seq())
+	dir := d.Dir
+	s.walDirPub.Store(&dir)
 	return nil
 }
 
@@ -214,6 +217,8 @@ func (s *Server) apply(r wal.Record) error {
 		s.replayedAdvance = true
 	case wal.OpFloor:
 		s.bumpNextID(r.ID)
+	case wal.OpTerm:
+		s.termPub.Store(r.Term)
 	case wal.OpDrain:
 		s.drained = true
 		s.replayedAdvance = true
@@ -236,15 +241,10 @@ func (s *Server) apply(r wal.Record) error {
 // genesis-replay path. Tools use it to differentially check the daemon's
 // own checkpoint+tail recovery — cmd/schedload's crash mode loads the dead
 // daemon's journal with wal.Load, replays it here into a shadow server,
-// and compares StateHash against the restarted daemon.
+// and compares StateHash against the restarted daemon. Follower replicas
+// ride the same path record batch by record batch through ApplyRecords.
 func (s *Server) Replay(recs []wal.Record) error {
-	for _, r := range recs {
-		if err := s.apply(r); err != nil {
-			return fmt.Errorf("serve: replay record seq %d: %w", r.Seq, err)
-		}
-	}
-	s.publish()
-	return nil
+	return s.ApplyRecords(recs)
 }
 
 // StateHash exposes the session digest for equivalence checks. Safe only
@@ -298,6 +298,7 @@ func (s *Server) commitWAL() error {
 		s.history = wal.Coalesce(s.history, r)
 	}
 	s.walRecs = s.walRecs[:0]
+	s.walSeq.Store(s.log.Seq())
 	return nil
 }
 
@@ -317,8 +318,10 @@ func (s *Server) maybeCheckpoint() error {
 }
 
 // checkpoint durably writes the compacted history with the current state's
-// fingerprint and prunes the journal behind it.
+// fingerprint and prunes the journal behind it — except segments a
+// registered follower replica still needs (the retention floor).
 func (s *Server) checkpoint() error {
+	s.log.SetRetainFloor(s.flw.floor(time.Now()))
 	meta := wal.Meta{
 		Config:    s.config(),
 		SimNow:    s.sess.Now(),
@@ -338,9 +341,18 @@ func (s *Server) checkpoint() error {
 
 // Durability reports the journal position alongside the serving state.
 // Valid once Run has started; after the loop exits it falls back to a
-// direct read, which is safe because no writer remains.
+// direct read, which is safe because no writer remains. On a follower the
+// report is rendered from the published snapshot only — the applier
+// goroutine owns the session, and there is no scheduler loop to ride.
 func (s *Server) Durability() DurabilityInfo {
 	var info DurabilityInfo
+	if s.followerMode.Load() {
+		if snap := s.snap.Load(); snap != nil {
+			info.SnapshotVersion = snap.Version
+			info.SimNow = snap.SimNow
+		}
+		return info
+	}
 	fill := func() {
 		if snap := s.snap.Load(); snap != nil {
 			info.SnapshotVersion = snap.Version

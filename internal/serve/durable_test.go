@@ -421,6 +421,12 @@ func TestDurableRunDrainRestart(t *testing.T) {
 // then dies without draining, and both recovery paths — checkpoint+tail in
 // New and genesis replay through Replay — must land on the crashed
 // process's exact StateHash.
+//
+// While the program runs, a concurrent reader tails the journal from
+// pseudo-random positions and reloads it wholesale — the follower's view
+// of a live leader. The single-writer contract promises such a reader only
+// ever sees clean frames, a mid-append torn tail, or a pruned position
+// (ErrGone, resync and move on); it must never see ErrCorrupt.
 func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte{0, 0, 3, 0, 1, 2, 40, 3, 0, 1, 9})
 	f.Add([]byte{0, 2, 200, 0, 0, 3, 1, 1, 4, 0, 2, 10, 3})
@@ -432,6 +438,49 @@ func FuzzWALReplay(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+
+		stopReader := make(chan struct{})
+		readerErr := make(chan error, 1)
+		go func() {
+			defer close(readerErr)
+			x := uint64(len(program))*2654435761 + 1
+			tl := wal.NewTailer(dir, 0)
+			for {
+				select {
+				case <-stopReader:
+					return
+				default:
+				}
+				if _, err := tl.Next(32); err != nil {
+					if errors.Is(err, wal.ErrCorrupt) {
+						readerErr <- fmt.Errorf("concurrent tail: %w", err)
+						return
+					}
+					// ErrGone (our position was pruned) or a directory
+					// listing racing the checkpointer: resync from scratch,
+					// like a real follower would.
+					tl = wal.NewTailer(dir, 0)
+					continue
+				}
+				x = x*1664525 + 1013904223
+				switch x % 8 {
+				case 0: // jump to a pseudo-random earlier position
+					tl = wal.NewTailer(dir, x>>8%97)
+				case 1: // a full read-only load of the live journal
+					if _, err := wal.Load(dir); err != nil && errors.Is(err, wal.ErrCorrupt) {
+						readerErr <- fmt.Errorf("concurrent load: %w", err)
+						return
+					}
+				}
+			}
+		}()
+		checkReader := func() {
+			close(stopReader)
+			if err := <-readerErr; err != nil {
+				t.Fatal(err)
+			}
+		}
+
 		var ids []int
 		for pc := 0; pc < len(program); pc++ {
 			switch program[pc] % 5 {
@@ -484,6 +533,7 @@ func FuzzWALReplay(f *testing.F) {
 		if err := a.commitWAL(); err != nil {
 			t.Fatal(err)
 		}
+		checkReader()
 		want := a.StateHash()
 		if err := a.Close(); err != nil {
 			t.Fatal(err)

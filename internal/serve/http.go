@@ -113,6 +113,8 @@ func makeView(info sim.JobInfo, th job.Thresholds) JobView {
 //	GET    /healthz       liveness               → 200 {"status":"ok"}
 //	GET    /metrics       Prometheus text format
 //	GET    /v1/debug/durability  journal position → 200 DurabilityInfo
+//	GET    /v1/debug/replication replication state → 200 ReplicationInfo
+//	GET    /v1/wal        journal shipping stream (see ServeWAL)
 //
 // With Options.Debug, the Go runtime profiler is mounted as well:
 //
@@ -126,6 +128,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/debug/durability", s.handleDurability)
+	mux.HandleFunc("GET /v1/debug/replication", s.handleReplication)
+	mux.HandleFunc("GET /v1/wal", s.ServeWAL)
 	if s.opts.Debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -172,6 +176,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, err)
 		return
 	}
+	s.writeSeqHeader(w)
 	WriteJSON(w, http.StatusCreated, v)
 }
 
@@ -225,6 +230,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, err)
 		return
 	}
+	s.writeSeqHeader(w)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -268,6 +274,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // and the state hash are read on the scheduler goroutine.
 func (s *Server) handleDurability(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, s.Durability())
+}
+
+// writeSeqHeader stamps a successful write response with the last durable
+// journal sequence — by the time the mailbox acknowledges a write, its
+// record is on disk, so this seq is at or past the write's own. A client
+// that replays it to a follower as ?min_seq= gets read-your-writes.
+func (s *Server) writeSeqHeader(w http.ResponseWriter) {
+	if seq := s.walSeq.Load(); seq > 0 {
+		w.Header().Set("X-Schedd-Seq", strconv.FormatUint(seq, 10))
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -87,6 +87,15 @@ type Options struct {
 	// unique without shards coordinating. See internal/fed.
 	IDStart  int
 	IDStride int
+	// Follower names the leader this server replicates (an address or a
+	// journal directory, used verbatim in error messages). A follower
+	// server never runs its own scheduler loop: an external applier
+	// (internal/replica) feeds it journal records through ApplyRecords and
+	// it publishes snapshots for the lock-free read path exactly like a
+	// leader. Writes are refused with 421 and the leader's address;
+	// Durability.Dir is not opened (it is reserved as the promotion
+	// target). Promote lifts the fence. Incompatible with MailboxReads.
+	Follower string
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +163,17 @@ type Server struct {
 	ckptUnix        int64        // unix time of the last durable checkpoint (reporting)
 	recovered       *RecoveryInfo
 	replayedAdvance bool // recovery replayed a clock advance; resume there
+
+	// Replication state (see replication.go). walSeq mirrors the last
+	// durable journal seq for HTTP goroutines; termPub the current
+	// leadership term; followerMode fences writes on a replica; walDirPub
+	// the journal directory the /v1/wal endpoint streams from.
+	walSeq       atomic.Uint64
+	termPub      atomic.Uint64
+	followerMode atomic.Bool
+	walDirPub    atomic.Pointer[string]
+	flw          followerRegistry
+	replResyncs  atomic.Int64
 }
 
 // New builds a server. Run must be called before writes are accepted; the
@@ -198,7 +218,14 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.Durability.Dir != "" {
+	if opts.Follower != "" {
+		if opts.MailboxReads {
+			return nil, fmt.Errorf("serve: a follower serves the lock-free read path only (MailboxReads is a single-daemon A/B baseline)")
+		}
+		// The journal directory, if any, belongs to the leader (or is this
+		// follower's promotion target); a follower never opens it.
+		s.followerMode.Store(true)
+	} else if opts.Durability.Dir != "" {
 		if err := s.openWAL(); err != nil {
 			return nil, err
 		}
@@ -211,6 +238,9 @@ func New(opts Options) (*Server, error) {
 // before the loop starts; arrivals fire as virtual time reaches them.
 // Valid only before Run.
 func (s *Server) Preload(jobs []*job.Job) error {
+	if s.followerMode.Load() {
+		return s.followerWriteError("preload")
+	}
 	for _, j := range jobs {
 		if err := s.sess.Submit(j); err != nil {
 			return err
@@ -268,6 +298,11 @@ func (s *Server) advance() error {
 // and the end-of-run invariants (no deadlock, clean audit) are checked.
 // The returned error is nil for a clean drain.
 func (s *Server) Run(ctx context.Context) error {
+	if s.followerMode.Load() {
+		// A follower has no scheduler loop of its own — its state advances
+		// only through ApplyRecords, until Promote lifts the fence.
+		return fmt.Errorf("serve: follower replica of %s: Run is valid only after Promote", s.opts.Follower)
+	}
 	defer close(s.stopped)
 	if s.clock == nil {
 		// Virtual time starts at the first pending arrival (replay) or 0

@@ -56,6 +56,9 @@ var _ Shard = (*Server)(nil)
 // programmatic form of POST /v1/jobs, shared by the HTTP handler and the
 // federation front end.
 func (s *Server) Submit(req SubmitRequest) (JobView, error) {
+	if s.followerMode.Load() {
+		return JobView{}, s.followerWriteError("submit")
+	}
 	var id int
 	var subErr error
 	if err := s.exec(func() { id, subErr = s.submitJob(req) }); err != nil {
@@ -78,6 +81,9 @@ func (s *Server) Submit(req SubmitRequest) (JobView, error) {
 // Cancel withdraws a queued job through the scheduler mailbox — the
 // programmatic form of DELETE /v1/jobs/{id}.
 func (s *Server) Cancel(id int) error {
+	if s.followerMode.Load() {
+		return s.followerWriteError("cancel")
+	}
 	var cErr error
 	if err := s.exec(func() { cErr = s.cancel(id) }); err != nil {
 		return err
@@ -106,6 +112,9 @@ func (s *Server) Queue() QueueResponse {
 // it and a restarted shard cannot re-issue an ID the reservation covered.
 // Valid only before Run, like Preload.
 func (s *Server) ReserveIDs(upTo int) error {
+	if s.followerMode.Load() {
+		return s.followerWriteError("reserve IDs")
+	}
 	if upTo < s.nextID {
 		return nil
 	}

@@ -52,6 +52,34 @@ type Meta struct {
 	CreatedUnix int64 `json:"created_unix,omitempty"`
 }
 
+// EncodeMeta appends m as one CRC-framed header line (newline included) —
+// the first line of a checkpoint file, reused verbatim by the replication
+// endpoint's full-resync response.
+func EncodeMeta(dst []byte, m Meta) ([]byte, error) {
+	header, err := json.Marshal(m)
+	if err != nil {
+		return dst, fmt.Errorf("wal: encode checkpoint meta: %w", err)
+	}
+	return appendFramed(dst, header), nil
+}
+
+// DecodeMeta validates and decodes one framed meta line (without its
+// trailing newline).
+func DecodeMeta(line []byte) (Meta, error) {
+	header, err := unframe(line)
+	if err != nil {
+		return Meta{}, fmt.Errorf("wal: meta line: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(header, &meta); err != nil {
+		return Meta{}, fmt.Errorf("wal: meta line: %w", err)
+	}
+	if meta.Format != FormatVersion {
+		return Meta{}, fmt.Errorf("wal: meta has format %d, this build reads %d", meta.Format, FormatVersion)
+	}
+	return meta, nil
+}
+
 // writeCheckpoint durably writes one checkpoint file: meta line followed by
 // meta.Ops framed record lines, all CRC-framed, written to a temp file,
 // synced, then renamed into place so a crash never leaves a half-visible

@@ -20,8 +20,10 @@ type State struct {
 	Tail []Record
 	// NextSeq is 1 + the highest sequence number the journal has used.
 	NextSeq uint64
-	// TruncatedBytes counts bytes of torn final record removed from the
-	// newest segment — the expected residue of a crash mid-append.
+	// TruncatedBytes counts bytes of torn final record in the newest
+	// segment — the expected residue of a crash mid-append, or of reading a
+	// live journal mid-write. A writer Open removes them from the file; a
+	// read-only Load leaves the file untouched and just ignores them.
 	TruncatedBytes int64
 	// Warnings records non-fatal oddities (e.g. an unreadable newer
 	// checkpoint that was skipped for an older valid one).
@@ -35,19 +37,25 @@ func (st *State) Ops() []Record {
 	return append(out, st.Tail...)
 }
 
-// Load recovers the durable state from dir without opening it for writing —
-// the read-only half of Open, exported for tools (the crash-mode load
-// generator replays the journal into a shadow server to differentially
-// verify the daemon's own recovery). It truncates a torn final record as a
-// side effect, exactly as Open would.
+// Load recovers the durable state from dir without opening it for writing:
+// no flock is taken and nothing on disk is mutated, so it is safe against a
+// journal another process is actively appending to. A torn final record —
+// a crash's residue, or an append caught mid-frame — is ignored (reported
+// in TruncatedBytes), never truncated; the caller sees the journal as of
+// the last complete record and can simply load again for a newer view.
+// Tools (the crash-mode shadow replay) and follower replicas' full-resync
+// path both read journals this way.
 func Load(dir string) (*State, error) {
-	st, _, err := load(dir)
+	st, _, err := load(dir, false)
 	return st, err
 }
 
 // load scans dir and returns the recovered state plus per-segment info for
-// the Log's bookkeeping.
-func load(dir string) (*State, []segInfo, error) {
+// the Log's bookkeeping. With truncate, a torn final record is removed from
+// the active segment (the writer's boot path); without, it is left in place
+// and ignored (the read-only path — truncating would destroy bytes a live
+// appender may still be writing).
+func load(dir string, truncate bool) (*State, []segInfo, error) {
 	st := &State{NextSeq: 1}
 
 	// Newest checkpoint that fully validates wins; broken ones are skipped
@@ -92,8 +100,10 @@ func load(dir string) (*State, []segInfo, error) {
 				return nil, nil, fmt.Errorf("wal: %w", err)
 			}
 			st.TruncatedBytes = fi.Size() - tornAt
-			if err := os.Truncate(segs[i].path, tornAt); err != nil {
-				return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			if truncate {
+				if err := os.Truncate(segs[i].path, tornAt); err != nil {
+					return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+				}
 			}
 		}
 		if len(recs) > 0 && recs[0].Seq != segs[i].first {

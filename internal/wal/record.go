@@ -55,6 +55,11 @@ const (
 	// front ends journal one after partitioning a preloaded trace, so a
 	// recovered shard cannot re-issue an ID a sibling shard already holds.
 	OpFloor = "floor"
+	// OpTerm fences a leadership change: a promoted follower appends one
+	// with the incremented term before accepting its first write, so any
+	// process replaying the journal — including a revived old leader — sees
+	// that the lineage moved on. The record mutates no scheduling state.
+	OpTerm = "term"
 )
 
 // JobRec is the journaled form of a submitted job. It mirrors job.Job field
@@ -72,11 +77,12 @@ type JobRec struct {
 // Record is one journal entry. Seq is assigned by the Writer at append time
 // and is strictly increasing across the whole journal (checkpoints included).
 type Record struct {
-	Seq uint64  `json:"s"`
-	Op  string  `json:"op"`
-	Job *JobRec `json:"job,omitempty"` // OpSubmit
-	ID  int     `json:"id,omitempty"`  // OpCancel
-	To  int64   `json:"to,omitempty"`  // OpAdvance
+	Seq  uint64  `json:"s"`
+	Op   string  `json:"op"`
+	Job  *JobRec `json:"job,omitempty"`  // OpSubmit
+	ID   int     `json:"id,omitempty"`   // OpCancel, OpFloor
+	To   int64   `json:"to,omitempty"`   // OpAdvance
+	Term uint64  `json:"term,omitempty"` // OpTerm
 }
 
 // castagnoli is the CRC32-C table; the same polynomial storage systems use,
@@ -127,11 +133,24 @@ func decodeRecord(line []byte) (Record, error) {
 		return Record{}, fmt.Errorf("wal: bad record JSON: %w", err)
 	}
 	switch r.Op {
-	case OpSubmit, OpCancel, OpAdvance, OpDrain:
+	case OpSubmit, OpCancel, OpAdvance, OpDrain, OpFloor, OpTerm:
 	default:
 		return Record{}, fmt.Errorf("wal: unknown op %q at seq %d", r.Op, r.Seq)
 	}
 	return r, nil
+}
+
+// EncodeRecord appends r as one CRC-framed journal line (newline included)
+// onto dst — the exact bytes Append would write. Exported for the
+// replication endpoint, which streams journal frames over HTTP.
+func EncodeRecord(dst []byte, r Record) ([]byte, error) {
+	return appendRecord(dst, r)
+}
+
+// DecodeRecord validates and decodes one framed journal line (without its
+// trailing newline) — the follower half of EncodeRecord.
+func DecodeRecord(line []byte) (Record, error) {
+	return decodeRecord(line)
 }
 
 // Coalesce appends r to ops, collapsing consecutive advances: an advance

@@ -1,0 +1,196 @@
+package wal
+
+// Tailing: the read side of journal shipping. A Tailer follows a journal
+// directory another process is actively appending to, returning complete
+// records in sequence order and never mutating anything on disk. It is the
+// primitive under follower replicas (internal/replica) and the leader's
+// /v1/wal streaming endpoint.
+//
+// The contract with the single writer makes this safe without any
+// coordination: records carry strictly increasing sequence numbers, a
+// writer only ever appends to the newest segment, and a segment becomes
+// immutable ("sealed") the moment a newer one exists. A partial or
+// CRC-failing final line is therefore either an append caught mid-frame or
+// a crash's torn tail — the Tailer stops in front of it and picks up on
+// the next call, by which time the appender has finished the frame or a
+// recovering writer has truncated it. Undecodable bytes with valid records
+// after them can only be real corruption and fail loudly, exactly like
+// recovery.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// ErrGone is returned when the record after the Tailer's position has been
+// pruned from the directory — a checkpoint retired the segments a lagging
+// reader still needed. The reader cannot continue incrementally and must
+// resync from the newest checkpoint (see Load). The retention floor
+// (Log.SetRetainFloor) exists to keep registered followers out of this
+// path; hitting it is loud by design.
+var ErrGone = errors.New("wal: tail position pruned")
+
+// Tailer incrementally reads a journal directory past a starting sequence
+// number. Not safe for concurrent use; one goroutine per Tailer.
+type Tailer struct {
+	dir  string
+	seq  uint64 // last record returned
+	path string // segment currently being read; "" means locate on next call
+	off  int64  // offset of the first unread byte in path
+}
+
+// NewTailer positions a reader so its first record will be after+1.
+func NewTailer(dir string, after uint64) *Tailer {
+	return &Tailer{dir: dir, seq: after}
+}
+
+// Seq returns the sequence number of the last record returned.
+func (t *Tailer) Seq() uint64 { return t.seq }
+
+// Next returns up to max complete records past the Tailer's position (all
+// of them when max <= 0). An empty result with a nil error means caught
+// up: nothing new is durable yet, poll again later. ErrGone means the
+// position was pruned and the reader must resync; ErrCorrupt means the
+// journal itself is damaged.
+func (t *Tailer) Next(max int) ([]Record, error) {
+	if max <= 0 {
+		max = int(^uint(0) >> 1)
+	}
+	var out []Record
+	for len(out) < max {
+		if t.path == "" {
+			ok, err := t.locate()
+			if err != nil || !ok {
+				return out, err
+			}
+		}
+		if err := t.scan(max, &out); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				// The segment was pruned while we held its path. Relocate:
+				// either a newer segment still covers our position, or the
+				// journal moved on without us and locate reports ErrGone.
+				t.path, t.off = "", 0
+				continue
+			}
+			return out, err
+		}
+		if len(out) >= max {
+			return out, nil
+		}
+		// End of the current segment. If a newer segment exists ours is
+		// sealed — one final scan (the writer never returns to a sealed
+		// segment) and then relocate picks up the successor. Otherwise we
+		// are caught up with the live appender.
+		newer, err := t.newerSegmentExists()
+		if err != nil {
+			return out, err
+		}
+		if !newer {
+			return out, nil
+		}
+		if err := t.scan(max, &out); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return out, err
+		}
+		t.path, t.off = "", 0
+	}
+	return out, nil
+}
+
+// locate finds the segment containing seq+1 and positions the Tailer at
+// its start (records at or below seq inside it are skipped by scan).
+// Returns false with a nil error when the journal holds nothing past the
+// position yet.
+func (t *Tailer) locate() (bool, error) {
+	segs, err := listSorted(t.dir, segPrefix, segSuffix)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil // directory not created yet
+		}
+		return false, err
+	}
+	if len(segs) == 0 {
+		if t.seq == 0 {
+			return false, nil // journal never written
+		}
+		return false, fmt.Errorf("%w: no segments left in %s, reader at seq %d", ErrGone, t.dir, t.seq)
+	}
+	want := t.seq + 1
+	idx := -1
+	for i, s := range segs {
+		if s.first <= want {
+			idx = i
+		}
+	}
+	if idx == -1 {
+		return false, fmt.Errorf("%w: next record %d precedes oldest segment %s", ErrGone, want, segs[0].path)
+	}
+	t.path, t.off = segs[idx].path, 0
+	return true, nil
+}
+
+// scan decodes complete framed lines from the current segment starting at
+// the stored offset, appending records past the Tailer's position onto out
+// (up to max total). It stops in front of a partial or undecodable final
+// line — an in-flight append or a torn crash tail — leaving the offset
+// there for the next call.
+func (t *Tailer) scan(max int, out *[]Record) error {
+	data, err := os.ReadFile(t.path)
+	if err != nil {
+		return err // fs.ErrNotExist bubbles to Next's relocate path
+	}
+	if t.off > int64(len(data)) {
+		// We never move the offset past undecodable bytes, and a recovering
+		// writer only ever truncates those, so a file shrinking below the
+		// offset means the journal was rewritten under us.
+		return fmt.Errorf("%w: segment %s shrank below read offset %d", ErrCorrupt, t.path, t.off)
+	}
+	for t.off < int64(len(data)) && len(*out) < max {
+		rest := data[t.off:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return nil // partial final line: the appender is mid-frame
+		}
+		r, decErr := decodeRecord(rest[:nl])
+		if decErr != nil {
+			if anyValidRecord(rest[nl+1:]) {
+				return fmt.Errorf("%w: %s at byte %d: %v", ErrCorrupt, t.path, t.off, decErr)
+			}
+			return nil // torn tail: wait for the writer to finish or truncate it
+		}
+		if r.Seq > t.seq {
+			if r.Seq != t.seq+1 {
+				return fmt.Errorf("%w: %s jumps from seq %d to %d", ErrCorrupt, t.path, t.seq, r.Seq)
+			}
+			*out = append(*out, r)
+			t.seq = r.Seq
+		}
+		t.off += int64(nl) + 1
+	}
+	return nil
+}
+
+// newerSegmentExists reports whether the directory holds a segment past
+// the one currently being read.
+func (t *Tailer) newerSegmentExists() (bool, error) {
+	first, ok := parseSeq(filepath.Base(t.path), segPrefix, segSuffix)
+	if !ok {
+		return false, fmt.Errorf("wal: unparseable segment name %s", t.path)
+	}
+	segs, err := listSorted(t.dir, segPrefix, segSuffix)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	for _, s := range segs {
+		if s.first > first {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,345 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"testing"
+)
+
+// drainTailer pulls everything currently available.
+func drainTailer(t *testing.T, tl *Tailer) []Record {
+	t.Helper()
+	recs, err := tl.Next(0)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	return recs
+}
+
+func TestLoadDoesNotTruncateLiveJournal(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Record{submitRec(1), submitRec(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an appender caught mid-frame: the first half of a valid
+	// record at the tail of the active segment, exactly what a concurrent
+	// reader can observe during a write(2).
+	rec3 := submitRec(3)
+	rec3.Seq = 3
+	frame, err := EncodeRecord(nil, rec3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := l.SegmentPath()
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(frame[:len(frame)/2])
+	f.Close()
+	before, _ := os.Stat(seg)
+
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(st.Tail) != 2 || st.NextSeq != 3 {
+		t.Fatalf("read-only load saw %d records, NextSeq %d", len(st.Tail), st.NextSeq)
+	}
+	if st.TruncatedBytes == 0 {
+		t.Fatal("read-only load did not report the torn bytes")
+	}
+	after, _ := os.Stat(seg)
+	if after.Size() != before.Size() {
+		t.Fatalf("Load mutated a live journal: segment %d bytes -> %d", before.Size(), after.Size())
+	}
+	// The appender finishes its write: the frame Load refused to truncate
+	// completes, and the next read-only load sees the record whole.
+	f, _ = os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write(frame[len(frame)/2:])
+	f.Close()
+	st, err = Load(dir)
+	if err != nil {
+		t.Fatalf("Load after frame completion: %v", err)
+	}
+	if len(st.Tail) != 3 || st.Tail[2].Seq != 3 || st.TruncatedBytes != 0 {
+		t.Fatalf("completed frame lost: %d records, truncated %d", len(st.Tail), st.TruncatedBytes)
+	}
+}
+
+func TestLoadDoesNotTakeWriterLock(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Record{submitRec(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// The writer holds the flock; a read-only Load must not care.
+	if _, err := Load(dir); err != nil {
+		t.Fatalf("Load against a locked live journal: %v", err)
+	}
+	// And Load must not leave a lock behind that blocks a future writer.
+	l.Close()
+	if _, _, err := Open(dir, Options{}); err != nil {
+		t.Fatalf("reopen after Load: %v", err)
+	}
+}
+
+func TestTailerFollowsAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	tl := NewTailer(dir, 0)
+
+	if err := l.Append([]Record{submitRec(1), submitRec(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainTailer(t, tl); len(got) != 2 || got[1].Seq != 2 {
+		t.Fatalf("first drain = %+v", got)
+	}
+	// Checkpoint rotates to a fresh segment; the tailer must cross the
+	// boundary without losing or duplicating records.
+	if err := l.Checkpoint(Meta{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Record{submitRec(3), submitRec(4)}); err != nil {
+		t.Fatal(err)
+	}
+	got := drainTailer(t, tl)
+	if len(got) != 2 || got[0].Seq != 3 || got[1].Seq != 4 {
+		t.Fatalf("post-rotation drain = %+v", got)
+	}
+	if tl.Seq() != 4 {
+		t.Fatalf("tailer seq = %d, want 4", tl.Seq())
+	}
+	// Caught up: polling again returns nothing, no error.
+	if got := drainTailer(t, tl); len(got) != 0 {
+		t.Fatalf("caught-up drain returned %d records", len(got))
+	}
+	// Records appended after a quiet poll still arrive.
+	if err := l.Append([]Record{submitRec(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainTailer(t, tl); len(got) != 1 || got[0].Seq != 5 {
+		t.Fatalf("post-quiet drain = %+v", got)
+	}
+}
+
+func TestTailerRestartMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	var recs []Record
+	for i := 1; i <= 10; i++ {
+		recs = append(recs, submitRec(i))
+	}
+	if err := l.Append(recs); err != nil {
+		t.Fatal(err)
+	}
+	// A reader that died at seq 6 resumes exactly after it, even though 6
+	// sits in the middle of a segment.
+	tl := NewTailer(dir, 6)
+	got := drainTailer(t, tl)
+	if len(got) != 4 || got[0].Seq != 7 || got[3].Seq != 10 {
+		t.Fatalf("mid-segment restart drain = %+v", got)
+	}
+	// Restarting past the end is simply caught up.
+	if got := drainTailer(t, NewTailer(dir, 10)); len(got) != 0 {
+		t.Fatalf("at-end restart returned %d records", len(got))
+	}
+}
+
+func TestTailerBatchLimit(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	var recs []Record
+	for i := 1; i <= 7; i++ {
+		recs = append(recs, submitRec(i))
+	}
+	if err := l.Append(recs); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(dir, 0)
+	for _, want := range []int{3, 3, 1, 0} {
+		got, err := tl.Next(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != want {
+			t.Fatalf("Next(3) returned %d records, want %d", len(got), want)
+		}
+	}
+	if tl.Seq() != 7 {
+		t.Fatalf("tailer seq = %d, want 7", tl.Seq())
+	}
+}
+
+func TestTailerStopsAtTornTailThenResumes(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Record{submitRec(1)}); err != nil {
+		t.Fatal(err)
+	}
+	seg := l.SegmentPath()
+	l.Close()
+	f, _ := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString(`deadbeef {"s":2,"op":"sub`)
+	f.Close()
+
+	tl := NewTailer(dir, 0)
+	if got := drainTailer(t, tl); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("torn-tail drain = %+v", got)
+	}
+	// A recovering writer truncates the torn frame and appends fresh
+	// records; the stopped tailer continues seamlessly.
+	l2, _ := mustOpen(t, dir)
+	if err := l2.Append([]Record{submitRec(2), submitRec(3)}); err != nil {
+		t.Fatal(err)
+	}
+	got := drainTailer(t, tl)
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Fatalf("post-truncate drain = %+v", got)
+	}
+}
+
+func TestTailerGoneAfterPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Record{submitRec(1), submitRec(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint prunes the only segment holding seqs 1-2; a reader
+	// still positioned at 0 cannot continue incrementally.
+	if err := l.Checkpoint(Meta{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(dir, 0)
+	if _, err := tl.Next(0); !errors.Is(err, ErrGone) {
+		t.Fatalf("pruned tail: err = %v, want ErrGone", err)
+	}
+}
+
+func TestRetainFloorKeepsSegmentsForLaggingFollower(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Record{submitRec(1), submitRec(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// A registered follower has only acknowledged seq 0; the retention
+	// floor must keep the segment alive through the checkpoint.
+	l.SetRetainFloor(0)
+	if err := l.Checkpoint(Meta{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(dir, 0)
+	got := drainTailer(t, tl)
+	if len(got) != 2 || got[0].Seq != 1 {
+		t.Fatalf("retained drain = %+v", got)
+	}
+	if l.OldestSeq() != 1 {
+		t.Fatalf("OldestSeq = %d, want 1", l.OldestSeq())
+	}
+	// The follower catches up and acks; the next checkpoint may prune.
+	l.SetRetainFloor(l.Seq())
+	if err := l.Append([]Record{submitRec(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(Meta{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTailer(dir, 0).Next(0); !errors.Is(err, ErrGone) {
+		t.Fatalf("caught-up floor: err = %v, want ErrGone after prune", err)
+	}
+}
+
+func TestTailerConcurrentWithAppender(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	const total = 400
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= total; i++ {
+			if err := l.Append([]Record{submitRec(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%97 == 0 {
+				// Rotations mid-stream: the floor keeps everything readable.
+				l.SetRetainFloor(0)
+				if err := l.Checkpoint(Meta{}, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	tl := NewTailer(dir, 0)
+	var got []Record
+	for len(got) < total {
+		recs, err := tl.Next(16)
+		if err != nil {
+			t.Fatalf("concurrent tail: %v (at %d records)", err, len(got))
+		}
+		got = append(got, recs...)
+	}
+	wg.Wait()
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestFloorAndTermRecordsSurviveReload(t *testing.T) {
+	// Regression: OpFloor was journaled (federated preload fencing) but
+	// missing from the decode switch, so any journal holding one failed to
+	// reload. OpTerm rides the same check.
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	recs := []Record{submitRec(1), {Op: OpFloor, ID: 500}, {Op: OpTerm, Term: 3}}
+	if err := l.Append(recs); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(st.Tail) != 3 {
+		t.Fatalf("reloaded %d records, want 3", len(st.Tail))
+	}
+	if st.Tail[1].Op != OpFloor || st.Tail[1].ID != 500 {
+		t.Fatalf("floor record corrupted: %+v", st.Tail[1])
+	}
+	if st.Tail[2].Op != OpTerm || st.Tail[2].Term != 3 {
+		t.Fatalf("term record corrupted: %+v", st.Tail[2])
+	}
+}
+
+func TestRecordFrameRoundTrip(t *testing.T) {
+	r := Record{Seq: 42, Op: OpTerm, Term: 7}
+	line, err := EncodeRecord(nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRecord(line[:len(line)-1]) // strip newline
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Fatalf("round trip: %+v != %+v", back, r)
+	}
+	m := Meta{Format: FormatVersion, Seq: 9, SimNow: 123, NextID: 4, StateHash: 99}
+	mline, err := EncodeMeta(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mback, err := DecodeMeta(mline[:len(mline)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mback != m {
+		t.Fatalf("meta round trip: %+v != %+v", mback, m)
+	}
+}

@@ -70,9 +70,10 @@ type Log struct {
 	lock *os.File
 	f    *os.File // active segment
 	segs []segInfo
-	seq  uint64 // last assigned sequence number
-	ckpt uint64 // seq covered by the newest durable checkpoint (0: none)
-	buf  []byte // append scratch, reused across batches
+	seq    uint64 // last assigned sequence number
+	ckpt   uint64 // seq covered by the newest durable checkpoint (0: none)
+	retain uint64 // keep segments holding records past this seq (follower floor)
+	buf    []byte // append scratch, reused across batches
 }
 
 // Open locks dir (creating it if needed), recovers the durable state —
@@ -83,7 +84,7 @@ func Open(dir string, opts Options) (*Log, *State, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, retain: ^uint64(0)}
 	if !opts.NoLock {
 		lf, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
 		if err != nil {
@@ -95,7 +96,7 @@ func Open(dir string, opts Options) (*Log, *State, error) {
 		}
 		l.lock = lf
 	}
-	st, segs, err := load(dir)
+	st, segs, err := load(dir, true)
 	if err != nil {
 		l.Close()
 		return nil, nil, err
@@ -141,6 +142,28 @@ func (l *Log) SegmentPath() string {
 // TailRecords reports how many journal records sit past the newest
 // checkpoint — the length of the replay tail a recovery would process now.
 func (l *Log) TailRecords() uint64 { return l.seq - l.ckpt }
+
+// SetRetainFloor tells pruning to keep every segment holding records past
+// seq — the minimum acknowledged position across registered follower
+// replicas, so a lagging follower can keep tailing incrementally instead
+// of being forced into a full-checkpoint resync. The default (MaxUint64)
+// retains nothing extra. Takes effect at the next Checkpoint.
+func (l *Log) SetRetainFloor(seq uint64) { l.retain = seq }
+
+// RetainFloor returns the current follower retention floor.
+func (l *Log) RetainFloor() uint64 { return l.retain }
+
+// OldestSeq returns the first sequence number still readable from the
+// journal's segments (0 when the journal is empty) — a tail reader
+// positioned before it must resync from the checkpoint instead.
+func (l *Log) OldestSeq() uint64 {
+	for _, s := range l.segs {
+		if s.last >= s.first {
+			return s.first
+		}
+	}
+	return 0
+}
 
 // Append assigns sequence numbers to recs, writes them as one buffered
 // write, and (with Options.Fsync) syncs once for the whole batch — the
@@ -232,8 +255,10 @@ func (l *Log) Checkpoint(meta Meta, ops []Record) error {
 }
 
 // prune removes checkpoints older than the newest one and segments fully
-// covered by it. Best effort: a leftover file is re-pruned on the next
-// checkpoint and never confuses recovery, which filters by sequence.
+// covered by it — except segments still above the follower retention floor
+// (SetRetainFloor), which a registered replica has yet to acknowledge.
+// Best effort: a leftover file is re-pruned on the next checkpoint and
+// never confuses recovery, which filters by sequence.
 func (l *Log) prune() {
 	entries, err := os.ReadDir(l.dir)
 	if err != nil {
@@ -250,7 +275,7 @@ func (l *Log) prune() {
 	active := len(l.segs) - 1
 	keep := l.segs[:0]
 	for i, s := range l.segs {
-		if i != active && s.last <= l.ckpt {
+		if i != active && s.last <= l.ckpt && s.last <= l.retain {
 			os.Remove(s.path)
 			continue
 		}

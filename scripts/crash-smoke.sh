@@ -10,12 +10,18 @@
 # processes with per-shard journals: one member is SIGKILLed per cycle, its
 # three siblings must keep serving reads and acknowledging writes the whole
 # time it is down, and the victim must recover to its shadow replay's hash.
-# Run via `make crash-smoke`.
+#
+# The third drill is failover instead of restart: a leader with a follower
+# replica behind it is SIGKILLed mid-burst, and the follower must
+# self-promote (health probes against the dead leader), land on the shadow
+# replay's state hash with every acknowledged write present, and accept new
+# writes as the next cycle's leader. Run via `make crash-smoke`.
 set -eu
 
 iters=${CRASH_ITERS:-5}
 burst=${CRASH_BURST:-300ms}
 fed_iters=${CRASH_FED_ITERS:-4}
+promote_iters=${CRASH_PROMOTE_ITERS:-5}
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -31,4 +37,8 @@ go build -o "$workdir/schedload" ./cmd/schedload
     -data-dir "$workdir/fedjournal" \
     -procs 32 -writers 4 -iters "$fed_iters" -burst "$burst"
 
-echo "crash-smoke: OK ($iters single + $fed_iters federated SIGKILL/recover cycles, no acknowledged write lost)"
+"$workdir/schedload" -promote -schedd "$workdir/schedd" \
+    -data-dir "$workdir/promotejournal" \
+    -procs 32 -writers 2 -iters "$promote_iters" -burst "$burst"
+
+echo "crash-smoke: OK ($iters single + $fed_iters federated SIGKILL/recover cycles + $promote_iters leader-kill/promote cycles, no acknowledged write lost)"
