@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-verbose race serve-race fed-race replica-race vet bench bench-json bench-gate doclint experiments results examples cover clean fuzz-smoke check serve-smoke crash-smoke
+.PHONY: all build test test-verbose race serve-race fed-race replica-race vet bench bench-json bench-gate doclint experiments results examples cover clean fuzz-smoke check serve-smoke crash-smoke quorum-smoke
 
 all: build vet test
 
 # The full pre-merge gate: compile, vet, doc-comment lint, unit tests,
 # race detector, a short smoke run of every fuzz target (see fuzz-smoke),
-# and the SIGKILL/recover durability drill (see crash-smoke).
-check: build vet doclint test race fuzz-smoke crash-smoke
+# the SIGKILL/recover durability drill (see crash-smoke), and the
+# follower-kill quorum drill (see quorum-smoke).
+check: build vet doclint test race fuzz-smoke crash-smoke quorum-smoke
 
 build:
 	$(GO) build ./...
@@ -60,7 +61,7 @@ bench:
 # recovery), the federation routing/merge path in internal/fed, and the
 # replication apply/read path in internal/replica — and writes the
 # machine-readable run to bench_current.json; bench-gate compares it
-# against the committed BENCH_PR8.json baseline and fails on any
+# against the committed BENCH_PR9.json baseline and fails on any
 # regression beyond BENCH_TOLERANCE (a fraction: 0.20 = 20%).
 BENCHTIME ?= 1s
 BENCH_TOLERANCE ?= 0.20
@@ -71,7 +72,7 @@ bench-json:
 		| $(GO) run ./cmd/benchdiff -parse > bench_current.json
 
 bench-gate: bench-json
-	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR8.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR9.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
 
 # Short fuzzing pass over every fuzz target. Each target gets FUZZTIME of
 # coverage-guided input generation on top of its checked-in seed corpus;
@@ -87,6 +88,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedulerRun -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/fed -run='^$$' -fuzz=FuzzShardRouter -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/fed -run='^$$' -fuzz=FuzzReadBalancer -fuzztime=$(FUZZTIME)
 
 # Every package must carry a doc comment; see scripts/doclint.sh.
 doclint:
@@ -105,6 +107,14 @@ serve-smoke:
 # no acknowledged write lost.
 crash-smoke:
 	sh scripts/crash-smoke.sh
+
+# Quorum drill: a two-shard federation with -ack-quorum 1 and two
+# followers per shard; one follower is SIGKILLed mid-burst per cycle.
+# Writes must keep acknowledging through the survivor, no acknowledged
+# write may be lost (per-shard shadow replay), and the quorum counters
+# must show zero degraded or rejected writes.
+quorum-smoke:
+	sh scripts/quorum-smoke.sh
 
 # Regenerate every paper table/figure and the extension studies.
 experiments:

@@ -1,0 +1,188 @@
+// Command doclint enforces doc comments on exported identifiers.
+//
+// Usage:
+//
+//	doclint [-allow file] dir [dir...]
+//
+// It parses every non-test .go file in each directory (not recursing) and
+// reports exported top-level identifiers — functions, methods on exported
+// types, and every exported type, const, and var spec — that carry no doc
+// comment. godoc and pkg.go.dev render such identifiers with an empty
+// synopsis, and in this codebase the doc comment is where an exported
+// name's contract lives; an undocumented export is a review failure, so
+// it is a lint failure too.
+//
+// The allowlist file (one identifier per line, "pkgdir.Name" or
+// "pkgdir.Type.Method", # comments allowed) exempts identifiers whose
+// names are their entire contract. Keep it short: the allowlist is for
+// the rare self-evident export, not a pressure valve.
+//
+// Run via scripts/doclint.sh (part of `make check`).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	allowFile := flag.String("allow", "", "allowlist file: one exempt identifier per line (dir.Name)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doclint [-allow file] dir [dir...]")
+		os.Exit(2)
+	}
+	allow, err := loadAllow(*allowFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+	var missing []string
+	used := make(map[string]bool)
+	for _, dir := range flag.Args() {
+		m, err := lintDir(dir, allow, used)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		missing = append(missing, m...)
+	}
+	for key := range allow {
+		if !used[key] {
+			missing = append(missing, fmt.Sprintf("%s: allowlisted but not found (stale allowlist entry)", key))
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "doclint: %s\n", m)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) without doc comments\n", len(missing))
+		os.Exit(1)
+	}
+}
+
+// loadAllow reads the allowlist: one identifier per line, blank lines and
+// # comments skipped.
+func loadAllow(path string) (map[string]bool, error) {
+	allow := make(map[string]bool)
+	if path == "" {
+		return allow, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		allow[line] = true
+	}
+	return allow, sc.Err()
+}
+
+// lintDir checks one package directory and returns the undocumented
+// exported identifiers, marking consumed allowlist entries in used.
+func lintDir(dir string, allow, used map[string]bool) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	fset := token.NewFileSet()
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range file.Decls {
+			missing = append(missing, lintDecl(fset, dir, decl, allow, used)...)
+		}
+	}
+	return missing, nil
+}
+
+// lintDecl reports the undocumented exported identifiers one top-level
+// declaration introduces.
+func lintDecl(fset *token.FileSet, dir string, decl ast.Decl, allow, used map[string]bool) []string {
+	var missing []string
+	report := func(pos token.Pos, name string) {
+		key := filepath.Base(dir) + "." + name
+		if allow[key] {
+			used[key] = true
+			return
+		}
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s has no doc comment", p.Filename, p.Line, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		name := d.Name.Name
+		if d.Recv != nil && len(d.Recv.List) == 1 {
+			recv := receiverType(d.Recv.List[0].Type)
+			if !ast.IsExported(recv) {
+				return nil // method on an unexported type: not API surface
+			}
+			name = recv + "." + name
+		}
+		if !ast.IsExported(d.Name.Name) {
+			return nil
+		}
+		if d.Doc == nil {
+			report(d.Pos(), name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if ast.IsExported(sp.Name.Name) && sp.Doc == nil && d.Doc == nil {
+					report(sp.Pos(), sp.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// A const/var spec is documented by its own comment or by
+				// the group's: a documented block covers its members (the
+				// idiomatic grouped-const form).
+				if sp.Doc != nil || d.Doc != nil {
+					continue
+				}
+				for _, n := range sp.Names {
+					if ast.IsExported(n.Name) {
+						report(n.Pos(), n.Name)
+					}
+				}
+			}
+		}
+	}
+	return missing
+}
+
+// receiverType unwraps a method receiver to its type name.
+func receiverType(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr: // generic receiver
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

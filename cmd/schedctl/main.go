@@ -10,6 +10,7 @@
 //	schedctl info         # durability: journal position, checkpoint age
 //	schedctl shards       # federation only: per-shard state table
 //	schedctl replication  # leader/follower position, lag, registered followers
+//	schedctl routing      # federation read routing: follower rotation, lag, ejections
 //	schedctl promote      # promote a follower replica to leader
 //
 // The daemon address comes from -addr or the SCHEDD_ADDR environment
@@ -55,7 +56,7 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	addr := fs.String("addr", defaultAddr(), "schedd base URL")
 	fs.Usage = func() {
-		fmt.Fprintf(out, "usage: schedctl [-addr URL] <submit|stat|cancel|queue|info|shards|replication|promote|health|metrics> [args]\n")
+		fmt.Fprintf(out, "usage: schedctl [-addr URL] <submit|stat|cancel|queue|info|shards|replication|routing|promote|health|metrics> [args]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +84,8 @@ func run(args []string, out io.Writer) error {
 		return c.shards()
 	case "replication":
 		return c.replication()
+	case "routing":
+		return c.routing()
 	case "promote":
 		return c.promote()
 	case "health":
@@ -321,8 +324,12 @@ type replicationInfo struct {
 	LagVirtual  int64  `json:"lag_virtual_time"`
 	Resyncs     int64  `json:"resyncs"`
 	RetainFloor uint64 `json:"retain_floor"`
+	AckQuorum   int    `json:"ack_quorum"`
+	QuorumDeg   int64  `json:"quorum_degraded"`
+	QuorumRej   int64  `json:"quorum_rejected"`
 	Followers   []struct {
 		ID       string  `json:"id"`
+		Addr     string  `json:"addr"`
 		AckedSeq uint64  `json:"acked_seq"`
 		AgeSec   float64 `json:"age_sec"`
 	} `json:"followers"`
@@ -343,8 +350,22 @@ func (c *client) printReplication(ri replicationInfo) {
 		if ri.Resyncs > 0 {
 			fmt.Fprintf(c.out, "full resyncs served: %d (retention lost the incremental race)\n", ri.Resyncs)
 		}
+		if ri.AckQuorum > 0 {
+			line := fmt.Sprintf("ack quorum: %d follower(s) per write", ri.AckQuorum)
+			if ri.QuorumDeg > 0 {
+				line += fmt.Sprintf("  degraded acks %d", ri.QuorumDeg)
+			}
+			if ri.QuorumRej > 0 {
+				line += fmt.Sprintf("  rejected writes %d", ri.QuorumRej)
+			}
+			fmt.Fprintln(c.out, line)
+		}
 		for _, f := range ri.Followers {
-			fmt.Fprintf(c.out, "follower %s  acked seq %d  last seen %.1fs ago\n", f.ID, f.AckedSeq, f.AgeSec)
+			line := fmt.Sprintf("follower %s  acked seq %d  last seen %.1fs ago", f.ID, f.AckedSeq, f.AgeSec)
+			if f.Addr != "" {
+				line += "  reads at " + f.Addr
+			}
+			fmt.Fprintln(c.out, line)
 		}
 	case "follower":
 		fmt.Fprintf(c.out, "follower of %s  term %d\n", ri.Source, ri.Term)
@@ -365,6 +386,48 @@ func (c *client) replication() error {
 		return err
 	}
 	c.printReplication(ri)
+	return nil
+}
+
+// routing renders GET /v1/debug/routing: the front end's read-route mode
+// and, under replica routing, each shard's follower rotation.
+func (c *client) routing() error {
+	var info struct {
+		ReadRoute string `json:"read_route"`
+		Shards    []struct {
+			Shard        int    `json:"shard"`
+			LeaderSeq    uint64 `json:"leader_seq"`
+			MaxLagOps    uint64 `json:"max_lag_ops"`
+			Proxied      int64  `json:"proxied"`
+			Fallbacks    int64  `json:"fallbacks"`
+			Ejections    int64  `json:"ejections"`
+			Readmissions int64  `json:"readmissions"`
+			Followers    []struct {
+				ID       string  `json:"id"`
+				Addr     string  `json:"addr"`
+				AckedSeq uint64  `json:"acked_seq"`
+				LagOps   uint64  `json:"lag_ops"`
+				AgeSec   float64 `json:"age_sec"`
+				Eligible bool    `json:"eligible"`
+			} `json:"followers"`
+		} `json:"shards"`
+	}
+	if err := c.do("GET", "/v1/debug/routing", nil, &info); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "read route: %s\n", info.ReadRoute)
+	for _, s := range info.Shards {
+		fmt.Fprintf(c.out, "shard %d  leader seq %d  max lag %d ops  proxied %d  fallbacks %d  ejections %d  readmissions %d\n",
+			s.Shard, s.LeaderSeq, s.MaxLagOps, s.Proxied, s.Fallbacks, s.Ejections, s.Readmissions)
+		for _, f := range s.Followers {
+			state := "ejected"
+			if f.Eligible {
+				state = "in rotation"
+			}
+			fmt.Fprintf(c.out, "  follower %s  %s  acked seq %d  lag %d ops  seen %.1fs ago  %s\n",
+				f.ID, f.Addr, f.AckedSeq, f.LagOps, f.AgeSec, state)
+		}
+	}
 	return nil
 }
 

@@ -24,6 +24,12 @@
 // extends the guarantee from process crashes to machine crashes at the
 // cost of one sync per commit batch.
 //
+// With -follow the daemon runs as a read replica of another schedd (see
+// internal/replica); with -ack-quorum K a durable leader additionally
+// holds each write until K followers have acked it, and with
+// -read-route replica the front end spreads reads across the registered
+// followers (see internal/fed and OPERATIONS.md for topology recipes).
+//
 // SIGINT/SIGTERM drain gracefully: admissions stop, the remaining schedule
 // fast-forwards to completion, and the exit status reflects whether the
 // audited run finished clean.
@@ -91,8 +97,15 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		replOf   = fs.String("replica-of", "", "alias for -follow")
 		replID   = fs.String("follower-id", "", "follower name in the leader's registry (pins the journal retention floor); defaults to follower-<pid>")
 		replPoll = fs.Duration("replica-poll", 25*time.Millisecond, "replication pull interval")
+		replWait = fs.Duration("replica-wait", 0, "long-poll duration for caught-up replication pulls; 0 polls at -replica-poll only. Long polls cut ack latency, which is what -ack-quorum waits on")
+		advert   = fs.String("advertise", "auto", "read URL this follower registers with its leader for replica-routed reads; \"auto\" advertises the listen address, \"none\" (or empty) registers no read address")
 		promAft  = fs.Int("promote-after", 0, "self-promote to leader after this many consecutive failed leader health probes; 0 never promotes automatically")
 		leadURL  = fs.String("leader-health", "", "leader liveness probe base URL for -promote-after (defaults to -follow when it is an HTTP URL)")
+		ackQ     = fs.Int("ack-quorum", 0, "hold each write until this many TTL-live followers have durably acked its batch; 0 acks on leader durability alone")
+		ackQTo   = fs.Duration("ack-quorum-timeout", 2*time.Second, "how long a write waits for the -ack-quorum before degrading or failing")
+		ackQDeg  = fs.Bool("ack-quorum-degrade", false, "on quorum timeout, ack on leader durability alone (counted in /v1/debug/replication) instead of failing the write with 503")
+		readRt   = fs.String("read-route", "leader", "read-routing policy: leader (serve reads locally) or replica (spread reads across registered followers; implies the federation front end even at -shards 1)")
+		maxLag   = fs.Uint64("max-lag-ops", 0, "replica routing staleness bound: followers more than this many journal records behind are ejected from read rotation; 0 means the built-in default")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,8 +135,17 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 			Fsync:           *fsyncOn,
 			CheckpointEvery: *ckptInt,
 			CheckpointOps:   *ckptOps,
+			AckQuorum:       *ackQ,
+			QuorumTimeout:   *ackQTo,
+			QuorumDegrade:   *ackQDeg,
 		},
 	}
+	switch *readRt {
+	case "leader", "replica":
+	default:
+		return fmt.Errorf("-read-route must be leader or replica, have %q", *readRt)
+	}
+	routed := *readRt == "replica"
 
 	// svc is the daemon behind the HTTP listener: a single serve.Server, a
 	// federation front end over -shards of them, or a follower replica.
@@ -146,14 +168,33 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		if *swfPath != "" || *model != "" {
 			return fmt.Errorf("a follower's workload comes from its leader; drop -swf/-model")
 		}
+		if routed {
+			return fmt.Errorf("-read-route is a front-end (leader-side) policy; a follower serves its own reads")
+		}
 		id := *replID
 		if id == "" {
 			id = fmt.Sprintf("follower-%d", os.Getpid())
+		}
+		// Listen before building the replica so "-advertise auto" can
+		// register the real listen address (which :0 only yields here).
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		url := "http://" + ln.Addr().String()
+		adv := *advert
+		switch adv {
+		case "auto":
+			adv = url
+		case "none":
+			adv = ""
 		}
 		rep, err := replica.New(replica.Options{
 			Source:      *follow,
 			Serve:       so,
 			ID:          id,
+			Advertise:   adv,
+			Wait:        *replWait,
 			PromoteDir:  *dataDir,
 			Fsync:       *fsyncOn,
 			Poll:        *replPoll,
@@ -161,16 +202,12 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 			AutoPromote: *promAft,
 		})
 		if err != nil {
+			ln.Close()
 			return err
 		}
 		svc = rep
 		defer svc.Close()
 
-		ln, err := net.Listen("tcp", *addr)
-		if err != nil {
-			return err
-		}
-		url := "http://" + ln.Addr().String()
 		fmt.Fprintf(out, "schedd: %s(%s) on %d procs, following %s, listening on %s\n",
 			*kind, *policy, *procs, *follow, url)
 		if ready != nil {
@@ -178,11 +215,12 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		}
 		return serveLoop(ctx, out, ln, svc)
 	}
-	if *shards > 1 {
+	if *shards > 1 || routed {
 		if *mboxRd {
-			return fmt.Errorf("-mailbox-reads is a single-daemon A/B baseline and cannot combine with -shards")
+			return fmt.Errorf("-mailbox-reads is a single-daemon A/B baseline and cannot combine with -shards or -read-route replica")
 		}
-		f, err := fed.New(fed.Options{Shards: *shards, Route: *route, Shard: so, DataDir: *dataDir})
+		f, err := fed.New(fed.Options{Shards: *shards, Route: *route, Shard: so, DataDir: *dataDir,
+			ReadRoute: *readRt, MaxLagOps: *maxLag})
 		if err != nil {
 			return err
 		}
@@ -250,12 +288,16 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		return err
 	}
 	url := "http://" + ln.Addr().String()
+	routeNote := ""
+	if routed {
+		routeNote = ", read-route replica"
+	}
 	if *shards > 1 {
-		fmt.Fprintf(out, "schedd: %d×%s(%s) shards, %d procs each (%d total), route %s, speed %g, listening on %s\n",
-			*shards, *kind, *policy, *procs, *shards**procs, *route, *speed, url)
+		fmt.Fprintf(out, "schedd: %d×%s(%s) shards, %d procs each (%d total), route %s%s, speed %g, listening on %s\n",
+			*shards, *kind, *policy, *procs, *shards**procs, *route, routeNote, *speed, url)
 	} else {
-		fmt.Fprintf(out, "schedd: %s(%s) on %d procs, speed %g, listening on %s\n",
-			*kind, *policy, *procs, *speed, url)
+		fmt.Fprintf(out, "schedd: %s(%s) on %d procs%s, speed %g, listening on %s\n",
+			*kind, *policy, *procs, routeNote, *speed, url)
 	}
 	if ready != nil {
 		ready <- url

@@ -162,12 +162,65 @@ func run(args []string, out io.Writer) error {
 		replicas = fs.Int("replicas", -1, "read-replica bench: spawn a real leader plus this many journal-tailing followers (GOMAXPROCS=1 each) and measure each process's read capacity in sequential phases; 0 is the single-daemon baseline; needs -schedd")
 		wrRate   = fs.Int("write-rate", 20, "replica bench: paced writes/second across all writers during every phase; 0 runs the writers closed-loop")
 		promote  = fs.Bool("promote", false, "failover drill: SIGKILL a real leader mid-burst, require its follower to self-promote with no acknowledged write lost; needs -schedd")
+		readRt   = fs.String("read-route", "", "routed-read bench: spawn a real front end with -read-route replica plus -followers followers per shard and measure per-process read capacity in sequential phases; needs -schedd")
+		follPer  = fs.Int("followers", 2, "routed-read bench: followers per shard")
+		ackQ     = fs.Int("ack-quorum", -1, "quorum sweep: measure write QPS at every ack-quorum level 0..N with N real followers attached; needs -schedd")
+		qDrill   = fs.Bool("quorum-drill", false, "quorum crash drill: 2-shard federation with ack-quorum 1 and 2 followers per shard, SIGKILL one follower mid-burst each cycle, require every acknowledged write durable and zero degraded quorum acks; needs -schedd")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, have %d", *shards)
+	}
+	if *readRt != "" || *ackQ >= 0 || *qDrill {
+		if *kill || (*shards > 1 && *readRt == "") || *mailbox || *addr != "" || *promote || *replicas >= 0 {
+			return fmt.Errorf("quorum/routing modes run their own real daemons: drop -kill/-mailbox/-addr/-promote/-replicas")
+		}
+		n := 0
+		for _, on := range []bool{*readRt != "", *ackQ >= 0, *qDrill} {
+			if on {
+				n++
+			}
+		}
+		if n > 1 {
+			return fmt.Errorf("-read-route, -ack-quorum, and -quorum-drill are separate modes")
+		}
+		if *readRt != "" && *readRt != "replica" {
+			return fmt.Errorf("-read-route %q: the bench only routes to replicas (want replica)", *readRt)
+		}
+		cfg := killConfig{
+			scheddBin: *schedd,
+			dir:       *dataDir,
+			procs:     *procs,
+			kind:      *kind,
+			policy:    *policy,
+			fsync:     *fsyncOn,
+			writers:   max(*writers, 1),
+			iters:     *iters,
+			burst:     *burst,
+		}
+		switch {
+		case *qDrill:
+			return runQuorumDrill(cfg, out)
+		case *ackQ >= 0:
+			return runQuorumBench(quorumBenchConfig{
+				killConfig: cfg,
+				quorum:     *ackQ,
+				duration:   *duration,
+				jsonOut:    *jsonOut,
+			}, out)
+		default:
+			return runRoutedBench(routedBenchConfig{
+				killConfig: cfg,
+				shards:     *shards,
+				followers:  *follPer,
+				queue:      *queue,
+				readers:    *readers,
+				duration:   *duration,
+				jsonOut:    *jsonOut,
+			}, out)
+		}
 	}
 	if *promote || *replicas >= 0 {
 		if *kill || *shards > 1 || *mailbox || *addr != "" {

@@ -245,39 +245,7 @@ func runReplicaBench(cfg replicaBenchConfig, out io.Writer) error {
 	}
 
 	measure := func(tgt target) classStats {
-		stopAt := time.Now().Add(cfg.duration)
-		var wg sync.WaitGroup
-		readLat := make([][]time.Duration, cfg.readers)
-		readErr := make([]int, cfg.readers)
-		for r := 0; r < cfg.readers; r++ {
-			r := r
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				lat := make([]time.Duration, 0, 1<<16)
-				for i := 0; time.Now().Before(stopAt); i++ {
-					path := fmt.Sprintf("/v1/jobs/%d", ids[i%len(ids)])
-					switch i % 20 {
-					case 0:
-						path = "/v1/queue"
-					case 1:
-						path = "/metrics"
-					case 2, 3:
-						path = "/healthz"
-					}
-					t0 := time.Now()
-					code, _, err := tgt.do("GET", path, nil)
-					if err != nil || code != http.StatusOK {
-						readErr[r]++
-						continue
-					}
-					lat = append(lat, time.Since(t0))
-				}
-				readLat[r] = lat
-			}()
-		}
-		wg.Wait()
-		return summarize(readLat, readErr, cfg.duration)
+		return measureReads(tgt, ids, cfg.readers, cfg.duration)
 	}
 
 	roles := make([]string, len(endpoints))
@@ -324,6 +292,46 @@ func runReplicaBench(cfg replicaBenchConfig, out io.Writer) error {
 		rep.AggregateReadQPS, rep.ScalingOverLeader)
 	printClass(out, "writes", writes)
 	return nil
+}
+
+// measureReads runs the standard read mix (80% status, 10% healthz, 5%
+// queue, 5% metrics) against one target with `readers` closed-loop
+// goroutines for `duration` and summarizes the samples. Shared by the
+// replica bench and the routed-read bench so their phases are comparable.
+func measureReads(tgt target, ids []int, readers int, duration time.Duration) classStats {
+	stopAt := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	readLat := make([][]time.Duration, readers)
+	readErr := make([]int, readers)
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, 1<<16)
+			for i := 0; time.Now().Before(stopAt); i++ {
+				path := fmt.Sprintf("/v1/jobs/%d", ids[i%len(ids)])
+				switch i % 20 {
+				case 0:
+					path = "/v1/queue"
+				case 1:
+					path = "/metrics"
+				case 2, 3:
+					path = "/healthz"
+				}
+				t0 := time.Now()
+				code, _, err := tgt.do("GET", path, nil)
+				if err != nil || code != http.StatusOK {
+					readErr[r]++
+					continue
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			readLat[r] = lat
+		}()
+	}
+	wg.Wait()
+	return summarize(readLat, readErr, duration)
 }
 
 // replicaEndpoint is one serving process's isolated read phase.

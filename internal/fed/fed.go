@@ -47,13 +47,25 @@ type Options struct {
 	// DataDir, when set, gives shard i its own journal directory
 	// DataDir/shard-<i> (created if missing). Empty runs in-memory.
 	DataDir string
+	// ReadRoute names the read-routing policy: "leader" (default) renders
+	// every read from the shard leaders' published snapshots; "replica"
+	// spreads reads across each shard's registered followers whose
+	// replication lag is within MaxLagOps, falling back to the leader when
+	// no follower qualifies (see readroute.go).
+	ReadRoute string
+	// MaxLagOps bounds follower staleness for replica read routing: a
+	// follower more than this many journal records behind its leader's
+	// durable position is ejected from read rotation until it catches up.
+	// Zero means DefaultMaxLagOps.
+	MaxLagOps uint64
 }
 
 // Federation is a scatter-gather front end over N cluster shards.
 type Federation struct {
-	opts   Options
-	router Router
-	shards []serve.Shard
+	opts      Options
+	router    Router
+	shards    []serve.Shard
+	balancers []*ReadBalancer // per shard; nil slice when ReadRoute is "leader"
 }
 
 // ShardDir names shard i's journal directory under a federation data dir.
@@ -100,6 +112,20 @@ func New(opts Options) (*Federation, error) {
 	if err := f.reserveFloor(f.maxKnownID()); err != nil {
 		f.Close()
 		return nil, err
+	}
+	switch opts.ReadRoute {
+	case "", "leader":
+	case "replica":
+		maxLag := opts.MaxLagOps
+		if maxLag == 0 {
+			maxLag = DefaultMaxLagOps
+		}
+		for _, sh := range f.shards {
+			f.balancers = append(f.balancers, newReadBalancer(sh, maxLag))
+		}
+	default:
+		f.Close()
+		return nil, fmt.Errorf("fed: unknown read route %q (want leader or replica)", opts.ReadRoute)
 	}
 	return f, nil
 }
@@ -233,24 +259,39 @@ func (f *Federation) liveLoads() []Load {
 // Submit routes one submission to its shard and forwards the result. The
 // returned view carries the shard-assigned, globally unique job ID.
 func (f *Federation) Submit(req serve.SubmitRequest) (serve.JobView, error) {
+	v, _, err := f.submitShard(req)
+	return v, err
+}
+
+// submitShard is Submit with the handling shard attached, so the HTTP
+// write path can stamp the response with that shard's durable seq.
+func (f *Federation) submitShard(req serve.SubmitRequest) (serve.JobView, serve.Shard, error) {
 	k := Key{User: req.User, Width: req.Width, Estimate: req.Estimate}
 	if k.Estimate == 0 {
 		k.Estimate = req.Runtime // mirrors the shard's own default
 	}
 	i := f.router.Route(k, f.liveLoads())
-	return f.shards[i].Submit(req)
+	v, err := f.shards[i].Submit(req)
+	return v, f.shards[i], err
 }
 
 // owner finds the shard holding job id by scanning published snapshots.
 // IDs are globally unique (congruence classes for live submits, a fenced
 // floor for preloads), so at most one shard matches.
 func (f *Federation) owner(id int) (serve.Shard, bool) {
-	for _, sh := range f.shards {
+	sh, _, ok := f.ownerIdx(id)
+	return sh, ok
+}
+
+// ownerIdx is owner with the shard index attached, for the read router
+// (the balancer of the owning shard proxies that shard's job lookups).
+func (f *Federation) ownerIdx(id int) (serve.Shard, int, bool) {
+	for i, sh := range f.shards {
 		if _, ok := sh.Current().Jobs[id]; ok {
-			return sh, true
+			return sh, i, true
 		}
 	}
-	return nil, false
+	return nil, -1, false
 }
 
 // Lookup renders one job's view from its owning shard's snapshot. A shard
@@ -269,9 +310,18 @@ func (f *Federation) Lookup(id int) (serve.JobView, bool) {
 // shard 0 so the resulting error (and the wire response rendered from it)
 // is the same one a single daemon would produce.
 func (f *Federation) Cancel(id int) (bool, error) {
+	_, ok := f.owner(id)
+	_, err := f.cancelShard(id)
+	return ok, err
+}
+
+// cancelShard is Cancel with the handling shard attached (shard 0 for
+// unknown IDs, whose error bytes match a single daemon's), so the HTTP
+// write path can stamp the response with that shard's durable seq.
+func (f *Federation) cancelShard(id int) (serve.Shard, error) {
 	sh, ok := f.owner(id)
 	if !ok {
-		return false, f.shards[0].Cancel(id)
+		return f.shards[0], f.shards[0].Cancel(id)
 	}
-	return true, sh.Cancel(id)
+	return sh, sh.Cancel(id)
 }

@@ -36,9 +36,21 @@ func (f *Federation) Queue() serve.QueueResponse {
 	if len(f.shards) == 1 {
 		return f.shards[0].Queue()
 	}
-	var out serve.QueueResponse
+	parts := make([]serve.QueueResponse, len(f.shards))
 	for i, sh := range f.shards {
-		r := sh.Queue()
+		parts[i] = sh.Queue()
+	}
+	return mergeQueues(parts)
+}
+
+// mergeQueues folds per-shard queue listings (in shard order) into the
+// federated shape. Shared by the leader-mode gather and the replica-routed
+// fold, which fetches some parts from followers — both produce identical
+// bytes at equal applied state because the fold itself is order- and
+// value-deterministic.
+func mergeQueues(parts []serve.QueueResponse) serve.QueueResponse {
+	var out serve.QueueResponse
+	for i, r := range parts {
 		if i == 0 {
 			out.Scheduler = r.Scheduler
 		}

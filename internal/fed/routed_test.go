@@ -1,0 +1,446 @@
+package fed
+
+// Replica-routed equivalence and balancer tests. The identity claim
+// extends PR 8's: a 1-shard federation routing reads to a real, caught-up
+// follower must render byte-identical responses to a leader-only
+// federation fed the same mutations — every read endpoint, error bodies
+// included — because the follower's mirror at equal applied seq IS the
+// leader's state. The balancer itself is held to its eligibility contract
+// by a unit test (ejection/readmission accounting) and a fuzzer over the
+// pure selection function.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/replica"
+	"repro/internal/serve"
+)
+
+// fakeReplShard is a replicatedShard with settable views, for driving the
+// balancer without a real leader.
+type fakeReplShard struct {
+	views atomic.Pointer[[]serve.FollowerView]
+	seq   atomic.Uint64
+}
+
+func (f *fakeReplShard) FollowerViews() []serve.FollowerView {
+	if p := f.views.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+func (f *fakeReplShard) DurableSeq() uint64 { return f.seq.Load() }
+
+func (f *fakeReplShard) set(seq uint64, views ...serve.FollowerView) {
+	f.seq.Store(seq)
+	f.views.Store(&views)
+}
+
+func TestReadBalancerEjectionReadmission(t *testing.T) {
+	sh := &fakeReplShard{}
+	b := &ReadBalancer{shard: sh, maxLag: 10, inRotation: make(map[string]bool)}
+	now := time.Now()
+	live := func(acked uint64) serve.FollowerView {
+		return serve.FollowerView{ID: "f1", Addr: "http://f1", Acked: acked, LastSeen: now}
+	}
+
+	// Caught up: in rotation.
+	sh.set(100, live(100))
+	if addr, ok := b.Pick(0); !ok || addr != "http://f1" {
+		t.Fatalf("Pick = %q, %v; want the caught-up follower", addr, ok)
+	}
+
+	// Lag crosses the bound: ejected, reads fall back to the leader.
+	sh.set(200, live(100))
+	if _, ok := b.Pick(0); ok {
+		t.Fatal("picked a follower lagging past the bound")
+	}
+	if got := b.ejections.Load(); got != 1 {
+		t.Fatalf("ejections = %d, want 1", got)
+	}
+
+	// Catches back up: readmitted.
+	sh.set(200, live(200))
+	if _, ok := b.Pick(0); !ok {
+		t.Fatal("caught-up follower not readmitted")
+	}
+	if got := b.readmissions.Load(); got != 1 {
+		t.Fatalf("readmissions = %d, want 1", got)
+	}
+
+	// Barrier pinning: a follower behind the floor is skipped even while
+	// plain-read eligible.
+	sh.set(205, live(200))
+	if _, ok := b.Pick(201); ok {
+		t.Fatal("routed a min_seq barrier to a follower behind the floor")
+	}
+	if _, ok := b.Pick(200); !ok {
+		t.Fatal("refused a barrier the follower has acked")
+	}
+
+	// Registry drops the follower entirely (TTL expiry on the leader):
+	// counted as one more ejection, accounting conserved.
+	sh.set(205)
+	if _, ok := b.Pick(0); ok {
+		t.Fatal("picked from an empty registry")
+	}
+	if ej, re := b.ejections.Load(), b.readmissions.Load(); ej != 2 || re != 1 {
+		t.Fatalf("counters = %d ejections, %d readmissions; want 2, 1", ej, re)
+	}
+}
+
+// routedHarness is a 1-shard replica-routed federation with one real
+// follower replicating over HTTP and advertising a live read endpoint,
+// plus a leader-only twin federation fed identical mutations.
+type routedHarness struct {
+	routed *Federation
+	plain  *Federation
+	rep    *replica.Replica
+	stop   []func()
+}
+
+func (h *routedHarness) close() {
+	for i := len(h.stop) - 1; i >= 0; i-- {
+		h.stop[i]()
+	}
+}
+
+// catchUp pulls the follower to the shard leader's durable position and
+// acknowledges it (the ack rides the next pull), then confirms the
+// balancer shows it eligible.
+func (h *routedHarness) catchUp(t *testing.T) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := h.rep.Sync(); err != nil {
+			t.Fatalf("follower sync: %v", err)
+		}
+		st := h.routed.RouteStatus()[0]
+		if len(st.Followers) == 1 && st.Followers[0].Eligible && st.Followers[0].AckedSeq == st.LeaderSeq {
+			return st.LeaderSeq
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never became eligible at the leader position: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func newRoutedHarness(t *testing.T) *routedHarness {
+	t.Helper()
+	h := &routedHarness{}
+	shardOpts := serve.Options{Procs: 16, Scheduler: "easy", Policy: "FCFS", Audit: true, Speed: 1e-9}
+
+	routed, rstop := frozenFed(t, Options{Shards: 1, Shard: shardOpts, DataDir: t.TempDir(), ReadRoute: "replica"})
+	h.routed = routed
+	h.stop = append(h.stop, func() { rstop() })
+	plain, pstop := frozenFed(t, Options{Shards: 1, Shard: shardOpts, DataDir: t.TempDir()})
+	h.plain = plain
+	h.stop = append(h.stop, func() { pstop() })
+
+	// The shard's journal stream must be reachable over real HTTP for the
+	// follower, and the follower's own surface for the balancer's proxy.
+	fedTS := httptest.NewServer(routed.Handler())
+	h.stop = append(h.stop, fedTS.Close)
+	folTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.rep.Handler().ServeHTTP(w, r)
+	}))
+	h.stop = append(h.stop, folTS.Close)
+
+	rep, err := replica.New(replica.Options{
+		Source:    fedTS.URL + "/v1/shards/0",
+		Serve:     shardOpts,
+		ID:        "ro-equiv",
+		Advertise: folTS.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.rep = rep
+	h.stop = append(h.stop, func() { rep.Close() })
+	return h
+}
+
+// mutateBoth drives the identical mutation stream through both
+// federations, asserting the write surfaces agree byte for byte too. The
+// follower syncs after every write so it applies one pull per commit
+// batch: queue responses carry the snapshot publication count as
+// "version", so byte-identity requires the follower to publish at the
+// leader's one-publish-per-commit-batch cadence — the same contract
+// PR 8's leader/follower equivalence pins.
+func mutateBoth(t *testing.T, h *routedHarness) {
+	t.Helper()
+	sync := func() {
+		t.Helper()
+		if err := h.rep.Sync(); err != nil {
+			t.Fatalf("follower sync: %v", err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		req := serve.SubmitRequest{Width: 1 + (i*3)%16, Runtime: int64(100 + 50*i), User: i % 4}
+		ra := doJSON(t, h.routed.Handler(), "POST", "/v1/jobs", req, nil)
+		rb := doJSON(t, h.plain.Handler(), "POST", "/v1/jobs", req, nil)
+		if ra.Code != rb.Code || ra.Body.String() != rb.Body.String() {
+			t.Fatalf("submit %d diverged:\nrouted: %d %s\nplain:  %d %s", i, ra.Code, ra.Body.String(), rb.Code, rb.Body.String())
+		}
+		sync()
+	}
+	for _, req := range [][2]string{{"DELETE", "/v1/jobs/7"}, {"DELETE", "/v1/jobs/99999"}} {
+		ca, ba := body(t, h.routed.Handler(), req[0], req[1])
+		cb, bb := body(t, h.plain.Handler(), req[0], req[1])
+		if ca != cb || ba != bb {
+			t.Fatalf("%s %s diverged: %d %q vs %d %q", req[0], req[1], ca, ba, cb, bb)
+		}
+		sync()
+	}
+}
+
+// TestFedRoutedByteIdentical is the replica-routing identity proof: with a
+// caught-up advertised follower in rotation, every read endpoint of the
+// routed federation — proxied over real HTTP to the follower — renders the
+// bytes the leader-only federation renders, including 404 and bad-id
+// error bodies. The routing counters must show the reads actually went to
+// the follower; byte-identity of a fallback would prove nothing.
+func TestFedRoutedByteIdentical(t *testing.T) {
+	h := newRoutedHarness(t)
+	defer h.close()
+	mutateBoth(t, h)
+	h.catchUp(t)
+
+	before := h.routed.RouteStatus()[0].Proxied
+	compareReads(t, h.plain.Handler(), h.routed.Handler(), 20)
+	st := h.routed.RouteStatus()[0]
+	if st.Proxied == before {
+		t.Fatal("equivalence pass never proxied a read to the follower")
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("%d reads fell back to the leader with a healthy follower in rotation", st.Fallbacks)
+	}
+}
+
+// TestFedRoutedMinSeq pins the read-consistency contract of a routed
+// 1-shard federation: barriers at or below the leader's durable position
+// answer 200, barriers beyond it answer 504 with the documented body, and
+// malformed floors answer 400 — on both the merged and the per-job path.
+func TestFedRoutedMinSeq(t *testing.T) {
+	h := newRoutedHarness(t)
+	defer h.close()
+	mutateBoth(t, h)
+	seq := h.catchUp(t)
+
+	for _, path := range []string{
+		fmt.Sprintf("/v1/queue?min_seq=%d", seq),
+		fmt.Sprintf("/healthz?min_seq=%d", seq),
+		fmt.Sprintf("/v1/jobs/1?min_seq=%d", seq),
+	} {
+		if code, b := body(t, h.routed.Handler(), "GET", path); code != http.StatusOK {
+			t.Fatalf("GET %s = %d %s, want 200", path, code, b)
+		}
+	}
+	for _, path := range []string{
+		fmt.Sprintf("/v1/queue?min_seq=%d", seq+1000),
+		fmt.Sprintf("/v1/jobs/1?min_seq=%d", seq+1000),
+		fmt.Sprintf("/v1/jobs/99999?min_seq=%d", seq+1000), // unknown job: the barrier still answers first
+	} {
+		code, b := body(t, h.routed.Handler(), "GET", path)
+		if code != http.StatusGatewayTimeout {
+			t.Fatalf("GET %s = %d %s, want 504", path, code, b)
+		}
+		if !strings.Contains(b, "no member has applied min_seq") {
+			t.Fatalf("GET %s: 504 body does not state the barrier: %s", path, b)
+		}
+	}
+	if code, b := body(t, h.routed.Handler(), "GET", "/v1/queue?min_seq=nope"); code != http.StatusBadRequest || !strings.Contains(b, "bad min_seq") {
+		t.Fatalf("malformed min_seq = %d %s, want 400 bad min_seq", code, b)
+	}
+}
+
+// TestFedRoutedFallbackOnDeadFollower: a follower that stops answering
+// costs fallbacks, never client-visible errors — the worst case of replica
+// routing is leader-only service.
+func TestFedRoutedFallbackOnDeadFollower(t *testing.T) {
+	h := newRoutedHarness(t)
+	defer h.close()
+	mutateBoth(t, h)
+	h.catchUp(t)
+
+	// Re-point the follower's advertised address at a closed listener by
+	// re-registering through a pull carrying the dead URL: the registry
+	// entry stays TTL-live, so the balancer keeps picking it, and every
+	// proxy attempt fails at the transport — the fallback path is the test.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // a URL that refuses connections
+	rec := httptest.NewRecorder()
+	h.routed.Handler().ServeHTTP(rec, httptest.NewRequest("GET",
+		fmt.Sprintf("/v1/shards/0/wal?follower=ro-equiv&from=%d&addr=%s", h.rep.AppliedSeq()+1, dead.URL), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("re-registration pull: %d %s", rec.Code, rec.Body.String())
+	}
+
+	fb0 := h.routed.RouteStatus()[0].Fallbacks
+	for _, path := range []string{"/v1/queue", "/healthz", "/v1/jobs/1", "/metrics"} {
+		if code, b := body(t, h.routed.Handler(), "GET", path); code != http.StatusOK {
+			t.Fatalf("GET %s with dead follower = %d %s, want 200 via leader fallback", path, code, b)
+		}
+	}
+	if fb := h.routed.RouteStatus()[0].Fallbacks; fb <= fb0 {
+		t.Fatalf("fallback counter did not move (before %d, after %d) — reads never tried the dead follower", fb0, fb)
+	}
+}
+
+// FuzzReadBalancer holds the pure selection function to the routing
+// contract for any follower population the fuzzer invents:
+//
+//   - determinism: the same views and cursor pick the same follower;
+//   - safety: a pick is always advertised, TTL-live, within the lag bound,
+//     and at or past the barrier floor — a min_seq read never lands on a
+//     lagging follower;
+//   - completeness: -1 is returned only when no follower qualifies;
+//   - conservation: sweeping the round-robin cursor visits exactly the
+//     qualified followers, each once per revolution — ejected members get
+//     no traffic, readmitted members rejoin the rotation.
+func FuzzReadBalancer(f *testing.F) {
+	f.Add(uint8(3), uint64(1), uint64(100), uint64(0), uint64(0), uint64(64))
+	f.Add(uint8(0), uint64(2), uint64(0), uint64(0), uint64(7), uint64(0))
+	f.Add(uint8(8), uint64(3), uint64(1<<40), uint64(1<<39), uint64(3), uint64(1024))
+	f.Add(uint8(5), uint64(0xbeef), uint64(500), uint64(501), uint64(1), uint64(1))
+	f.Fuzz(func(t *testing.T, nViews uint8, seed, leaderSeq, minSeq, rr, maxLag uint64) {
+		now := time.Unix(1_700_000_000, 0)
+		rng := seed
+		n := int(nViews % 12)
+		views := make([]serve.FollowerView, n)
+		for i := range views {
+			v := serve.FollowerView{ID: fmt.Sprintf("f%02d", i)}
+			if splitmix64(&rng)%4 != 0 { // 3/4 advertise a read URL
+				v.Addr = "http://" + v.ID
+			}
+			// Acked somewhere around the leader position, sometimes far behind.
+			back := splitmix64(&rng) % (maxLag*2 + 16)
+			if back < leaderSeq {
+				v.Acked = leaderSeq - back
+			}
+			// LastSeen from "just now" to well past the TTL.
+			age := time.Duration(splitmix64(&rng)%uint64(2*serve.FollowerTTL)) - serve.FollowerTTL/2
+			if age < 0 {
+				age = 0
+			}
+			v.LastSeen = now.Add(-age)
+			views[i] = v
+		}
+
+		qualified := func(v serve.FollowerView) bool {
+			return eligibleAt(v, leaderSeq, now, maxLag) && v.Acked >= minSeq
+		}
+
+		got := pickFrom(views, leaderSeq, now, minSeq, rr, maxLag)
+		if again := pickFrom(views, leaderSeq, now, minSeq, rr, maxLag); again != got {
+			t.Fatalf("pickFrom not deterministic: %d then %d", got, again)
+		}
+		if got >= 0 {
+			v := views[got]
+			if v.Addr == "" {
+				t.Fatalf("picked follower %d with no read address", got)
+			}
+			if now.Sub(v.LastSeen) > serve.FollowerTTL {
+				t.Fatalf("picked TTL-expired follower %d (age %v)", got, now.Sub(v.LastSeen))
+			}
+			if leaderSeq > v.Acked && leaderSeq-v.Acked > maxLag {
+				t.Fatalf("picked lag-ejected follower %d (lag %d > %d)", got, leaderSeq-v.Acked, maxLag)
+			}
+			if v.Acked < minSeq {
+				t.Fatalf("picked follower %d behind the min_seq barrier (%d < %d)", got, v.Acked, minSeq)
+			}
+		} else {
+			for i, v := range views {
+				if qualified(v) {
+					t.Fatalf("pickFrom returned -1 with qualified follower %d: %+v", i, v)
+				}
+			}
+		}
+
+		// Conservation over one round-robin revolution: exactly the
+		// qualified set, each member once.
+		want := map[int]bool{}
+		for i, v := range views {
+			if qualified(v) {
+				want[i] = true
+			}
+		}
+		if len(want) > 0 {
+			seen := map[int]int{}
+			for c := uint64(0); c < uint64(len(want)); c++ {
+				i := pickFrom(views, leaderSeq, now, minSeq, c, maxLag)
+				if i < 0 {
+					t.Fatalf("cursor %d returned -1 with %d qualified followers", c, len(want))
+				}
+				seen[i]++
+			}
+			for i, n := range seen {
+				if !want[i] {
+					t.Fatalf("rotation visited unqualified follower %d", i)
+				}
+				if n != 1 {
+					t.Fatalf("rotation visited follower %d %d times in one revolution", i, n)
+				}
+			}
+			if len(seen) != len(want) {
+				t.Fatalf("rotation covered %d of %d qualified followers", len(seen), len(want))
+			}
+		}
+	})
+}
+
+// TestFedRoutedWriteSeqBarrier pins read-your-writes through the front
+// end: a durable federation's write responses carry X-Schedd-Seq (the
+// owning shard's durable seq, as a standalone daemon's would), and
+// replaying that value as ?min_seq= succeeds immediately — the leader
+// itself satisfies a barrier at its own durable position even before any
+// follower catches up. Cancels carry the header too.
+func TestFedRoutedWriteSeqBarrier(t *testing.T) {
+	h := newRoutedHarness(t)
+	defer h.close()
+
+	var seq string
+	// Job 1 fills the machine and runs; job 2 queues behind it (cancellable).
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		h.routed.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs",
+			strings.NewReader(`{"width":16,"runtime":300}`)))
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("submit = %d %s, want 201", rec.Code, rec.Body.String())
+		}
+		if seq = rec.Header().Get("X-Schedd-Seq"); seq == "" {
+			t.Fatalf("durable federation write response missing X-Schedd-Seq")
+		}
+	}
+	path := "/v1/queue?min_seq=" + seq
+	if code, b := body(t, h.routed.Handler(), "GET", path); code != http.StatusOK {
+		t.Fatalf("GET %s = %d %s, want 200 (read-your-writes)", path, code, b)
+	}
+
+	rec := httptest.NewRecorder()
+	h.routed.Handler().ServeHTTP(rec, httptest.NewRequest("DELETE", "/v1/jobs/2", nil))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("cancel = %d %s, want 204", rec.Code, rec.Body.String())
+	}
+	if cs := rec.Header().Get("X-Schedd-Seq"); cs == "" {
+		t.Fatalf("cancel response missing X-Schedd-Seq")
+	} else if c, s := atoi64(t, cs), atoi64(t, seq); c <= s {
+		t.Fatalf("cancel seq %d not past submit seq %d", c, s)
+	}
+}
+
+func atoi64(t *testing.T, s string) uint64 {
+	t.Helper()
+	var v uint64
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+		t.Fatalf("bad seq %q: %v", s, err)
+	}
+	return v
+}

@@ -19,7 +19,9 @@ import (
 )
 
 // barrierTimeout bounds how long a ?min_seq= read waits for replication to
-// catch up before failing with 503. A variable so tests can shorten it.
+// catch up before failing with 504 Gateway Timeout (the replica is a
+// gateway to state that lives upstream, and upstream did not deliver it in
+// time). A variable so tests can shorten it.
 var barrierTimeout = 2 * time.Second
 
 // barrierPoll paces the applied-seq checks inside the read barrier.
@@ -49,7 +51,12 @@ func (r *Replica) Handler() http.Handler {
 			return
 		case req.Method == http.MethodGet && req.URL.Path == "/metrics":
 			n.h.ServeHTTP(w, req)
-			r.writeReplicaMetrics(w)
+			// A federation proxying reads here on a client's behalf wants
+			// the leader-shaped body; the replica gauge suffix is for
+			// clients that addressed this replica directly.
+			if req.Header.Get("X-Schedd-Fed-Proxy") == "" {
+				r.writeReplicaMetrics(w)
+			}
 			return
 		}
 		if req.Method == http.MethodGet {
@@ -60,7 +67,7 @@ func (r *Replica) Handler() http.Handler {
 					return
 				}
 				if !r.waitApplied(min) {
-					serve.WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"error": fmt.Sprintf(
+					serve.WriteJSON(w, http.StatusGatewayTimeout, map[string]string{"error": fmt.Sprintf(
 						"replica: applied seq %d has not reached min_seq %d within %s", r.applied.Load(), min, barrierTimeout)})
 					return
 				}

@@ -14,7 +14,7 @@
 // virtual-time lag are published on GET /v1/debug/replication and as
 // schedd_replica_* gauges. Clients that need read-your-writes pass the
 // X-Schedd-Seq a leader write returned back as ?min_seq=; the follower
-// holds the read until it has applied that far (or answers 503 when it
+// holds the read until it has applied that far (or answers 504 when it
 // cannot within the barrier timeout).
 //
 // When the leader dies, a follower can take over: Promote (operator-driven
@@ -61,6 +61,19 @@ type Options struct {
 	// can name hold the pruning retention floor at their applied position.
 	// Defaults to "follower".
 	ID string
+	// Advertise is the read URL this follower registers with the leader
+	// (HTTP sources only — it rides the /v1/wal pull as &addr=). A leader
+	// that knows a follower's read address can hand it to the federation
+	// read balancer, which routes eligible reads there automatically. Empty
+	// means the follower replicates without advertising a read endpoint.
+	Advertise string
+	// Wait is the long-poll duration passed on replication pulls (HTTP
+	// sources only): a caught-up pull parks on the leader until new records
+	// land or Wait expires, instead of returning empty and sleeping a full
+	// Poll. This is what keeps follower lag — and therefore quorum-ack
+	// latency — at a round-trip rather than a poll interval. 0 disables
+	// long-polling (every pull returns immediately).
+	Wait time.Duration
 	// PromoteDir is the journal directory to own on promotion: the leader's
 	// own directory for a shared-storage takeover (defaults to Source when
 	// Source is a directory), or a fresh directory seeded from the
@@ -135,7 +148,7 @@ func New(opts Options) (*Replica, error) {
 	}
 	r := &Replica{opts: opts}
 	if httpSrc {
-		r.src = newHTTPSource(opts.Source, opts.ID)
+		r.src = newHTTPSource(opts.Source, opts.ID, opts.Advertise, opts.Wait)
 	} else {
 		r.src = &dirSource{dir: opts.Source}
 	}
@@ -286,8 +299,21 @@ func (r *Replica) Run(ctx context.Context) error {
 			return nil
 		case <-tick.C:
 		}
-		if err := r.Sync(); err != nil {
-			logf("replica: %s: sync: %v", r.opts.ID, err)
+		// Drain bursts: keep pulling while records flow instead of applying
+		// one batch per tick. Each follow-up pull also re-registers the new
+		// applied position with the leader — the ack a quorum write is
+		// waiting on — so confirmations trail an applied batch by one
+		// round-trip, not one poll interval. Bounded so a promotion or
+		// cancellation is never starved by a firehose leader.
+		for i := 0; i < 64; i++ {
+			before := r.applied.Load()
+			if err := r.Sync(); err != nil {
+				logf("replica: %s: sync: %v", r.opts.ID, err)
+				break
+			}
+			if r.applied.Load() == before || r.promoted.Load() || ctx.Err() != nil {
+				break
+			}
 		}
 		if r.opts.AutoPromote > 0 && r.opts.HealthURL != "" && time.Since(lastProbe) >= probeInterval {
 			lastProbe = time.Now()

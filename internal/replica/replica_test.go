@@ -481,8 +481,8 @@ func TestMinSeqBarrier(t *testing.T) {
 	old := barrierTimeout
 	barrierTimeout = 30 * time.Millisecond
 	defer func() { barrierTimeout = old }()
-	if rec := do(t, h, "GET", "/v1/queue?min_seq=99999", nil); rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("unreachable barrier: %d, want 503", rec.Code)
+	if rec := do(t, h, "GET", "/v1/queue?min_seq=99999", nil); rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("unreachable barrier: %d, want 504", rec.Code)
 	}
 }
 

@@ -77,10 +77,12 @@ func (d *dirSource) pull(after uint64, max int) (pullResult, error) {
 type httpSource struct {
 	base string // full endpoint URL
 	id   string
+	addr string        // advertised read URL, registered via &addr=
+	wait time.Duration // long-poll duration, 0 for immediate pulls
 	c    *http.Client
 }
 
-func newHTTPSource(src, id string) *httpSource {
+func newHTTPSource(src, id, advertise string, wait time.Duration) *httpSource {
 	base := strings.TrimSuffix(src, "/")
 	// A bare daemon address gets the standard endpoint appended; a URL that
 	// already carries a path (a federation shard prefix like
@@ -90,11 +92,23 @@ func newHTTPSource(src, id string) *httpSource {
 	} else {
 		base += "/wal"
 	}
-	return &httpSource{base: base, id: id, c: &http.Client{Timeout: 10 * time.Second}}
+	// The client timeout must outlast a parked long-poll or every caught-up
+	// pull would "fail" at the deadline.
+	timeout := 10 * time.Second
+	if wait > 0 && wait+5*time.Second > timeout {
+		timeout = wait + 5*time.Second
+	}
+	return &httpSource{base: base, id: id, addr: advertise, wait: wait, c: &http.Client{Timeout: timeout}}
 }
 
 func (h *httpSource) pull(after uint64, max int) (pullResult, error) {
 	u := fmt.Sprintf("%s?from=%d&max=%d&follower=%s", h.base, after+1, max, url.QueryEscape(h.id))
+	if h.addr != "" {
+		u += "&addr=" + url.QueryEscape(h.addr)
+	}
+	if h.wait > 0 {
+		u += "&wait=" + url.QueryEscape(h.wait.String())
+	}
 	resp, err := h.c.Get(u)
 	if err != nil {
 		return pullResult{}, err

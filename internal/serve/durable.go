@@ -17,6 +17,7 @@ package serve
 // loudly instead of resuming from silently wrong state.
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -40,6 +41,21 @@ type DurabilityOptions struct {
 	// CheckpointOps checkpoints after this many journal records past the
 	// previous checkpoint. Defaults to 4096.
 	CheckpointOps int
+	// AckQuorum holds each commit batch's acknowledgements until this many
+	// followers — live per the FollowerTTL rule at commit time, not merely
+	// registered — have confirmed the batch's max seq through the /v1/wal
+	// ack channel. 0 (the default) acknowledges on the leader's own commit
+	// alone. Synchronous replication: an acknowledged write survives the
+	// loss of the leader AND any AckQuorum-1 followers.
+	AckQuorum int
+	// QuorumTimeout bounds the per-batch quorum wait. Defaults to 2s.
+	QuorumTimeout time.Duration
+	// QuorumDegrade picks the availability side of a quorum miss: after
+	// QuorumTimeout the batch is acknowledged on the leader's commit alone
+	// (counted in ReplicationInfo.QuorumDegraded). Off, the batch's writes
+	// fail with 503 (the records remain in the leader's journal — the
+	// client must treat their fate as unknown).
+	QuorumDegrade bool
 }
 
 func (d DurabilityOptions) withDefaults() DurabilityOptions {
@@ -48,6 +64,9 @@ func (d DurabilityOptions) withDefaults() DurabilityOptions {
 	}
 	if d.CheckpointOps <= 0 {
 		d.CheckpointOps = 4096
+	}
+	if d.QuorumTimeout <= 0 {
+		d.QuorumTimeout = 2 * time.Second
 	}
 	return d
 }
@@ -114,7 +133,7 @@ func (s *Server) config() wal.Config {
 // freshly built server, and leaves the journal positioned to append.
 func (s *Server) openWAL() error {
 	d := s.opts.Durability
-	l, st, err := wal.Open(d.Dir, wal.Options{Fsync: d.Fsync})
+	l, st, err := wal.Open(d.Dir, wal.Options{Fsync: d.Fsync, Notify: s.notifyAppend})
 	if err != nil {
 		return err
 	}
@@ -302,6 +321,18 @@ func (s *Server) commitWAL() error {
 	return nil
 }
 
+// notifyAppend is the wal.Options.Notify hook: it wakes /v1/wal long-polls
+// the instant appended records become readable (after the kernel write,
+// before the fsync), so followers can pull, apply, and confirm a batch
+// while the leader's own disk sync is still in flight — which is what lets
+// a quorum wait usually find its confirmations already registered.
+func (s *Server) notifyAppend() {
+	ch := make(chan struct{})
+	if old := s.walNotify.Swap(&ch); old != nil {
+		close(*old)
+	}
+}
+
 // maybeCheckpoint writes a checkpoint when the replay tail has grown past
 // the configured record count or age. Called by the loop after a commit,
 // so the journal and the session agree at the instant the state hash is
@@ -373,7 +404,9 @@ func (s *Server) Durability() DurabilityInfo {
 		}
 		info.Recovery = s.recovered
 	}
-	if err := s.exec(fill); err != nil {
+	if err := s.exec(fill); errors.Is(err, ErrStopped) {
+		// The loop has exited, so a direct read cannot race it. Any other
+		// exec error (a strict-mode quorum miss) means fill already ran.
 		fill()
 	}
 	return info

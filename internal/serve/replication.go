@@ -27,8 +27,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wal"
@@ -38,12 +40,14 @@ import (
 // expiry, forced resyncs, promotions). Tests may silence it.
 var logf = log.New(os.Stderr, "", log.LstdFlags).Printf
 
-// followerTTL is how long a registered follower's acknowledged position
-// pins the retention floor after its last poll. An expired follower that
-// comes back may find its position pruned and be forced into a full
+// FollowerTTL is how long a registered follower's acknowledged position
+// pins the retention floor — and keeps the follower eligible for read
+// routing and quorum counting — after its last poll. An expired follower
+// that comes back may find its position pruned and be forced into a full
 // resync — loud, but bounded disk beats unbounded retention for a dead
-// replica.
-const followerTTL = time.Minute
+// replica. Exported so internal/fed applies the same liveness rule when
+// balancing reads across follower views.
+const FollowerTTL = time.Minute
 
 // walPollInterval paces the long-poll wait loop in the /v1/wal handler.
 const walPollInterval = 20 * time.Millisecond
@@ -54,19 +58,46 @@ const maxWALBatch = 4096
 // followerAck is one registered follower's replication position.
 type followerAck struct {
 	acked    uint64
+	addr     string // advertised read URL, "" when the follower serves none
 	lastSeen time.Time
 }
 
-// followerRegistry tracks registered followers' acknowledged positions; it
-// is written by HTTP goroutines serving /v1/wal and read by the scheduler
-// goroutine at checkpoint time.
-type followerRegistry struct {
-	mu   sync.Mutex
-	acks map[string]*followerAck
+// FollowerView is one registered follower's position as published on the
+// registry's lock-free view pointer: everything a read balancer needs to
+// decide eligibility — identity, advertised read address, acknowledged
+// journal position, and the wall instant of the last ack (for the
+// FollowerTTL liveness rule). Views are sorted by ID so consumers that
+// index into them (round-robin spreading, fuzzing) are deterministic.
+type FollowerView struct {
+	// ID is the follower's self-chosen registration name.
+	ID string
+	// Addr is the read URL the follower advertised at registration; empty
+	// means the follower replicates but serves no reads.
+	Addr string
+	// Acked is the last journal seq the follower has durably applied.
+	Acked uint64
+	// LastSeen is the wall time of the follower's latest /v1/wal poll.
+	LastSeen time.Time
 }
 
-// ack records that follower id has durably applied through seq.
-func (fr *followerRegistry) ack(id string, seq uint64, now time.Time) {
+// followerRegistry tracks registered followers' acknowledged positions. It
+// is written by HTTP goroutines serving /v1/wal, read by the scheduler
+// goroutine at checkpoint time (retention floor) and commit time (quorum
+// acks), and consumed lock-free by the federation read balancer through
+// the published views pointer.
+type followerRegistry struct {
+	mu     sync.Mutex
+	acks   map[string]*followerAck
+	notify chan struct{} // closed on every ack; nil until a waiter or ack creates it
+
+	// views is the lock-free publication of the registry: rebuilt under mu
+	// on every mutation, read by any goroutine without taking the lock.
+	views atomic.Pointer[[]FollowerView]
+}
+
+// ack records that follower id has durably applied through seq, updates
+// its advertised read address, and wakes quorum waiters.
+func (fr *followerRegistry) ack(id string, seq uint64, addr string, now time.Time) {
 	fr.mu.Lock()
 	defer fr.mu.Unlock()
 	if fr.acks == nil {
@@ -80,7 +111,33 @@ func (fr *followerRegistry) ack(id string, seq uint64, now time.Time) {
 	if seq > a.acked || a.acked == 0 {
 		a.acked = seq
 	}
+	if addr != "" {
+		a.addr = addr
+	}
 	a.lastSeen = now
+	fr.republishLocked()
+	if fr.notify != nil {
+		close(fr.notify)
+		fr.notify = nil
+	}
+}
+
+// republishLocked rebuilds the lock-free views slice. Caller holds mu.
+func (fr *followerRegistry) republishLocked() {
+	out := make([]FollowerView, 0, len(fr.acks))
+	for id, a := range fr.acks {
+		out = append(out, FollowerView{ID: id, Addr: a.addr, Acked: a.acked, LastSeen: a.lastSeen})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	fr.views.Store(&out)
+}
+
+// Views returns the latest published follower views without locking.
+func (fr *followerRegistry) Views() []FollowerView {
+	if p := fr.views.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // floor returns the minimum acknowledged seq across live followers —
@@ -89,24 +146,87 @@ func (fr *followerRegistry) floor(now time.Time) uint64 {
 	fr.mu.Lock()
 	defer fr.mu.Unlock()
 	min := ^uint64(0)
+	expired := false
 	for id, a := range fr.acks {
-		if now.Sub(a.lastSeen) > followerTTL {
+		if now.Sub(a.lastSeen) > FollowerTTL {
 			logf("serve: follower %q silent for %s, dropping its retention pin at seq %d", id, now.Sub(a.lastSeen).Round(time.Second), a.acked)
 			delete(fr.acks, id)
+			expired = true
 			continue
 		}
 		if a.acked < min {
 			min = a.acked
 		}
 	}
+	if expired {
+		fr.republishLocked()
+	}
 	return min
+}
+
+// liveAckedLocked counts followers whose acknowledged position covers seq
+// AND whose last poll is within FollowerTTL of now. The liveness re-check
+// is load-bearing: a registry entry left behind by a follower that died
+// (or went silent) mid-batch must not satisfy a quorum — its process may
+// hold nothing, so counting it would acknowledge a write that exists on
+// fewer replicas than the operator asked for. Caller holds mu.
+func (fr *followerRegistry) liveAckedLocked(seq uint64, now time.Time) int {
+	n := 0
+	for _, a := range fr.acks {
+		if a.acked >= seq && now.Sub(a.lastSeen) <= FollowerTTL {
+			n++
+		}
+	}
+	return n
+}
+
+// waitQuorum blocks until k followers are live (per FollowerTTL, re-read
+// at every check — never from a stale count taken when the batch was
+// staged) and have acknowledged seq, or until timeout. It returns whether
+// the quorum was met. Called by the scheduler goroutine between a commit
+// and the release of the batch's done-channels; acks arrive on HTTP
+// goroutines, which wake this wait through the notify channel.
+func (fr *followerRegistry) waitQuorum(seq uint64, k int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		now := time.Now()
+		fr.mu.Lock()
+		if fr.liveAckedLocked(seq, now) >= k {
+			fr.mu.Unlock()
+			return true
+		}
+		if fr.notify == nil {
+			fr.notify = make(chan struct{})
+		}
+		ch := fr.notify
+		fr.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			// One last look: an ack may have landed as the timer fired.
+			fr.mu.Lock()
+			ok := fr.liveAckedLocked(seq, time.Now()) >= k
+			fr.mu.Unlock()
+			return ok
+		}
+	}
 }
 
 // FollowerStatus is one registered follower's view in ReplicationInfo.
 type FollowerStatus struct {
+	// ID is the follower's registration name; AckedSeq its acknowledged
+	// journal position; AgeSec the seconds since its last poll.
 	ID       string  `json:"id"`
 	AckedSeq uint64  `json:"acked_seq"`
 	AgeSec   float64 `json:"age_sec"`
+	// Addr is the read URL the follower advertised, if any.
+	Addr string `json:"addr,omitempty"`
 }
 
 // snapshot lists the registered followers for the debug endpoint.
@@ -115,8 +235,9 @@ func (fr *followerRegistry) snapshot(now time.Time) []FollowerStatus {
 	defer fr.mu.Unlock()
 	out := make([]FollowerStatus, 0, len(fr.acks))
 	for id, a := range fr.acks {
-		out = append(out, FollowerStatus{ID: id, AckedSeq: a.acked, AgeSec: now.Sub(a.lastSeen).Seconds()})
+		out = append(out, FollowerStatus{ID: id, AckedSeq: a.acked, AgeSec: now.Sub(a.lastSeen).Seconds(), Addr: a.addr})
 	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
 }
 
@@ -146,6 +267,16 @@ type ReplicationInfo struct {
 	// while followers are registered).
 	RetainFloor uint64           `json:"retain_floor,omitempty"`
 	Followers   []FollowerStatus `json:"followers,omitempty"`
+	// AckQuorum is the number of follower confirmations each commit batch
+	// waits for before acknowledging writes (0: leader-ack only).
+	AckQuorum int `json:"ack_quorum,omitempty"`
+	// QuorumDegraded counts commit batches acknowledged on the leader's
+	// fsync alone after the quorum wait timed out (degrade mode);
+	// QuorumRejected counts batches whose writes were refused with 503
+	// instead (strict mode). Either being nonzero means follower
+	// confirmations are not keeping up with the write load.
+	QuorumDegraded int64 `json:"quorum_degraded,omitempty"`
+	QuorumRejected int64 `json:"quorum_rejected,omitempty"`
 	// Promoted marks a follower that has taken over as leader.
 	Promoted bool `json:"promoted,omitempty"`
 }
@@ -167,9 +298,17 @@ func (s *Server) Replication() ReplicationInfo {
 		if f := s.flw.floor(now); f != ^uint64(0) {
 			info.RetainFloor = f
 		}
+		info.AckQuorum = s.opts.Durability.AckQuorum
+		info.QuorumDegraded = s.quorumDegraded.Load()
+		info.QuorumRejected = s.quorumRejected.Load()
 	}
 	return info
 }
+
+// FollowerViews returns the latest published view of this leader's
+// registered followers — the lock-free feed the federation read balancer
+// spreads reads from. Safe from any goroutine; the slice is immutable.
+func (s *Server) FollowerViews() []FollowerView { return s.flw.Views() }
 
 // DurableSeq returns the last durable journal sequence number (0 without a
 // journal). Safe from any goroutine.
@@ -234,7 +373,7 @@ func (s *Server) Promote(dir string, fsync bool, applied uint64) (uint64, error)
 	}
 	term := s.termPub.Load() + 1
 	if dir != "" {
-		l, st, err := wal.Open(dir, wal.Options{Fsync: fsync})
+		l, st, err := wal.Open(dir, wal.Options{Fsync: fsync, Notify: s.notifyAppend})
 		if err != nil {
 			return 0, fmt.Errorf("serve: promote: %w", err)
 		}
@@ -292,11 +431,13 @@ func (s *Server) Promote(dir string, fsync bool, applied uint64) (uint64, error)
 
 // ServeWAL is the leader's journal-shipping endpoint:
 //
-//	GET /v1/wal?from=N[&follower=ID][&wait=DUR][&max=N]
+//	GET /v1/wal?from=N[&follower=ID][&addr=URL][&wait=DUR][&max=N]
 //
 // It streams CRC-framed journal lines starting at seq N (text/plain, the
 // exact bytes on disk). With follower=ID the caller's position (N-1) is
-// registered for the retention floor. With wait, an up-to-date caller
+// registered for the retention floor, for quorum-ack counting, and — when
+// addr=URL names the follower's own read endpoint — for the federation
+// read balancer, which will route eligible reads to that URL. With wait, an up-to-date caller
 // long-polls until new records land or the wait expires. When N has been
 // pruned the response is a full-checkpoint resync instead, marked with
 // X-Schedd-Resync: 1: one meta line, then the checkpoint's compacted ops
@@ -344,7 +485,7 @@ func (s *Server) ServeWAL(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if id := q.Get("follower"); id != "" {
-		s.flw.ack(id, from-1, time.Now())
+		s.flw.ack(id, from-1, q.Get("addr"), time.Now())
 	}
 	if from > s.walSeq.Load()+1 {
 		WriteJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf(
@@ -377,9 +518,15 @@ func (s *Server) ServeWAL(w http.ResponseWriter, r *http.Request) {
 			w.Write(buf)
 			return
 		}
+		// Wake on the next commit's append notification rather than only on
+		// the poll tick: long-polling followers see new records (and can
+		// confirm them for a quorum) within a round-trip of the append, not
+		// within walPollInterval. The poll tick stays as a fallback for the
+		// rare append that slips between the Next call and the channel load.
 		select {
 		case <-r.Context().Done():
 			return
+		case <-s.appendNotify():
 		case <-time.After(walPollInterval):
 		}
 	}

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +40,13 @@ import (
 // from the last published snapshot instead, so health checks and metric
 // scrapes stay green through a graceful drain.
 var ErrStopped = errors.New("serve: scheduler stopped")
+
+// ErrQuorum is returned for writes whose commit batch was durable on the
+// leader but did not gather Durability.AckQuorum follower confirmations in
+// time (strict mode only; degrade mode acknowledges instead). The records
+// ARE in the leader's journal — a recovery or a later quorum will carry
+// them — so the client must treat the write's fate as unknown, not absent.
+var ErrQuorum = errors.New("serve: write durable on leader but follower ack quorum not reached")
 
 // publishStride bounds how many event instants an as-fast-as-possible
 // advance (or a drain) processes between snapshot publications: often
@@ -122,10 +130,14 @@ func (o Options) withDefaults() Options {
 // the signal the submitting HTTP handler waits on. The loop closes done
 // only after the batch containing the command has executed and the
 // resulting snapshot is published, so a handler that proceeds to read the
-// snapshot is guaranteed to see its own write.
+// snapshot is guaranteed to see its own write. err, written before done is
+// closed and read only after, carries a batch-level failure that must
+// reach the handler without stopping the loop (a missed ack quorum in
+// strict mode).
 type command struct {
 	fn   func()
 	done chan struct{}
+	err  error
 }
 
 // Server is one online scheduling service instance.
@@ -138,7 +150,7 @@ type Server struct {
 	ctr   *counters
 	clock *Clock
 
-	cmds    chan command
+	cmds    chan *command
 	stopped chan struct{}
 	nextID  int
 	drained bool
@@ -152,7 +164,7 @@ type Server struct {
 	pub            uint64 // last published snapshot version
 	pubSessVersion uint64 // session version the last snapshot was built from
 	pubDirty       bool   // counter changed without a session mutation (e.g. a rejected submit)
-	batch          []command
+	batch          []*command
 
 	// Durability state, owned by the scheduler goroutine (see durable.go).
 	log             *wal.Log
@@ -174,6 +186,16 @@ type Server struct {
 	walDirPub    atomic.Pointer[string]
 	flw          followerRegistry
 	replResyncs  atomic.Int64
+
+	// walNotify is closed and replaced on every journal append so /v1/wal
+	// long-polls wake immediately instead of on their next poll tick — the
+	// latency floor for follower catch-up and therefore for quorum acks.
+	// quorumDegraded / quorumRejected count commit batches that missed the
+	// follower ack quorum and were acknowledged anyway (degrade mode) or
+	// refused with 503 (strict mode).
+	walNotify      atomic.Pointer[chan struct{}]
+	quorumDegraded atomic.Int64
+	quorumRejected atomic.Int64
 }
 
 // New builds a server. Run must be called before writes are accepted; the
@@ -200,7 +222,7 @@ func New(opts Options) (*Server, error) {
 		// instead of rendezvousing one-by-one with the loop; runBatch then
 		// drains the backlog into a single batch (one snapshot rebuild, one
 		// forecast invalidation) regardless of how the goroutines interleave.
-		cmds:    make(chan command, 128),
+		cmds:    make(chan *command, 128),
 		stopped: make(chan struct{}),
 		nextID:  opts.IDStart,
 	}
@@ -360,10 +382,13 @@ func (s *Server) Run(ctx context.Context) error {
 // releases the waiting handlers — so each handler reads a snapshot that
 // includes its own write, a burst of N submissions costs one snapshot
 // rebuild and at most one forecast dry-run instead of N, and nothing is
-// acknowledged before it is durable. A commit failure leaves the
-// done-channels unclosed and stops the loop; the waiting handlers observe
-// ErrStopped instead of a false acknowledgement.
-func (s *Server) runBatch(first command) error {
+// acknowledged before it is durable. With Durability.AckQuorum the release
+// is additionally held until K live followers confirm the batch's max seq
+// (see waitAckQuorum) — synchronous replication riding the same group
+// commit. A commit failure leaves the done-channels unclosed and stops the
+// loop; the waiting handlers observe ErrStopped instead of a false
+// acknowledgement.
+func (s *Server) runBatch(first *command) error {
 	s.batch = append(s.batch[:0], first)
 	for {
 		select {
@@ -377,15 +402,47 @@ func (s *Server) runBatch(first command) error {
 	for _, c := range s.batch {
 		c.fn()
 	}
+	pre := s.walSeq.Load()
 	if err := s.commitWAL(); err != nil {
 		return err
 	}
 	s.publish()
+	var batchErr error
+	if seq := s.walSeq.Load(); seq > pre {
+		batchErr = s.waitAckQuorum(seq)
+	}
 	for i, c := range s.batch {
+		c.err = batchErr
 		close(c.done)
-		s.batch[i] = command{} // drop the closure for the collector
+		s.batch[i] = nil // drop the closure for the collector
 	}
 	return nil
+}
+
+// waitAckQuorum holds the current commit batch until Durability.AckQuorum
+// live followers have confirmed seq through the /v1/wal ack channel. On
+// timeout it either degrades to the leader's own ack (QuorumDegrade, the
+// availability choice) or returns ErrQuorum so every write in the batch
+// fails with 503 (the consistency choice). Liveness is re-validated at
+// this moment, not at registration: followers that died or went silent
+// since their last poll never count (see followerRegistry.liveAckedLocked).
+func (s *Server) waitAckQuorum(seq uint64) error {
+	k := s.opts.Durability.AckQuorum
+	if k <= 0 || s.log == nil {
+		return nil
+	}
+	if s.flw.waitQuorum(seq, k, s.opts.Durability.QuorumTimeout) {
+		return nil
+	}
+	if s.opts.Durability.QuorumDegrade {
+		n := s.quorumDegraded.Add(1)
+		logf("serve: ack quorum %d not reached for seq %d within %s — degrading to leader ack (degrade #%d)",
+			k, seq, s.opts.Durability.QuorumTimeout, n)
+		return nil
+	}
+	s.quorumRejected.Add(1)
+	return &clientError{code: http.StatusServiceUnavailable, err: fmt.Errorf(
+		"%w: %d follower(s) required, seq %d, waited %s", ErrQuorum, k, seq, s.opts.Durability.QuorumTimeout)}
 }
 
 // drain fast-forwards the session to completion and verifies the close-out
@@ -438,9 +495,11 @@ func (s *Server) drain() error {
 // exec runs fn on the scheduler goroutine and waits until the batch
 // containing it has executed and its snapshot is published. It fails with
 // ErrStopped once the loop has exited (or never picks the command up
-// because a drain is in progress).
+// because a drain is in progress). A non-nil return other than ErrStopped
+// (a strict-mode quorum miss) means fn DID run — the batch executed and
+// committed on the leader but was not confirmed by enough followers.
 func (s *Server) exec(fn func()) error {
-	c := command{fn: fn, done: make(chan struct{})}
+	c := &command{fn: fn, done: make(chan struct{})}
 	select {
 	case s.cmds <- c:
 	case <-s.stopped:
@@ -448,10 +507,23 @@ func (s *Server) exec(fn func()) error {
 	}
 	select {
 	case <-c.done:
-		return nil
+		return c.err
 	case <-s.stopped:
 		return ErrStopped
 	}
+}
+
+// appendNotify returns a channel closed at the next journal append. Used
+// by /v1/wal long-polls; safe from any goroutine.
+func (s *Server) appendNotify() <-chan struct{} {
+	if p := s.walNotify.Load(); p != nil {
+		return *p
+	}
+	ch := make(chan struct{})
+	if s.walNotify.CompareAndSwap(nil, &ch) {
+		return ch
+	}
+	return *s.walNotify.Load()
 }
 
 // submitJob creates and enqueues a job arriving at the current virtual

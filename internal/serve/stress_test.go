@@ -280,9 +280,9 @@ func TestBatchedSubmitsShareOnePublish(t *testing.T) {
 
 	const n = 32
 	before := s.Current().Version
-	cmds := make([]command, n)
+	cmds := make([]*command, n)
 	for i := range cmds {
-		cmds[i] = command{
+		cmds[i] = &command{
 			fn:   func() { _, _ = s.submitJob(SubmitRequest{Width: 1, Runtime: 1000}) },
 			done: make(chan struct{}),
 		}

@@ -59,6 +59,13 @@ type Options struct {
 	// NoLock skips the flock guard (tests that intentionally reopen a dir
 	// while simulating a crashed owner).
 	NoLock bool
+	// Notify, when set, is called by Append after a batch's records have
+	// reached the kernel but before the fsync. That is the earliest instant
+	// a tailing reader can see the bytes, so waking followers here lets
+	// their pull/apply/ack round-trip overlap the leader's own disk sync —
+	// the overlap that makes a follower ack quorum nearly free under Fsync.
+	// Called on the appending goroutine; must not block.
+	Notify func()
 }
 
 // Log is an open journal: the append side of the WAL plus checkpoint
@@ -187,6 +194,9 @@ func (l *Log) Append(recs []Record) error {
 	}
 	if _, err := l.f.Write(l.buf); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.opts.Notify != nil {
+		l.opts.Notify()
 	}
 	if l.opts.Fsync {
 		if err := l.f.Sync(); err != nil {

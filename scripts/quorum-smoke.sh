@@ -1,0 +1,28 @@
+#!/bin/sh
+# quorum-smoke is the crash drill for quorum-acknowledged writes: a
+# two-shard federation front end running with -ack-quorum 1 and
+# -read-route replica, two HTTP followers per shard. Each cycle SIGKILLs
+# one follower mid-write-burst (the victim rotates across shards); writes
+# must keep acknowledging through the surviving follower — a dead
+# follower's registry entry must never vouch for a quorum (the commit-time
+# liveness re-check) — no acknowledged write may be lost (independent
+# shadow replay of each shard's journal), and both shards' quorum counters
+# must finish every cycle with zero degraded and zero rejected writes. A
+# replacement follower joins before the next cycle. Run via
+# `make quorum-smoke`.
+set -eu
+
+iters=${QUORUM_ITERS:-3}
+burst=${QUORUM_BURST:-400ms}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/schedd" ./cmd/schedd
+go build -o "$workdir/schedload" ./cmd/schedload
+
+"$workdir/schedload" -quorum-drill -schedd "$workdir/schedd" \
+    -data-dir "$workdir/journal" \
+    -procs 32 -writers 2 -iters "$iters" -burst "$burst"
+
+echo "quorum-smoke: OK ($iters follower-kill cycles under ack-quorum 1, zero acked writes lost, zero degraded quorum acks)"
