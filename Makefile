@@ -61,18 +61,18 @@ bench:
 # recovery), the federation routing/merge path in internal/fed, and the
 # replication apply/read path in internal/replica — and writes the
 # machine-readable run to bench_current.json; bench-gate compares it
-# against the committed BENCH_PR9.json baseline and fails on any
+# against the committed BENCH_PR10.json baseline and fails on any
 # regression beyond BENCH_TOLERANCE (a fraction: 0.20 = 20%).
 BENCHTIME ?= 1s
 BENCH_TOLERANCE ?= 0.20
 
 bench-json:
-	$(GO) test -run='^$$' -bench='BenchmarkProfile|BenchmarkScheduler|BenchmarkCompression$$|BenchmarkSessionStep|BenchmarkBatchRun|BenchmarkEventQueue|BenchmarkServeRead|BenchmarkForecastCached|BenchmarkForecastUncached|BenchmarkWALAppend|BenchmarkWALFsyncedAppend|BenchmarkRecovery|BenchmarkFed|BenchmarkReplica' \
+	$(GO) test -run='^$$' -bench='BenchmarkProfile|BenchmarkScheduler|BenchmarkCompression$$|BenchmarkSessionStep|BenchmarkBatchRun|BenchmarkEventQueue|BenchmarkServeRead|BenchmarkSnapshot|BenchmarkForecastCached|BenchmarkForecastUncached|BenchmarkWALAppend|BenchmarkWALFsyncedAppend|BenchmarkRecovery|BenchmarkFed|BenchmarkReplica' \
 		-benchtime=$(BENCHTIME) -benchmem . ./internal/serve ./internal/wal ./internal/fed ./internal/replica \
 		| $(GO) run ./cmd/benchdiff -parse > bench_current.json
 
 bench-gate: bench-json
-	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR9.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchdiff -gate -ledger BENCH_PR10.json -current bench_current.json -tolerance $(BENCH_TOLERANCE)
 
 # Short fuzzing pass over every fuzz target. Each target gets FUZZTIME of
 # coverage-guided input generation on top of its checked-in seed corpus;
@@ -86,6 +86,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzProfileOps -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzProfileEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedulerRun -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzLaunchIncremental -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/fed -run='^$$' -fuzz=FuzzShardRouter -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/fed -run='^$$' -fuzz=FuzzReadBalancer -fuzztime=$(FUZZTIME)

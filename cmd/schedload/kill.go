@@ -214,13 +214,13 @@ func shadowReplay(cfg killConfig, dir string) (*serve.Server, uint64, error) {
 // published snapshot.
 func verifyAcks(snap *serve.Snapshot, acks *ackLog) error {
 	for _, id := range acks.submitted {
-		if _, ok := snap.Jobs[id]; !ok {
+		if _, ok := snap.Jobs.Get(id); !ok {
 			return fmt.Errorf("acknowledged job %d missing after recovery", id)
 		}
 	}
 	cancelledState := sim.StateCancelled.String()
 	for _, id := range acks.cancelled {
-		v, ok := snap.Jobs[id]
+		v, ok := snap.Jobs.Get(id)
 		if !ok {
 			return fmt.Errorf("acknowledged cancelled job %d missing after recovery", id)
 		}

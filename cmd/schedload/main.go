@@ -166,12 +166,28 @@ func run(args []string, out io.Writer) error {
 		follPer  = fs.Int("followers", 2, "routed-read bench: followers per shard")
 		ackQ     = fs.Int("ack-quorum", -1, "quorum sweep: measure write QPS at every ack-quorum level 0..N with N real followers attached; needs -schedd")
 		qDrill   = fs.Bool("quorum-drill", false, "quorum crash drill: 2-shard federation with ack-quorum 1 and 2 followers per shard, SIGKILL one follower mid-burst each cycle, require every acknowledged write durable and zero degraded quorum acks; needs -schedd")
+		qSweep   = fs.Bool("queue-sweep", false, "sweep the standing queue depth 64..1024 (fresh self-hosted daemon per depth) and report write QPS per depth; run with -readers 0 -writers 16 for the PERFORMANCE.md §11 acceptance curve")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, have %d", *shards)
+	}
+	if *qSweep {
+		if *kill || *addr != "" || *promote || *replicas >= 0 || *readRt != "" || *ackQ >= 0 || *qDrill || *shards > 1 || *dataDir != "" {
+			return fmt.Errorf("-queue-sweep self-hosts a fresh single daemon per depth: drop the other modes")
+		}
+		return runQueueSweep(queueSweepConfig{
+			procs:    *procs,
+			kind:     *kind,
+			policy:   *policy,
+			readers:  *readers,
+			writers:  *writers,
+			duration: *duration,
+			mailbox:  *mailbox,
+			jsonOut:  *jsonOut,
+		}, out)
 	}
 	if *readRt != "" || *ackQ >= 0 || *qDrill {
 		if *kill || (*shards > 1 && *readRt == "") || *mailbox || *addr != "" || *promote || *replicas >= 0 {

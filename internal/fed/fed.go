@@ -141,11 +141,12 @@ func (f *Federation) Router() Router { return f.router }
 func (f *Federation) maxKnownID() int {
 	max := 0
 	for _, sh := range f.shards {
-		for id := range sh.Current().Jobs {
+		sh.Current().Jobs.Range(func(id int, _ serve.JobView) bool {
 			if id > max {
 				max = id
 			}
-		}
+			return true
+		})
 	}
 	return max
 }
@@ -287,7 +288,7 @@ func (f *Federation) owner(id int) (serve.Shard, bool) {
 // (the balancer of the owning shard proxies that shard's job lookups).
 func (f *Federation) ownerIdx(id int) (serve.Shard, int, bool) {
 	for i, sh := range f.shards {
-		if _, ok := sh.Current().Jobs[id]; ok {
+		if _, ok := sh.Current().Jobs.Get(id); ok {
 			return sh, i, true
 		}
 	}

@@ -104,7 +104,7 @@ func TestFederationSubmitLookupCancel(t *testing.T) {
 	for id := range seen {
 		found := -1
 		for i, sh := range f.Shards() {
-			if _, ok := sh.Current().Jobs[id]; ok {
+			if _, ok := sh.Current().Jobs.Get(id); ok {
 				if found >= 0 {
 					t.Fatalf("job %d on two shards (%d and %d)", id, found, i)
 				}
@@ -122,7 +122,7 @@ func TestFederationSubmitLookupCancel(t *testing.T) {
 	// Same user, same shard: hash routing is deterministic per key.
 	shardOf := func(id int) int {
 		for i, sh := range f.Shards() {
-			if _, ok := sh.Current().Jobs[id]; ok {
+			if _, ok := sh.Current().Jobs.Get(id); ok {
 				return i
 			}
 		}
@@ -209,12 +209,13 @@ func TestFederationPreloadPartition(t *testing.T) {
 			maxID := 0
 			for i, sh := range f.Shards() {
 				snap := sh.Current()
-				counts[i] = len(snap.Jobs)
-				for id := range snap.Jobs {
+				counts[i] = snap.Jobs.Len()
+				snap.Jobs.Range(func(id int, _ serve.JobView) bool {
 					if id > maxID {
 						maxID = id
 					}
-				}
+					return true
+				})
 			}
 			total := counts[0] + counts[1] + counts[2]
 			if total != len(jobs) {

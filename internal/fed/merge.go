@@ -114,19 +114,25 @@ func (f *Federation) MergedSnapshot() *serve.Snapshot {
 			out.CatSum[c] += s.CatSum[c]
 			out.CatN[c] += s.CatN[c]
 		}
-		out.Queued = append(out.Queued, s.Queued...)
 		out.Running = append(out.Running, s.Running...)
 	}
+	var queued []serve.JobView
+	for _, s := range snaps {
+		queued = append(queued, s.QueuedViews()...)
+	}
+	out.SetQueuedViews(queued)
 	out.BusyArea, out.BusyUpTo = busyArea, out.Now
 	if procsArea > 0 {
 		out.Utilization = float64(busyArea) / float64(procsArea)
 	}
-	out.Jobs = make(map[int]serve.JobView)
+	views := make(map[int]serve.JobView)
 	for _, s := range snaps {
-		for id, v := range s.Jobs {
-			out.Jobs[id] = v
-		}
+		s.Jobs.Range(func(id int, v serve.JobView) bool {
+			views[id] = v
+			return true
+		})
 	}
+	out.Jobs = serve.NewJobIndex(views)
 	return out
 }
 
@@ -157,7 +163,7 @@ func (f *Federation) Status() []ShardStatus {
 			Scheduler:  snap.Scheduler,
 			Procs:      snap.Procs,
 			ProcsBusy:  snap.ProcsBusy,
-			QueueDepth: len(snap.Queued),
+			QueueDepth: len(snap.QueuedViews()),
 			Running:    len(snap.Running),
 			Pending:    snap.Pending,
 			Version:    snap.Version,

@@ -1,6 +1,10 @@
 package sched
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/job"
+)
 
 // TestProfileSteadyStateAllocs pins the profile's allocation behavior: once
 // the backing array has grown to the working size, reserve/release pairs —
@@ -75,6 +79,36 @@ func TestProfileEarlierStartAllocsAndPurity(t *testing.T) {
 	for k := range before {
 		if before[k] != p.points[k] {
 			t.Fatalf("EarlierStart mutated point %d: %+v -> %+v", k, before[k], p.points[k])
+		}
+	}
+}
+
+// TestLaunchNoopAllocs pins the no-op pass fast path (DESIGN.md §15): with
+// a deep standing queue behind a blocked head and no events since the last
+// completed pass, Launch must return in O(1) with zero allocations — for
+// every scheduler kind, at the same instant and (under time-invariant
+// policies) at later ones. This is the property that decouples the write
+// path's per-submit cost from queue depth; regressing it re-introduces the
+// O(depth) scan PERFORMANCE.md §8 measured.
+func TestLaunchNoopAllocs(t *testing.T) {
+	for name, mk := range incrMakers(16, FCFS{}) {
+		s := mk()
+		// One wide head that can never start plus a deep tail of wide jobs.
+		wide := &job.Job{ID: 1, Arrival: 0, Runtime: 5000, Estimate: 6000, Width: 16}
+		s.Arrive(0, wide)
+		s.Launch(0) // starts the head; machine now full
+		for id := 2; id <= 514; id++ {
+			s.Arrive(1, &job.Job{ID: id, Arrival: 1, Runtime: 1000, Estimate: 1200, Width: 12})
+		}
+		s.Launch(1) // the full pass that establishes the memo
+		now := int64(2)
+		if avg := testing.AllocsPerRun(200, func() {
+			if got := s.Launch(now); got != nil {
+				t.Fatalf("%s: no-op Launch at t=%d started %d jobs", name, now, len(got))
+			}
+			now++
+		}); avg != 0 {
+			t.Fatalf("%s: no-op Launch allocates %.1f times per pass, want 0", name, avg)
 		}
 	}
 }

@@ -21,11 +21,13 @@ type Canceler interface {
 }
 
 // removeQueued deletes a job from a queue slice by ID, reporting whether it
-// was present.
+// was present. The vacated slot is cleared so the backing array does not
+// retain the cancelled job.
 func removeQueued(queue []*job.Job, id int) ([]*job.Job, bool) {
 	for i, q := range queue {
 		if q.ID == id {
-			return append(queue[:i], queue[i+1:]...), true
+			copy(queue[i:], queue[i+1:])
+			return clearTail(queue, len(queue)-1), true
 		}
 	}
 	return queue, false
@@ -35,6 +37,9 @@ func removeQueued(queue []*job.Job, id int) ([]*job.Job, bool) {
 func (s *EASY) Cancel(_ int64, j *job.Job) bool {
 	var ok bool
 	s.queue, ok = removeQueued(s.queue, j.ID)
+	if ok {
+		s.memo.invalidate()
+	}
 	return ok
 }
 
@@ -42,6 +47,9 @@ func (s *EASY) Cancel(_ int64, j *job.Job) bool {
 func (s *NoBackfill) Cancel(_ int64, j *job.Job) bool {
 	var ok bool
 	s.queue, ok = removeQueued(s.queue, j.ID)
+	if ok {
+		s.memo.invalidate()
+	}
 	return ok
 }
 
@@ -50,6 +58,9 @@ func (s *NoBackfill) Cancel(_ int64, j *job.Job) bool {
 func (s *DepthK) Cancel(_ int64, j *job.Job) bool {
 	var ok bool
 	s.queue, ok = removeQueued(s.queue, j.ID)
+	if ok {
+		s.memo.invalidate()
+	}
 	return ok
 }
 
@@ -62,6 +73,9 @@ func (s *Preemptive) Cancel(_ int64, j *job.Job) bool {
 	}
 	var ok bool
 	s.queue, ok = removeQueued(s.queue, j.ID)
+	if ok {
+		s.memo.invalidate()
+	}
 	return ok
 }
 
@@ -74,6 +88,7 @@ func (s *Conservative) Cancel(now int64, j *job.Job) bool {
 	if !ok {
 		return false
 	}
+	s.memo.invalidate()
 	start := s.resv[j.ID]
 	delete(s.resv, j.ID)
 	end := start + j.Estimate
@@ -99,6 +114,7 @@ func (s *SlackBased) Cancel(now int64, j *job.Job) bool {
 	if !ok {
 		return false
 	}
+	s.memo.invalidate()
 	start := s.resv[j.ID]
 	delete(s.resv, j.ID)
 	delete(s.guarantee, j.ID)
@@ -127,6 +143,7 @@ func (s *Selective) Cancel(now int64, j *job.Job) bool {
 	if !ok {
 		return false
 	}
+	s.memo.invalidate()
 	if start, promoted := s.resv[j.ID]; promoted {
 		delete(s.resv, j.ID)
 		end := start + j.Estimate

@@ -39,6 +39,14 @@ type Conservative struct {
 	// violations collects internal invariant breaches (never expected);
 	// tests read them via Violations.
 	violations []string
+
+	// memo skips provably futile passes: launches are gated purely on
+	// "reservation due" (resv[id] <= now), so while now is before the
+	// earliest pending reservation and nothing has structurally changed, a
+	// pass starts nothing (DESIGN.md §15). memo.nextAt tracks that earliest
+	// reservation; reservations granted at Arrive fold into it, and
+	// compression (which only moves reservations earlier) invalidates.
+	memo passMemo
 }
 
 // NewConservative returns a conservative backfilling scheduler for a
@@ -57,6 +65,7 @@ func NewConservative(procs int, pol Policy) *Conservative {
 		profile: NewProfile(procs),
 		resv:    make(map[int]int64),
 		running: make(map[int]runInfo),
+		memo:    newPassMemo(pol),
 	}
 }
 
@@ -95,12 +104,19 @@ func (s *Conservative) Violations() []string {
 }
 
 // Arrive grants the arriving job the earliest reservation that respects all
-// existing guarantees, and queues it.
+// existing guarantees, and queues it. The new reservation folds into the
+// memo's earliest-pending bound so futile-pass skipping stays exact.
 func (s *Conservative) Arrive(now int64, j *job.Job) {
 	s.profile.Trim(now)
 	start := s.profile.FindStart(now, j.Estimate, j.Width)
 	s.profile.Reserve(start, j.Estimate, j.Width)
 	s.resv[j.ID] = start
+	s.memo.noteArrival()
+	s.memo.nextAt = minInt64(s.memo.nextAt, start)
+	if s.memo.timeInv {
+		s.queue = orderedInsert(s.queue, j, s.pol, now)
+		return
+	}
 	s.queue = append(s.queue, j)
 }
 
@@ -121,6 +137,13 @@ func (s *Conservative) Complete(now int64, j *job.Job) {
 	s.profile.Trim(now)
 	if !s.noCompress && s.holes {
 		s.compress(now)
+		// Launches are gated purely on the reservation map, which a
+		// completion changes only through compression — so the memo
+		// survives unless this pass actually moved a reservation (compress
+		// leaves holes set exactly when it did).
+		if s.holes {
+			s.memo.invalidate()
+		}
 	}
 }
 
@@ -154,10 +177,23 @@ func (s *Conservative) compress(now int64) {
 	s.holes = moved
 }
 
-// Launch starts every queued job whose guaranteed start has arrived.
+// Launch starts every queued job whose guaranteed start has arrived. A
+// pass before the earliest pending reservation — the memo's nextAt, kept
+// exact through arrivals — provably starts nothing and returns
+// immediately.
 func (s *Conservative) Launch(now int64) []*job.Job {
+	if s.memo.canSkip(now) {
+		return nil
+	}
+	if s.memo.arrivalsOnly() && now < s.memo.nextAt {
+		// Every reservation, the new arrivals' included, is still in the
+		// future; the queue is already in policy order from insertion.
+		s.memo.completePass(now, s.memo.nextAt)
+		return nil
+	}
 	sortQueue(s.queue, s.pol, now)
 	var out []*job.Job
+	nextAt := int64(noWake)
 	kept := s.queue[:0]
 	for _, j := range s.queue {
 		start, ok := s.resv[j.ID]
@@ -165,6 +201,7 @@ func (s *Conservative) Launch(now int64) []*job.Job {
 			panic(fmt.Sprintf("sched: Conservative queued %v has no reservation", j))
 		}
 		if start > now {
+			nextAt = minInt64(nextAt, start)
 			kept = append(kept, j)
 			continue
 		}
@@ -185,7 +222,8 @@ func (s *Conservative) Launch(now int64) []*job.Job {
 		s.running[j.ID] = runInfo{j: j, start: now, estEnd: now + j.Estimate}
 		out = append(out, j)
 	}
-	s.queue = kept
+	s.queue = clearTail(s.queue, len(kept))
+	s.memo.completePass(now, nextAt)
 	return out
 }
 

@@ -40,6 +40,13 @@ func sortRunnersByEnd(rs []runInfo) {
 // The paper calls this simply "aggressive backfilling"; combined with SJF or
 // XFactor priority it wins on average slowdown, at the cost of an unbounded
 // worst-case delay for jobs that never reach the head (Tables 4 and 7).
+//
+// Passes are incremental (DESIGN.md §15): the queue is kept in policy order
+// by ordered insertion under time-invariant policies, a pass memo skips
+// launches that provably cannot start anything, and an arrivals-only pass
+// evaluates just the new jobs against the cached shadow reservation instead
+// of rescanning the whole queue. Every fast path is pinned behavior-
+// identical to the full pass by FuzzLaunchIncremental.
 type EASY struct {
 	procs   int
 	pol     Policy
@@ -51,6 +58,18 @@ type EASY struct {
 	// runScratch is reused by headReservation's sorted snapshot of the
 	// running set, so shadow computations stop allocating per event.
 	runScratch []runInfo
+
+	// Incremental-pass state. memo tracks what changed since the last
+	// completed pass; blocked/cachedHead/shadow/extra cache the phase-2
+	// reservation of that pass so an arrivals-only pass can extend it; new
+	// buffers the arrivals since the last pass (already ordered-inserted
+	// into queue — this is the "which jobs are new" view of them).
+	memo       passMemo
+	blocked    bool
+	cachedHead *job.Job
+	shadow     int64
+	extra      int
+	new        []*job.Job
 }
 
 // BackfillOrder selects which eligible candidate an EASY backfill pass
@@ -102,7 +121,7 @@ func NewEASYWithOrder(procs int, pol Policy, order BackfillOrder) *EASY {
 	if order < FirstFit || order > ShortestFit {
 		panic(fmt.Sprintf("sched: NewEASY with unknown backfill order %d", order))
 	}
-	return &EASY{procs: procs, pol: pol, order: order, free: procs}
+	return &EASY{procs: procs, pol: pol, order: order, free: procs, memo: newPassMemo(pol)}
 }
 
 // Name returns e.g. "EASY(FCFS)" or "EASY(FCFS,bestfit)".
@@ -113,11 +132,24 @@ func (s *EASY) Name() string {
 	return fmt.Sprintf("EASY(%s,%s)", s.pol.Name(), s.order)
 }
 
-// Arrive queues the job.
-func (s *EASY) Arrive(_ int64, j *job.Job) { s.queue = append(s.queue, j) }
+// Arrive queues the job at its policy position (time-invariant policies
+// keep the queue permanently sorted; dynamic ones append and re-sort at
+// the next pass).
+func (s *EASY) Arrive(now int64, j *job.Job) {
+	s.memo.noteArrival()
+	if s.memo.timeInv {
+		s.queue = orderedInsert(s.queue, j, s.pol, now)
+		s.new = append(s.new, j)
+		return
+	}
+	s.queue = append(s.queue, j)
+}
 
 // Complete returns the job's processors and forgets its running record.
+// Freed capacity can unblock the head or move the shadow, so the pass memo
+// is invalidated.
 func (s *EASY) Complete(_ int64, j *job.Job) {
+	s.memo.invalidate()
 	s.free += j.Width
 	for i := range s.running {
 		if s.running[i].j.ID == j.ID {
@@ -130,23 +162,80 @@ func (s *EASY) Complete(_ int64, j *job.Job) {
 
 // Launch implements one EASY scheduling pass: start priority-order heads
 // while they fit, then compute the blocked head's shadow reservation and
-// backfill lower-priority jobs against it.
+// backfill lower-priority jobs against it. A pass the memo proves futile
+// returns immediately; an arrivals-only pass under a time-invariant policy
+// evaluates just the new jobs against the cached reservation.
 func (s *EASY) Launch(now int64) []*job.Job {
+	if s.memo.canSkip(now) {
+		return nil
+	}
+	if out, ok := s.launchIncremental(now); ok {
+		return out
+	}
+	return s.launchFull(now)
+}
+
+// start dispatches j at now (queue removal is the caller's business).
+func (s *EASY) start(now int64, j *job.Job) {
+	s.free -= j.Width
+	s.running = append(s.running, runInfo{j: j, start: now, estEnd: now + j.Estimate})
+}
+
+// launchIncremental extends the last pass's conclusion with the arrivals
+// since: with no structural change, a time-invariant policy, and the same
+// blocked head, every previously kept job is still unstartable (free and
+// extra only shrank, the shadow is fixed, and now only grew), so only the
+// new jobs need evaluating — against the cached shadow/extra, in their
+// policy order, exactly as the full pass would at their queue positions.
+// It reports false when the precondition fails and a full pass must run.
+func (s *EASY) launchIncremental(now int64) ([]*job.Job, bool) {
+	if !s.memo.arrivalsOnly() || s.order != FirstFit || !s.blocked {
+		return nil, false
+	}
+	if len(s.queue) == 0 || s.queue[0] != s.cachedHead {
+		return nil, false // an arrival displaced the head: new reservation holder
+	}
+	sortQueue(s.new, s.pol, now)
+	var out []*job.Job
+	for _, j := range s.new {
+		fitsNow := j.Width <= s.free
+		switch {
+		case fitsNow && now+j.Estimate <= s.shadow:
+			s.start(now, j)
+			s.queue = removeJob(s.queue, j)
+			out = append(out, j)
+		case fitsNow && j.Width <= s.extra:
+			s.start(now, j)
+			s.extra -= j.Width
+			s.queue = removeJob(s.queue, j)
+			out = append(out, j)
+		default:
+			if !fitsNow && j.Width < s.memo.blockedW {
+				s.memo.blockedW = j.Width
+			}
+		}
+	}
+	s.clearNew()
+	s.memo.completePass(now, noWake)
+	return out, true
+}
+
+// launchFull is the unconditional EASY pass.
+func (s *EASY) launchFull(now int64) []*job.Job {
 	sortQueue(s.queue, s.pol, now)
 	var out []*job.Job
-
-	start := func(j *job.Job) {
-		s.free -= j.Width
-		s.running = append(s.running, runInfo{j: j, start: now, estEnd: now + j.Estimate})
-		out = append(out, j)
-	}
+	s.memo.blockedW = noWatermark
 
 	// Phase 1: the head of the queue starts whenever it fits.
-	for len(s.queue) > 0 && s.queue[0].Width <= s.free {
-		start(s.queue[0])
-		s.queue = s.queue[1:]
+	n := 0
+	for n < len(s.queue) && s.queue[n].Width <= s.free {
+		s.start(now, s.queue[n])
+		out = append(out, s.queue[n])
+		n++
 	}
+	s.queue = compactFront(s.queue, n)
 	if len(s.queue) == 0 {
+		s.finishPass(now, false)
 		return out
 	}
 
@@ -154,7 +243,8 @@ func (s *EASY) Launch(now int64) []*job.Job {
 	// shadow time is when, by current estimates, enough processors will
 	// have been freed; extra is what remains beyond the head's need then.
 	head := s.queue[0]
-	shadow, extra := s.headReservation(head)
+	s.shadow, s.extra = s.headReservation(head)
+	s.memo.blockedW = head.Width
 
 	// Phase 3: backfill the rest of the queue. A job may start now iff it
 	// fits now AND it either finishes (per its estimate) by the shadow
@@ -167,16 +257,22 @@ func (s *EASY) Launch(now int64) []*job.Job {
 		for _, j := range s.queue[1:] {
 			fitsNow := j.Width <= s.free
 			switch {
-			case fitsNow && now+j.Estimate <= shadow:
-				start(j)
-			case fitsNow && j.Width <= extra:
-				start(j)
-				extra -= j.Width
+			case fitsNow && now+j.Estimate <= s.shadow:
+				s.start(now, j)
+				out = append(out, j)
+			case fitsNow && j.Width <= s.extra:
+				s.start(now, j)
+				s.extra -= j.Width
+				out = append(out, j)
 			default:
+				if !fitsNow && j.Width < s.memo.blockedW {
+					s.memo.blockedW = j.Width
+				}
 				kept = append(kept, j)
 			}
 		}
-		s.queue = kept
+		s.queue = clearTail(s.queue, len(kept))
+		s.finishPass(now, true)
 		return out
 	}
 
@@ -188,8 +284,8 @@ func (s *EASY) Launch(now int64) []*job.Job {
 			if j.Width > s.free {
 				continue
 			}
-			byShadow := now+j.Estimate <= shadow
-			if !byShadow && j.Width > extra {
+			byShadow := now+j.Estimate <= s.shadow
+			if !byShadow && j.Width > s.extra {
 				continue
 			}
 			if bestIdx == -1 || s.prefer(j, rest[bestIdx]) {
@@ -201,14 +297,58 @@ func (s *EASY) Launch(now int64) []*job.Job {
 			break
 		}
 		j := rest[bestIdx]
-		start(j)
+		s.start(now, j)
+		out = append(out, j)
 		if bestUsesExtra {
-			extra -= j.Width
+			s.extra -= j.Width
 		}
 		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
 	}
-	s.queue = append(s.queue[:1], rest...)
+	for _, j := range rest {
+		if j.Width > s.free && j.Width < s.memo.blockedW {
+			s.memo.blockedW = j.Width
+		}
+	}
+	oldLen := len(s.queue)
+	q := append(s.queue[:1], rest...)
+	s.queue = clearTail(q[:oldLen], len(q))
+	s.finishPass(now, true)
 	return out
+}
+
+// finishPass records the pass's conclusion in the memo. A blocked queue
+// under a time-invariant policy stays blocked until an event arrives —
+// free capacity cannot grow, the shadow cannot move, and the by-shadow
+// window only narrows as now advances — so the time-trigger bound is
+// "never".
+func (s *EASY) finishPass(now int64, blocked bool) {
+	s.blocked = blocked
+	s.cachedHead = nil
+	if blocked {
+		s.cachedHead = s.queue[0]
+	}
+	s.clearNew()
+	s.memo.completePass(now, noWake)
+}
+
+// clearNew empties the new-arrivals buffer without retaining job pointers.
+func (s *EASY) clearNew() {
+	for i := range s.new {
+		s.new[i] = nil
+	}
+	s.new = s.new[:0]
+}
+
+// removeJob deletes j from q in place, preserving order and clearing the
+// vacated slot.
+func removeJob(q []*job.Job, j *job.Job) []*job.Job {
+	for i, e := range q {
+		if e == j {
+			copy(q[i:], q[i+1:])
+			return clearTail(q, len(q)-1)
+		}
+	}
+	return q
 }
 
 // prefer reports whether candidate a beats b under the configured backfill

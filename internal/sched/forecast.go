@@ -62,6 +62,14 @@ func ShowStart(procs int, now int64, running []RunningSlot, queued []*job.Job, p
 // showStartInto runs the ShowStart dry-run in the caller-supplied profile,
 // which must be freshly reset and sized to the machine.
 func showStartInto(p *Profile, now int64, running []RunningSlot, queued []*job.Job, pol Policy) map[int]int64 {
+	out, _ := showStartSeeded(p, now, running, queued, pol)
+	return out
+}
+
+// showStartSeeded is showStartInto plus the dry-run's tail: the policy-last
+// queued job placed, which an incremental extension needs to verify that
+// later arrivals really sort after everything already in the schedule.
+func showStartSeeded(p *Profile, now int64, running []RunningSlot, queued []*job.Job, pol Policy) (map[int]int64, *job.Job) {
 	for _, r := range running {
 		if r.EstEnd > now && r.Width > 0 {
 			p.Reserve(now, r.EstEnd-now, r.Width)
@@ -70,12 +78,14 @@ func showStartInto(p *Profile, now int64, running []RunningSlot, queued []*job.J
 	q := append([]*job.Job(nil), queued...)
 	sortQueue(q, pol, now)
 	out := make(map[int]int64, len(q))
+	var tail *job.Job
 	for _, j := range q {
 		st := p.FindStart(now, j.Estimate, j.Width)
 		p.Reserve(st, j.Estimate, j.Width)
 		out[j.ID] = st
+		tail = j
 	}
-	return out
+	return out, tail
 }
 
 // Reservist is the optional scheduler capability of reporting the
@@ -108,13 +118,10 @@ func Reservations(s any, queued []*job.Job) map[int]int64 {
 	return out
 }
 
-// ForecastFromState is the pure form of Forecast: it predicts start times
-// from an explicit state capture (machine size, clock, running slots, queue
-// and pre-captured reservations) without touching any scheduler. Because
-// every input is a snapshot, it is safe to call from any goroutine — the
-// serving layer memoizes its result per state version.
-func ForecastFromState(procs int, now int64, running []RunningSlot, queued []*job.Job, pol Policy, resv map[int]int64) map[int]int64 {
-	out := ShowStart(procs, now, running, queued, pol)
+// applyResvClamp post-processes a raw dry-run: scheduler-held reservations
+// override the conservative placement (they are guarantees, the dry-run is
+// an estimate), and no prediction may precede now.
+func applyResvClamp(out map[int]int64, resv map[int]int64, now int64) {
 	for id, t := range resv {
 		if _, ok := out[id]; ok {
 			out[id] = t
@@ -125,7 +132,73 @@ func ForecastFromState(procs int, now int64, running []RunningSlot, queued []*jo
 			out[id] = now
 		}
 	}
+}
+
+// ForecastFromState is the pure form of Forecast: it predicts start times
+// from an explicit state capture (machine size, clock, running slots, queue
+// and pre-captured reservations) without touching any scheduler. Because
+// every input is a snapshot, it is safe to call from any goroutine — the
+// serving layer memoizes its result per state version.
+func ForecastFromState(procs int, now int64, running []RunningSlot, queued []*job.Job, pol Policy, resv map[int]int64) map[int]int64 {
+	out := ShowStart(procs, now, running, queued, pol)
+	applyResvClamp(out, resv, now)
 	return out
+}
+
+// ForecastSeed is the reusable end state of one ShowStart dry-run: the final
+// conservative schedule and the policy-last job placed into it. A caller
+// that retains the seed alongside the predictions can extend the forecast
+// with later arrivals via ExtendForecast instead of re-running the dry-run
+// over the whole queue — the O(queue) term the serving layer's write path
+// removes (PERFORMANCE.md §11). The profile inside a seed is owned by the
+// seed (never pooled) and is mutated by ExtendForecast, so a seed must be
+// consumed at most once.
+type ForecastSeed struct {
+	profile *Profile
+	tail    *job.Job
+}
+
+// ForecastFromStateSeeded is ForecastFromState plus the dry-run's seed for
+// incremental extension.
+func ForecastFromStateSeeded(procs int, now int64, running []RunningSlot, queued []*job.Job, pol Policy, resv map[int]int64) (map[int]int64, *ForecastSeed) {
+	p := NewProfile(procs)
+	out, tail := showStartSeeded(p, now, running, queued, pol)
+	applyResvClamp(out, resv, now)
+	return out, &ForecastSeed{profile: p, tail: tail}
+}
+
+// ExtendForecast extends a seeded forecast with newly arrived jobs, avoiding
+// the full dry-run when every arrival sorts at or after the seed's tail
+// under pol at now (always true for arrival-ordered policies like FCFS; the
+// stable sort puts an equal-keyed later arrival after the tail). resv is the
+// reservation capture for the extended state. On success the seed's profile
+// has the new jobs placed, the seed's tail is advanced, and the returned
+// delta holds predictions for exactly the new jobs — the caller overlays it
+// on the predictions the seed was built with, which stay untouched so
+// snapshots of the older version keep their forecast. ok is false, with the
+// seed untouched, when some arrival sorts before the tail: the extension
+// would mispredict, and the caller must fall back to a full dry-run.
+func ExtendForecast(seed *ForecastSeed, now int64, newJobs []*job.Job, pol Policy, resv map[int]int64) (map[int]int64, bool) {
+	for _, j := range newJobs {
+		if seed.tail != nil && policyCmp(pol, j, seed.tail, now) < 0 {
+			return nil, false
+		}
+	}
+	sorted := SortedByPolicy(newJobs, pol, now)
+	delta := make(map[int]int64, len(sorted))
+	for _, j := range sorted {
+		st := seed.profile.FindStart(now, j.Estimate, j.Width)
+		seed.profile.Reserve(st, j.Estimate, j.Width)
+		if t, ok := resv[j.ID]; ok {
+			st = t
+		}
+		if st < now {
+			st = now
+		}
+		delta[j.ID] = st
+		seed.tail = j
+	}
+	return delta, true
 }
 
 // Forecast combines both prediction sources for one queue snapshot: the

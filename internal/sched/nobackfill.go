@@ -10,11 +10,20 @@ import (
 // jobs are considered strictly in priority order and scheduling stops at the
 // first job that does not fit. It is the baseline whose poor utilization
 // motivated backfilling in the first place (§2 of the paper).
+//
+// Passes are incremental (DESIGN.md §15): the queue stays in policy order
+// via ordered insertion under time-invariant policies, and the pass memo's
+// blocked-width watermark skips passes entirely while the head remains too
+// wide — a completion only matters once cumulative free capacity reaches
+// the head's width.
 type NoBackfill struct {
 	procs int
 	pol   Policy
 	free  int
 	queue []*job.Job
+
+	memo       passMemo
+	cachedHead *job.Job
 }
 
 // NewNoBackfill returns a no-backfilling scheduler for a machine with procs
@@ -27,29 +36,65 @@ func NewNoBackfill(procs int, pol Policy) *NoBackfill {
 	if pol == nil {
 		panic("sched: NewNoBackfill with nil policy")
 	}
-	return &NoBackfill{procs: procs, pol: pol, free: procs}
+	return &NoBackfill{procs: procs, pol: pol, free: procs, memo: newPassMemo(pol)}
 }
 
 // Name returns e.g. "NoBackfill(FCFS)".
 func (s *NoBackfill) Name() string { return fmt.Sprintf("NoBackfill(%s)", s.pol.Name()) }
 
-// Arrive queues the job.
-func (s *NoBackfill) Arrive(_ int64, j *job.Job) { s.queue = append(s.queue, j) }
+// Arrive queues the job at its policy position (time-invariant policies
+// keep the queue permanently sorted; dynamic ones append and re-sort at
+// the next pass).
+func (s *NoBackfill) Arrive(now int64, j *job.Job) {
+	s.memo.noteArrival()
+	if s.memo.timeInv {
+		s.queue = orderedInsert(s.queue, j, s.pol, now)
+		return
+	}
+	s.queue = append(s.queue, j)
+}
 
-// Complete returns the job's processors.
-func (s *NoBackfill) Complete(_ int64, j *job.Job) { s.free += j.Width }
+// Complete returns the job's processors. The memo is invalidated only when
+// the accumulated free capacity reaches the blocked head's width: anything
+// less cannot start the head, and no other job may jump it.
+func (s *NoBackfill) Complete(_ int64, j *job.Job) {
+	s.free += j.Width
+	if s.free >= s.memo.blockedW {
+		s.memo.invalidate()
+	}
+}
 
 // Launch starts jobs from the head of the priority-ordered queue until the
-// head no longer fits. No job ever jumps an earlier one.
+// head no longer fits. No job ever jumps an earlier one. A pass the memo
+// proves futile — same instant, or a still-too-wide head under a
+// time-invariant policy — returns immediately; arrivals that sort behind a
+// blocked head are equally futile.
 func (s *NoBackfill) Launch(now int64) []*job.Job {
+	if s.memo.canSkip(now) {
+		return nil
+	}
+	if s.memo.arrivalsOnly() && len(s.queue) > 0 && s.queue[0] == s.cachedHead {
+		// The blocked head is unchanged, so every arrival sorted behind it
+		// and nothing can start.
+		s.memo.completePass(now, noWake)
+		return nil
+	}
 	sortQueue(s.queue, s.pol, now)
 	var out []*job.Job
-	for len(s.queue) > 0 && s.queue[0].Width <= s.free {
-		j := s.queue[0]
-		s.queue = s.queue[1:]
-		s.free -= j.Width
-		out = append(out, j)
+	n := 0
+	for n < len(s.queue) && s.queue[n].Width <= s.free {
+		s.free -= s.queue[n].Width
+		out = append(out, s.queue[n])
+		n++
 	}
+	s.queue = compactFront(s.queue, n)
+	s.memo.blockedW = noWatermark
+	s.cachedHead = nil
+	if len(s.queue) > 0 {
+		s.memo.blockedW = s.queue[0].Width
+		s.cachedHead = s.queue[0]
+	}
+	s.memo.completePass(now, noWake)
 	return out
 }
 

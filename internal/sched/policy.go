@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"repro/internal/job"
 )
@@ -172,9 +173,75 @@ func sortQueue(queue []*job.Job, pol Policy, now int64) {
 		}
 		return
 	}
+	if kp, ok := pol.(keyedPolicy); ok {
+		sortQueueKeyed(queue, kp, now)
+		return
+	}
 	slices.SortStableFunc(queue, func(a, b *job.Job) int {
 		return policyCmp(pol, a, b, now)
 	})
+}
+
+// keyedPolicy is implemented by time-dependent policies whose ordering is a
+// single float64 key (largest first) ahead of the arrival/ID tie-break.
+// Sorting through it computes each job's key exactly once per epoch — the
+// instant the sort runs at — instead of twice per comparison; the cache is
+// valid only within that epoch, because the keys themselves move with time.
+type keyedPolicy interface {
+	Policy
+	// key returns the job's priority key at now (larger sorts earlier).
+	key(j *job.Job, now int64) float64
+}
+
+func (XF) key(j *job.Job, now int64) float64 { return XFactor(j, now) }
+
+func (WFP) key(j *job.Job, now int64) float64 { return XFactor(j, now) * float64(j.Width) }
+
+// keyedJob pairs one queue entry with its memoized key for the current
+// sort epoch.
+type keyedJob struct {
+	key float64
+	j   *job.Job
+}
+
+// keyScratch pools the decorated slices sortQueueKeyed sorts, so large
+// keyed sorts stop allocating once a scratch of the working size exists.
+// A pool (rather than per-scheduler scratch) keeps the fast path shared by
+// every caller of sortQueue — compression passes included — and safe under
+// the runner's parallel experiments.
+var keyScratch = sync.Pool{New: func() any { return new([]keyedJob) }}
+
+// sortQueueKeyed sorts a long queue under a keyed (time-dependent) policy
+// by decorating each job with its key once and sorting the decorated
+// slice. The comparison mirrors the policies' Less exactly: key
+// descending, then the shared tie-break — so the permutation is identical
+// to the comparator path the small-queue insertion sort uses.
+func sortQueueKeyed(queue []*job.Job, pol keyedPolicy, now int64) {
+	sp := keyScratch.Get().(*[]keyedJob)
+	scratch := (*sp)[:0]
+	for _, j := range queue {
+		scratch = append(scratch, keyedJob{key: pol.key(j, now), j: j})
+	}
+	slices.SortStableFunc(scratch, func(a, b keyedJob) int {
+		switch {
+		case a.key > b.key:
+			return -1
+		case a.key < b.key:
+			return 1
+		case tieBreak(a.j, b.j):
+			return -1
+		case tieBreak(b.j, a.j):
+			return 1
+		default:
+			return 0
+		}
+	})
+	for i := range scratch {
+		queue[i] = scratch[i].j
+		scratch[i].j = nil // no stale job pointers parked in the pool
+	}
+	*sp = scratch
+	keyScratch.Put(sp)
 }
 
 // policyCmp lifts a policy's strict-weak-order Less into the three-way

@@ -46,6 +46,20 @@ type Preemptive struct {
 	// runScratch is reused by headReservation's sorted snapshot of the
 	// running set, so shadow computations stop allocating per event.
 	runScratch []runInfo
+
+	// Incremental-pass state (DESIGN.md §15), mirroring EASY's: the cached
+	// phase-2 reservation of the last completed pass plus the arrivals
+	// since. nextAt additionally bounds the preemption trigger — the
+	// earliest instant any queued job's expansion factor reaches
+	// PreemptThreshold. memoAllow records whether that pass ran the
+	// preemption phase; a call with the other mode cannot reuse it.
+	memo       passMemo
+	memoAllow  bool
+	blocked    bool
+	cachedHead *job.Job
+	shadow     int64
+	extra      int
+	new        []*job.Job
 }
 
 // DefaultMinRun is the default guaranteed run quantum between preemptions.
@@ -76,6 +90,7 @@ func NewPreemptive(procs int, pol Policy, threshold float64, minRun int64) *Pree
 		free:             procs,
 		consumed:         make(map[int]int64),
 		protected:        make(map[int]bool),
+		memo:             newPassMemo(pol),
 	}
 }
 
@@ -84,11 +99,22 @@ func (s *Preemptive) Name() string {
 	return fmt.Sprintf("Preemptive(%s,xf>=%g)", s.pol.Name(), s.preemptThreshold)
 }
 
-// Arrive queues the job.
-func (s *Preemptive) Arrive(_ int64, j *job.Job) { s.queue = append(s.queue, j) }
+// Arrive queues the job at its policy position (time-invariant policies
+// keep the queue permanently sorted; dynamic ones append and re-sort at
+// the next pass).
+func (s *Preemptive) Arrive(now int64, j *job.Job) {
+	s.memo.noteArrival()
+	if s.memo.timeInv {
+		s.queue = orderedInsert(s.queue, j, s.pol, now)
+		s.new = append(s.new, j)
+		return
+	}
+	s.queue = append(s.queue, j)
+}
 
-// Complete returns the job's processors.
+// Complete returns the job's processors and invalidates the pass memo.
 func (s *Preemptive) Complete(_ int64, j *job.Job) {
+	s.memo.invalidate()
 	s.free += j.Width
 	delete(s.consumed, j.ID)
 	delete(s.protected, j.ID)
@@ -124,77 +150,175 @@ func (s *Preemptive) LaunchAndPreempt(now int64) (starts, suspends []*job.Job) {
 	return s.launch(now, true)
 }
 
-// launch runs the EASY pass and, when allowed, the preemption step.
+// launch runs the EASY pass and, when allowed, the preemption step. Futile
+// passes are skipped via the memo (whose nextAt also bounds the preemption
+// trigger); arrivals-only passes against an unchanged blocked head evaluate
+// just the new jobs, as in EASY.
 func (s *Preemptive) launch(now int64, allowPreempt bool) (starts, suspends []*job.Job) {
+	if allowPreempt == s.memoAllow {
+		if s.memo.canSkip(now) {
+			return nil, nil
+		}
+		if out, ok := s.launchIncremental(now); ok {
+			return out, nil
+		}
+	}
+	return s.launchFull(now, allowPreempt)
+}
+
+// launchIncremental mirrors EASY's arrivals-only pass with the extra
+// precondition that no job — old (bounded by nextAt) or new (checked here)
+// — has reached the preemption threshold, so phase 4 provably does
+// nothing. Reports false when a full pass must run.
+func (s *Preemptive) launchIncremental(now int64) ([]*job.Job, bool) {
+	if !s.memo.arrivalsOnly() || !s.blocked || now >= s.memo.nextAt {
+		return nil, false
+	}
+	if len(s.queue) == 0 || s.queue[0] != s.cachedHead {
+		return nil, false // an arrival displaced the head: new reservation holder
+	}
+	for _, j := range s.new {
+		if XFactor(j, now) >= s.preemptThreshold {
+			return nil, false // the arrival could trigger preemption
+		}
+	}
+	sortQueue(s.new, s.pol, now)
+	nextAt := s.memo.nextAt
+	var out []*job.Job
+	for _, j := range s.new {
+		fitsNow := j.Width <= s.free
+		switch {
+		case fitsNow && now+s.remainingEstimate(j) <= s.shadow:
+			s.startRun(now, j)
+			s.queue = removeJob(s.queue, j)
+			out = append(out, j)
+		case fitsNow && j.Width <= s.extra:
+			s.startRun(now, j)
+			s.extra -= j.Width
+			s.queue = removeJob(s.queue, j)
+			out = append(out, j)
+		default:
+			nextAt = minInt64(nextAt, xfCrossTime(j, s.preemptThreshold, now))
+		}
+	}
+	s.clearNew()
+	s.memo.completePass(now, nextAt)
+	return out, true
+}
+
+// startRun dispatches j at now (queue removal is the caller's business).
+func (s *Preemptive) startRun(now int64, j *job.Job) {
+	s.free -= j.Width
+	s.running = append(s.running, runInfo{j: j, start: now, estEnd: now + s.remainingEstimate(j)})
+}
+
+// launchFull is the unconditional pass.
+func (s *Preemptive) launchFull(now int64, allowPreempt bool) (starts, suspends []*job.Job) {
 	sortQueue(s.queue, s.pol, now)
 
 	start := func(j *job.Job) {
-		s.free -= j.Width
-		s.running = append(s.running, runInfo{j: j, start: now, estEnd: now + s.remainingEstimate(j)})
+		s.startRun(now, j)
 		starts = append(starts, j)
 	}
 
 	// Phase 1: heads that fit.
-	for len(s.queue) > 0 && s.queue[0].Width <= s.free {
-		start(s.queue[0])
-		s.queue = s.queue[1:]
+	n := 0
+	for n < len(s.queue) && s.queue[n].Width <= s.free {
+		start(s.queue[n])
+		n++
 	}
+	s.queue = compactFront(s.queue, n)
 	if len(s.queue) == 0 {
+		s.finishPass(now, false, allowPreempt, noWake)
 		return starts, nil
 	}
 
 	// Phase 2+3: the EASY shadow reservation and backfill pass for the
 	// blocked head.
 	head := s.queue[0]
-	shadow, extra := s.headReservation(head)
+	s.shadow, s.extra = s.headReservation(head)
 	kept := s.queue[:1]
 	for _, j := range s.queue[1:] {
 		fitsNow := j.Width <= s.free
 		switch {
-		case fitsNow && now+s.remainingEstimate(j) <= shadow:
+		case fitsNow && now+s.remainingEstimate(j) <= s.shadow:
 			start(j)
-		case fitsNow && j.Width <= extra:
+		case fitsNow && j.Width <= s.extra:
 			start(j)
-			extra -= j.Width
+			s.extra -= j.Width
 		default:
 			kept = append(kept, j)
 		}
 	}
-	s.queue = kept
+	s.queue = clearTail(s.queue, len(kept))
 
 	// Phase 4: selective preemption for the most starved waiting job. The
 	// trigger deliberately looks beyond the priority head: under SJF the
 	// starving wide job is by definition *never* the head — that is the
 	// starvation mechanism — so head-only preemption would never fire.
-	if !allowPreempt {
-		return starts, nil
-	}
-	starving := -1
-	starvingXF := s.preemptThreshold
-	for i, j := range s.queue {
-		if xf := XFactor(j, now); xf >= starvingXF {
-			starving = i
-			starvingXF = xf
+	if allowPreempt {
+		starving := -1
+		starvingXF := s.preemptThreshold
+		for i, j := range s.queue {
+			if xf := XFactor(j, now); xf >= starvingXF {
+				starving = i
+				starvingXF = xf
+			}
+		}
+		if starving >= 0 {
+			if victims := s.chooseVictims(now, s.queue[starving], starvingXF); victims != nil {
+				target := s.queue[starving]
+				for _, v := range victims {
+					suspends = append(suspends, v.j)
+					s.suspend(now, v)
+				}
+				// The starving job starts in the space the victims vacated
+				// and runs to completion (protected from counter-preemption).
+				copy(s.queue[starving:], s.queue[starving+1:])
+				s.queue = clearTail(s.queue, len(s.queue)-1)
+				s.protected[target.ID] = true
+				start(target)
+				// Suspension re-queued the victims at the tail, out of
+				// policy order, and freed structure mid-pass: the next pass
+				// must run — and sort — in full.
+				s.memo.invalidate()
+				s.clearNew()
+				return starts, suspends
+			}
 		}
 	}
-	if starving < 0 {
-		return starts, nil
+
+	// The pass is a fixpoint. The only time-triggered action left is the
+	// preemption threshold: bound it by the earliest crossing among queued
+	// jobs (xfCrossTime returns now itself for a job already past it, e.g.
+	// when preemption just failed for lack of admissible victims, so only
+	// same-instant repeats are skipped in that state).
+	nextAt := int64(noWake)
+	for _, j := range s.queue {
+		nextAt = minInt64(nextAt, xfCrossTime(j, s.preemptThreshold, now))
 	}
-	target := s.queue[starving]
-	victims := s.chooseVictims(now, target, starvingXF)
-	if victims == nil {
-		return starts, nil
+	s.finishPass(now, true, allowPreempt, nextAt)
+	return starts, nil
+}
+
+// finishPass records the pass conclusion (see EASY.finishPass).
+func (s *Preemptive) finishPass(now int64, blocked, allow bool, nextAt int64) {
+	s.blocked = blocked
+	s.cachedHead = nil
+	if blocked {
+		s.cachedHead = s.queue[0]
 	}
-	for _, v := range victims {
-		suspends = append(suspends, v.j)
-		s.suspend(now, v)
+	s.memoAllow = allow
+	s.clearNew()
+	s.memo.completePass(now, nextAt)
+}
+
+// clearNew empties the new-arrivals buffer without retaining job pointers.
+func (s *Preemptive) clearNew() {
+	for i := range s.new {
+		s.new[i] = nil
 	}
-	// The starving job starts in the space the victims vacated and runs
-	// to completion (protected from counter-preemption).
-	s.queue = append(s.queue[:starving], s.queue[starving+1:]...)
-	s.protected[target.ID] = true
-	start(target)
-	return starts, suspends
+	s.new = s.new[:0]
 }
 
 // chooseVictims picks the cheapest set of running jobs (ascending priority:

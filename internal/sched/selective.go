@@ -42,6 +42,14 @@ type Selective struct {
 	holes bool
 
 	violations []string
+
+	// memo skips futile passes (DESIGN.md §15). nextAt is the minimum over
+	// promoted jobs' reserved starts, unpromoted jobs' earliest feasible
+	// backfill windows (FindStart is stable on an unchanged profile), and
+	// the instants their expansion factors cross the promotion threshold.
+	// new buffers arrivals since the last pass for the arrivals-only path.
+	memo passMemo
+	new  []*job.Job
 }
 
 // NewSelective returns a selective backfilling scheduler with a fixed
@@ -77,6 +85,7 @@ func newSelective(procs int, pol Policy) *Selective {
 		profile: NewProfile(procs),
 		resv:    make(map[int]int64),
 		running: make(map[int]runInfo),
+		memo:    newPassMemo(pol),
 	}
 }
 
@@ -116,7 +125,15 @@ func (s *Selective) Violations() []string {
 }
 
 // Arrive queues the job without any reservation.
-func (s *Selective) Arrive(_ int64, j *job.Job) { s.queue = append(s.queue, j) }
+func (s *Selective) Arrive(now int64, j *job.Job) {
+	s.memo.noteArrival()
+	if s.memo.timeInv {
+		s.queue = orderedInsert(s.queue, j, s.pol, now)
+		s.new = append(s.new, j)
+		return
+	}
+	s.queue = append(s.queue, j)
+}
 
 // Complete releases the unused tail of the job's planned window and
 // compresses the promoted jobs' reservations, exactly as conservative
@@ -127,13 +144,20 @@ func (s *Selective) Complete(now int64, j *job.Job) {
 		panic(fmt.Sprintf("sched: Selective completion for unknown %v", j))
 	}
 	delete(s.running, j.ID)
-	if now < ri.estEnd {
+	released := now < ri.estEnd
+	if released {
 		s.profile.Release(now, ri.estEnd-now, j.Width)
 		s.holes = true
 	}
 	s.profile.Trim(now)
 	if s.holes {
 		s.compress(now)
+	}
+	// Unlike Conservative, launches here read the profile directly (the
+	// unpromoted-backfill probe), so any released capacity invalidates —
+	// not just a compression pass that moved a reservation.
+	if released || s.holes {
+		s.memo.invalidate()
 	}
 }
 
@@ -184,13 +208,57 @@ func (s *Selective) promote(now int64) {
 
 // Launch promotes starving jobs, starts promoted jobs whose guaranteed time
 // has arrived, and backfills unpromoted jobs anywhere they fit right now
-// without disturbing any reservation.
+// without disturbing any reservation. Futile passes — before the memo's
+// nextAt bound — are skipped; an arrivals-only pass probes just the new
+// jobs against the unchanged profile.
 func (s *Selective) Launch(now int64) []*job.Job {
+	if s.memo.canSkip(now) {
+		return nil
+	}
+	if s.launchIncremental(now) {
+		return nil
+	}
+	return s.launchFull(now)
+}
+
+// launchIncremental handles a pass whose only changes since the last one
+// are arrivals, when no previously queued job can act yet (now is before
+// the memo's bound). Each new job is probed exactly as the full pass
+// would: if it is promotable or could backfill right now the full pass
+// must run; otherwise its earliest feasible window and threshold-crossing
+// time fold into the bound and the pass is complete — the queue is already
+// in policy order from insertion. Reports whether the pass was handled.
+func (s *Selective) launchIncremental(now int64) bool {
+	if !s.memo.arrivalsOnly() || now >= s.memo.nextAt {
+		return false
+	}
+	threshold := s.Threshold()
+	s.profile.Trim(now)
+	nextAt := s.memo.nextAt
+	for _, j := range s.new {
+		if XFactor(j, now) >= threshold {
+			return false // promotion due: reservations would move
+		}
+		start := s.profile.FindStart(now, j.Estimate, j.Width)
+		if start == now {
+			return false // the arrival can backfill immediately
+		}
+		nextAt = minInt64(nextAt, start)
+		nextAt = minInt64(nextAt, xfCrossTime(j, threshold, now))
+	}
+	s.clearNew()
+	s.memo.completePass(now, nextAt)
+	return true
+}
+
+// launchFull is the unconditional selective pass.
+func (s *Selective) launchFull(now int64) []*job.Job {
 	s.profile.Trim(now)
 	sortQueue(s.queue, s.pol, now)
 	s.promote(now)
 
 	var out []*job.Job
+	nextAt := int64(noWake)
 	kept := s.queue[:0]
 	for _, j := range s.queue {
 		start, promoted := s.resv[j.ID]
@@ -209,17 +277,54 @@ func (s *Selective) Launch(now int64) []*job.Job {
 			s.start(j, now)
 			out = append(out, j)
 		case promoted:
+			nextAt = minInt64(nextAt, start)
 			kept = append(kept, j)
-		case s.profile.FindStart(now, j.Estimate, j.Width) == now:
-			s.profile.Reserve(now, j.Estimate, j.Width)
-			s.start(j, now)
-			out = append(out, j)
 		default:
-			kept = append(kept, j)
+			if probe := s.profile.FindStart(now, j.Estimate, j.Width); probe == now {
+				s.profile.Reserve(now, j.Estimate, j.Width)
+				s.start(j, now)
+				out = append(out, j)
+			} else {
+				// Later reservations in this same pass can only push the
+				// job's feasible window later, so the probe taken at its
+				// queue position is a safe lower bound.
+				nextAt = minInt64(nextAt, probe)
+				kept = append(kept, j)
+			}
 		}
 	}
-	s.queue = kept
+	s.queue = clearTail(s.queue, len(kept))
+
+	// The adaptive threshold moves with every start, so the pass may end
+	// below some waiter's expansion factor — promotion is due in a further
+	// pass at this same instant, and the memo must not certify a fixpoint.
+	threshold := s.Threshold()
+	atFixpoint := true
+	for _, j := range s.queue {
+		if _, promoted := s.resv[j.ID]; promoted {
+			continue
+		}
+		if XFactor(j, now) >= threshold {
+			atFixpoint = false
+			break
+		}
+		nextAt = minInt64(nextAt, xfCrossTime(j, threshold, now))
+	}
+	s.clearNew()
+	if atFixpoint {
+		s.memo.completePass(now, nextAt)
+	} else {
+		s.memo.invalidate()
+	}
 	return out
+}
+
+// clearNew empties the new-arrivals buffer without retaining job pointers.
+func (s *Selective) clearNew() {
+	for i := range s.new {
+		s.new[i] = nil
+	}
+	s.new = s.new[:0]
 }
 
 // start records the running window and the start-time expansion factor that

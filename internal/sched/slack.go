@@ -46,6 +46,12 @@ type SlackBased struct {
 	holes bool
 
 	violations []string
+
+	// memo mirrors Conservative's: launches are gated purely on "reserved
+	// start due", so passes before the earliest pending reservation are
+	// skipped (DESIGN.md §15). Arrivals fold both their own reservation and
+	// any displaced victim's new start into memo.nextAt.
+	memo passMemo
 }
 
 // NewSlackBased returns a slack-based backfilling scheduler. It panics if
@@ -68,6 +74,7 @@ func NewSlackBased(procs int, pol Policy, slackFactor float64) *SlackBased {
 		resv:        make(map[int]int64),
 		guarantee:   make(map[int]int64),
 		running:     make(map[int]runInfo),
+		memo:        newPassMemo(pol),
 	}
 }
 
@@ -147,6 +154,19 @@ func (s *SlackBased) Arrive(now int64, j *job.Job) {
 	s.resv[j.ID] = bestStart
 	slack := int64(s.slackFactor * float64(j.Estimate))
 	s.guarantee[j.ID] = bestStart + slack
+	s.memo.noteArrival()
+	// The arrival's reservation bounds the next possible start; a displaced
+	// victim only moved later, so folding its old (earlier) bound kept by a
+	// previous pass remains a safe lower bound, and its new start is folded
+	// too for exactness.
+	s.memo.nextAt = minInt64(s.memo.nextAt, bestStart)
+	if bestVictim >= 0 {
+		s.memo.nextAt = minInt64(s.memo.nextAt, bestVictimStart)
+	}
+	if s.memo.timeInv {
+		s.queue = orderedInsert(s.queue, j, s.pol, now)
+		return
+	}
 	s.queue = append(s.queue, j)
 }
 
@@ -176,6 +196,11 @@ func (s *SlackBased) Complete(now int64, j *job.Job) {
 	s.profile.Trim(now)
 	if s.holes {
 		s.compress(now)
+		// As in Conservative: the reservation map is all Launch reads, and
+		// compression is the only way a completion changes it.
+		if s.holes {
+			s.memo.invalidate()
+		}
 	}
 }
 
@@ -206,14 +231,24 @@ func (s *SlackBased) compress(now int64) {
 	s.holes = moved
 }
 
-// Launch starts every queued job whose reserved start has arrived.
+// Launch starts every queued job whose reserved start has arrived. Passes
+// before the earliest pending reservation are skipped via the memo.
 func (s *SlackBased) Launch(now int64) []*job.Job {
+	if s.memo.canSkip(now) {
+		return nil
+	}
+	if s.memo.arrivalsOnly() && now < s.memo.nextAt {
+		s.memo.completePass(now, s.memo.nextAt)
+		return nil
+	}
 	sortQueue(s.queue, s.pol, now)
 	var out []*job.Job
+	nextAt := int64(noWake)
 	kept := s.queue[:0]
 	for _, j := range s.queue {
 		start := s.resv[j.ID]
 		if start > now {
+			nextAt = minInt64(nextAt, start)
 			kept = append(kept, j)
 			continue
 		}
@@ -237,7 +272,8 @@ func (s *SlackBased) Launch(now int64) []*job.Job {
 		s.running[j.ID] = runInfo{j: j, start: now, estEnd: now + j.Estimate}
 		out = append(out, j)
 	}
-	s.queue = kept
+	s.queue = clearTail(s.queue, len(kept))
+	s.memo.completePass(now, nextAt)
 	return out
 }
 

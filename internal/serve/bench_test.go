@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/job"
 	"repro/internal/sched"
 )
 
@@ -126,6 +127,67 @@ func BenchmarkForecastCached(b *testing.B) {
 		}
 	}
 }
+
+// snapshotBenchServer builds a server (never Run — the bench goroutine owns
+// the state, like the scheduler loop would) with a deep completed-job
+// history plus a standing queue: the regime where the old full rebuild paid
+// O(total jobs ever) per publication while the state a client cares about
+// is only the queue.
+func snapshotBenchServer(b *testing.B, history, depth int) *Server {
+	b.Helper()
+	s, err := New(Options{Procs: 64, Scheduler: "easy"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := 0
+	now := int64(0)
+	submit := func(width int, runtime int64) {
+		id++
+		if err := s.sess.Submit(&job.Job{ID: id, Arrival: now, Runtime: runtime, Estimate: runtime, Width: width}); err != nil {
+			b.Fatal(err)
+		}
+		s.ctr.submitted++
+	}
+	for i := 0; i < history; i++ {
+		submit(64, 10)
+		now += 10
+	}
+	if err := s.sess.AdvanceTo(now); err != nil {
+		b.Fatal(err)
+	}
+	submit(64, 1<<40) // blocker: the machine stays full from here on
+	for i := 0; i < depth; i++ {
+		submit(1+(i%16)*4, int64(1000+100*i))
+	}
+	if err := s.sess.AdvanceTo(now); err != nil {
+		b.Fatal(err)
+	}
+	s.publish()
+	return s
+}
+
+// The Snapshot benchmarks are paired like the ServeRead ones: Full is the
+// from-scratch rebuild (every job ever re-rendered), Delta the published
+// copy-on-write patch path. Their gap is the per-batch write cost the delta
+// path removed (PERFORMANCE.md §11); it widens with history while Delta
+// tracks only the queue.
+
+func benchSnapshot(b *testing.B, delta bool) {
+	s := snapshotBenchServer(b, 20000, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if delta {
+			s.pubDirty = true
+			s.publish()
+		} else if snap := s.buildSnapshot(); snap.Jobs.Len() == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+func BenchmarkSnapshotFullRebuild(b *testing.B)  { benchSnapshot(b, false) }
+func BenchmarkSnapshotDeltaPublish(b *testing.B) { benchSnapshot(b, true) }
 
 func BenchmarkForecastUncached(b *testing.B) {
 	s, _ := benchServer(b, false)

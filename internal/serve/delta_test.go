@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sched"
+)
+
+// indexContents flattens a JobIndex into a plain map for comparison.
+func indexContents(x *JobIndex) map[int]JobView {
+	out := make(map[int]JobView, x.Len())
+	x.Range(func(id int, v JobView) bool {
+		out[id] = v
+		return true
+	})
+	return out
+}
+
+// TestJobIndexDerive pins the copy-on-write index: derivation must layer
+// without disturbing ancestors, Len must count distinct IDs across layers,
+// and crossing flattenAt must fold the layers without changing contents.
+func TestJobIndexDerive(t *testing.T) {
+	base := map[int]JobView{1: {ID: 1, State: "queued"}, 2: {ID: 2, State: "running"}}
+	x0 := NewJobIndex(base)
+	x1 := x0.derive(map[int]JobView{2: {ID: 2, State: "done"}, 3: {ID: 3, State: "queued"}})
+
+	if got := x0.Len(); got != 2 {
+		t.Fatalf("ancestor Len = %d after derive, want 2", got)
+	}
+	if v, _ := x0.Get(2); v.State != "running" {
+		t.Fatalf("ancestor view mutated: job 2 state %q", v.State)
+	}
+	if got := x1.Len(); got != 3 {
+		t.Fatalf("derived Len = %d, want 3", got)
+	}
+	if v, _ := x1.Get(2); v.State != "done" {
+		t.Fatalf("derived view not patched: job 2 state %q", v.State)
+	}
+	if _, ok := x1.Get(4); ok {
+		t.Fatal("Get invented job 4")
+	}
+
+	// Grow past flattenAt one small patch at a time so the fold triggers
+	// mid-lineage, then verify contents against an eagerly built map.
+	want := indexContents(x1)
+	x := x1
+	for id := 10; id < 10+2*flattenAt; id += 2 {
+		p := map[int]JobView{
+			id:     {ID: id, State: "queued"},
+			id + 1: {ID: id + 1, State: "running"},
+		}
+		for k, v := range p {
+			want[k] = v
+		}
+		x = x.derive(p)
+	}
+	if x.patch != nil && len(x.patch) >= flattenAt {
+		t.Fatalf("patch layer grew to %d entries, flatten never fired", len(x.patch))
+	}
+	if got := indexContents(x); !reflect.DeepEqual(got, want) {
+		t.Fatalf("flattened contents diverge: %d entries vs %d wanted", len(got), len(want))
+	}
+	if got := x.Len(); got != len(want) {
+		t.Fatalf("Len = %d, want %d", got, len(want))
+	}
+	// A nil index is a valid empty one (fed merges guard on it).
+	var nilIdx *JobIndex
+	if nilIdx.Len() != 0 {
+		t.Fatal("nil index has nonzero Len")
+	}
+	if _, ok := nilIdx.Get(1); ok {
+		t.Fatal("nil index returned a view")
+	}
+	nilIdx.Range(func(int, JobView) bool { t.Fatal("nil index ranged"); return false })
+}
+
+// normalizeSnap projects a snapshot onto its comparable content, dropping
+// the publication version (the full rebuild is never published, so its
+// version lags by construction).
+func normalizeSnap(s *Snapshot) map[string]any {
+	return map[string]any{
+		"now":      s.Now,
+		"simnow":   s.SimNow,
+		"draining": s.Draining,
+		"sched":    s.Scheduler,
+		"procs":    s.Procs,
+		"busy":     s.ProcsBusy,
+		"pending":  s.Pending,
+		"queued":   s.QueuedViews(),
+		"running":  s.Running,
+		"jobs":     indexContents(s.Jobs),
+		"counters": []int64{s.Submitted, s.Started, s.Resumed, s.Completed, s.Cancelled, s.Rejected},
+		"util":     s.Utilization,
+		"busyArea": s.BusyArea,
+		"busyUpTo": s.BusyUpTo,
+		"audit":    s.AuditViolations,
+		"catSum":   s.CatSum,
+		"catN":     s.CatN,
+		"fqueued":  s.FQueued,
+		"frunning": s.FRunning,
+		"resv":     s.Resv,
+	}
+}
+
+// TestDeltaSnapshotMatchesFull is the serving-layer differential suite for
+// delta publication (PERFORMANCE.md §11): after every batch of session
+// mutations, the snapshot published by the copy-on-write delta path must be
+// field-for-field identical to a from-scratch rebuild of the same state —
+// including job views re-rendered for completions, cancellations crossing
+// the flatten threshold, and queue/forecast inputs.
+func TestDeltaSnapshotMatchesFull(t *testing.T) {
+	s, err := New(Options{Procs: 8, Scheduler: "easy", Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the session directly: Run never starts, so this goroutine owns
+	// the scheduler state exactly like the loop would.
+	id := 0
+	now := int64(0)
+	submit := func(width int, runtime int64) {
+		id++
+		j := &job.Job{ID: id, Arrival: now, Runtime: runtime, Estimate: runtime + 30, Width: width}
+		if err := s.sess.Submit(j); err != nil {
+			t.Fatalf("submit %d: %v", id, err)
+		}
+		s.ctr.submitted++
+	}
+	check := func(step string) {
+		t.Helper()
+		s.publish()
+		delta := s.Current()
+		full := s.buildSnapshot()
+		if !reflect.DeepEqual(normalizeSnap(delta), normalizeSnap(full)) {
+			t.Fatalf("%s: delta snapshot diverges from full rebuild\ndelta: %+v\nfull:  %+v",
+				step, normalizeSnap(delta), normalizeSnap(full))
+		}
+	}
+
+	check("initial")
+	// Enough batches to push the patch layer over flattenAt several times,
+	// with completions (existing-job re-renders), mid-stream arrivals and
+	// cancels mixed in.
+	for round := 0; round < 40; round++ {
+		for k := 0; k < 20; k++ {
+			submit(1+(id*7)%8, int64(40+(id*13)%200))
+		}
+		if err := s.sess.AdvanceTo(now); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("round %d arrivals", round))
+		if round%3 == 1 {
+			victim := id - 5
+			if s.sess.Cancel(victim) {
+				s.ctr.cancelled++
+			}
+			check(fmt.Sprintf("round %d cancel", round))
+		}
+		now += int64(60 + round%40)
+		if err := s.sess.AdvanceTo(now); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("round %d advance", round))
+	}
+	// Drain everything so the terminal all-done state is compared too.
+	if err := s.sess.AdvanceTo(now + 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	check("drained")
+	if s.Current().Completed == 0 {
+		t.Fatal("scenario completed no jobs; the delta path was never stressed")
+	}
+}
+
+// TestForecastChainMatchesFull is the differential suite for the
+// incremental forecast chain (PERFORMANCE.md §11): at every state version —
+// across arrival-only batches (the extension path), cancellations and
+// completions (prefix breaks), and clock advances (origin changes) — the
+// chained forecast must equal a from-scratch ForecastFromState over the same
+// snapshot, and the chain must have actually engaged on the arrival-only
+// batches or the test is vacuous.
+func TestForecastChainMatchesFull(t *testing.T) {
+	for _, kind := range []string{"easy", "conservative"} {
+		t.Run(kind, func(t *testing.T) {
+			s, err := New(Options{Procs: 8, Scheduler: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := 0
+			now := int64(0)
+			submit := func(width int, runtime int64) {
+				id++
+				j := &job.Job{ID: id, Arrival: now, Runtime: runtime, Estimate: runtime + 30, Width: width}
+				if err := s.sess.Submit(j); err != nil {
+					t.Fatalf("submit %d: %v", id, err)
+				}
+				s.ctr.submitted++
+			}
+			check := func(step string) {
+				t.Helper()
+				s.publish()
+				snap := s.Current()
+				got := s.forecastFor(snap).toMap()
+				want := sched.ForecastFromState(snap.Procs, snap.SimNow, snap.FRunning, snap.FQueued, s.pol, snap.Resv)
+				if len(want) == 0 {
+					want = nil
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: chained forecast diverges from full dry-run\nchained: %v\nfull:    %v", step, got, want)
+				}
+			}
+
+			submit(8, 100000) // pin the machine
+			if err := s.sess.AdvanceTo(now); err != nil {
+				t.Fatal(err)
+			}
+			check("pin")
+			for round := 0; round < 25; round++ {
+				for k := 0; k < 7; k++ {
+					submit(1+(id*5)%8, int64(50+(id*11)%300))
+				}
+				check(fmt.Sprintf("round %d arrivals", round))
+				switch round % 4 {
+				case 1: // cancel mid-queue: breaks the pointer prefix
+					if s.sess.Cancel(id - 3) {
+						s.ctr.cancelled++
+					}
+					check(fmt.Sprintf("round %d cancel", round))
+				case 2: // advance the clock: moves the dry-run origin
+					now += 40
+					if err := s.sess.AdvanceTo(now); err != nil {
+						t.Fatal(err)
+					}
+					check(fmt.Sprintf("round %d advance", round))
+				}
+			}
+			if s.fcExtends.Load() == 0 {
+				t.Fatal("no forecast was served by extension; the chain never engaged")
+			}
+			if s.dryRuns.Load() <= s.fcExtends.Load() {
+				t.Fatal("every forecast extended; the fallback paths were never exercised")
+			}
+		})
+	}
+}
+
+// TestResponseBodyMemo pins the memoized read bodies: repeated GETs of an
+// unchanged state must return byte-identical responses, those bytes must
+// match what the uncached renderers produce, and a warm cache hit must not
+// allocate (beyond the httptest plumbing, which is excluded by calling the
+// body functions directly).
+func TestResponseBodyMemo(t *testing.T) {
+	s, stop := frozenServer(t, Options{Procs: 16, Scheduler: "easy"})
+	defer func() {
+		if err := stop(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	h := s.Handler()
+	submit := func(body string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs", bytes.NewBufferString(body)))
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("submit: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	submit(`{"width":16,"runtime":100000}`)
+	for i := 0; i < 20; i++ {
+		submit(`{"width":4,"runtime":500}`)
+	}
+
+	get := func(path, wantType string) []byte {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != wantType {
+			t.Fatalf("GET %s Content-Type = %q, want %q", path, ct, wantType)
+		}
+		return rec.Body.Bytes()
+	}
+
+	q1 := get("/v1/queue", "application/json")
+	q2 := get("/v1/queue", "application/json")
+	if !bytes.Equal(q1, q2) {
+		t.Fatal("two /v1/queue reads of one version returned different bytes")
+	}
+	snap := s.Current()
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusOK, queueResponse(snap, s.forecastFor(snap)))
+	if !bytes.Equal(q1, rec.Body.Bytes()) {
+		t.Fatalf("cached queue body diverges from uncached render:\ncached:   %s\nuncached: %s", q1, rec.Body.Bytes())
+	}
+
+	m1 := get("/metrics", "text/plain; version=0.0.4")
+	m2 := get("/metrics", "text/plain; version=0.0.4")
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("two /metrics scrapes of one version returned different bytes")
+	}
+	var buf bytes.Buffer
+	WriteMetrics(&buf, snap)
+	if !bytes.Equal(m1, buf.Bytes()) {
+		t.Fatal("cached metrics body diverges from uncached render")
+	}
+
+	// Warm-hit alloc pins: serving a cached body is a pointer load plus a
+	// closed-channel receive, so it must not allocate at all.
+	if avg := testing.AllocsPerRun(100, func() {
+		if len(s.queueBody(snap)) == 0 {
+			t.Fatal("lost queue body")
+		}
+	}); avg != 0 {
+		t.Fatalf("warm queueBody allocates %.1f times per read, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if len(s.metricsBody(snap)) == 0 {
+			t.Fatal("lost metrics body")
+		}
+	}); avg != 0 {
+		t.Fatalf("warm metricsBody allocates %.1f times per read, want 0", avg)
+	}
+}

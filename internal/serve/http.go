@@ -235,19 +235,22 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
-	var resp QueueResponse
 	if s.opts.MailboxReads {
 		var snap *Snapshot
-		var pred map[int]int64
-		if err := s.exec(func() { snap, pred = s.buildSnapshot(), s.forecasts() }); err != nil {
+		var pred *forecastPred
+		if err := s.exec(func() { snap, pred = s.buildSnapshot(), newForecastPred(s.forecasts()) }); err != nil {
 			WriteError(w, err)
 			return
 		}
-		resp = queueResponse(snap, pred)
-	} else {
-		resp = s.Queue()
+		WriteJSON(w, http.StatusOK, queueResponse(snap, pred))
+		return
 	}
-	WriteJSON(w, http.StatusOK, resp)
+	// Lock-free path: the body bytes are memoized per snapshot version, so
+	// pollers of an unchanged state share one render (and one forecast
+	// dry-run) no matter how many of them there are.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(s.queueBody(s.snap.Load()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -289,11 +292,17 @@ func (s *Server) writeSeqHeader(w http.ResponseWriter) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	if s.opts.MailboxReads {
+		// The baseline renders fresh per scrape; the ephemeral snapshot
+		// shares the published version number, so it must not touch the
+		// per-version body memo.
 		if err := s.exec(func() { snap = s.buildSnapshot() }); err != nil && !errors.Is(err, ErrStopped) {
 			WriteError(w, err)
 			return
 		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WriteMetrics(w, snap)
+		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	WriteMetrics(w, snap)
+	_, _ = w.Write(s.metricsBody(snap))
 }

@@ -156,11 +156,17 @@ type Server struct {
 	drained bool
 
 	// Lock-free read path state. snap is written only by the scheduler
-	// goroutine (and by New/Preload before it starts); fc and dryRuns are
-	// shared with HTTP goroutines.
+	// goroutine (and by New/Preload before it starts); fc, the body memos
+	// and dryRuns are shared with HTTP goroutines. qbody and mbody cache
+	// the marshaled /v1/queue and /metrics bodies per snapshot version
+	// (single-flight, like fc), so polling an unchanged state costs a
+	// buffer write instead of a fresh render.
 	snap           atomic.Pointer[Snapshot]
 	fc             atomic.Pointer[forecastEntry]
+	qbody          bodyPtr
+	mbody          bodyPtr
 	dryRuns        atomic.Int64
+	fcExtends      atomic.Int64 // dryRuns served by extending the predecessor's schedule
 	pub            uint64 // last published snapshot version
 	pubSessVersion uint64 // session version the last snapshot was built from
 	pubDirty       bool   // counter changed without a session mutation (e.g. a rejected submit)
@@ -240,6 +246,10 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Delta publication (snapshot.go) patches the previous snapshot from
+	// the set of jobs each batch touched; tracking must be on before the
+	// first snapshot exists so no lineage ever misses a change.
+	s.sess.TrackTouched()
 	if opts.Follower != "" {
 		if opts.MailboxReads {
 			return nil, fmt.Errorf("serve: a follower serves the lock-free read path only (MailboxReads is a single-daemon A/B baseline)")

@@ -1,10 +1,18 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
+	"slices"
+	"sync/atomic"
+
 	"repro/internal/job"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
+
+// bodyPtr is the atomic slot a memoized response body lives in.
+type bodyPtr = atomic.Pointer[bodyEntry]
 
 // Snapshot is one immutable view of the whole service state, built by the
 // scheduler goroutine after it finishes a step or a command batch and
@@ -14,9 +22,10 @@ import (
 // keep working while the daemon drains or after it has stopped.
 //
 // Everything reachable from a Snapshot is immutable once published: job
-// views are value copies, slices and maps are freshly built per publication
-// and never written again, and the *job.Job pointers shared with the engine
-// point at structs the engine treats as read-only after submission.
+// views are value copies, slices are freshly built per publication and
+// never written again, the job index shares layers with older snapshots
+// copy-on-write (see JobIndex), and the *job.Job pointers shared with the
+// engine point at structs the engine treats as read-only after submission.
 type Snapshot struct {
 	// Version increases by exactly one per publication; readers use it to
 	// detect state changes (and the forecast cache keys on it).
@@ -35,13 +44,23 @@ type Snapshot struct {
 	ProcsBusy int
 	Pending   int
 
-	// Queued holds the waiting jobs in policy order, Running the dispatched
-	// ones in job-ID order; Jobs indexes every submitted job by ID. None of
-	// the views carry forecasts — predictions are attached at render time
-	// from the memoized forecast for this version.
-	Queued  []JobView
+	// Running holds the dispatched jobs in job-ID order; Jobs indexes every
+	// submitted job by ID; QueuedViews renders the waiting jobs in policy
+	// order. None of the views carry forecasts — predictions are attached at
+	// render time from the memoized forecast for this version.
 	Running []JobView
-	Jobs    map[int]JobView
+	Jobs    *JobIndex
+
+	// queued caches the policy-ordered queued views, rendered on first use
+	// (QueuedViews) rather than at publication: the write path publishes far
+	// more snapshots than anyone renders the queue of, so the O(queue) view
+	// build — one JobView copy per waiting job plus the policy sort — runs
+	// off the scheduler goroutine, and only for versions a client actually
+	// reads. pol is the policy the render sorts by. The cell is the one
+	// mutable slot in a published snapshot; the CAS keeps it write-once, so
+	// every reader of a version sees the same slice.
+	queued atomic.Pointer[[]JobView]
+	pol    sched.Policy
 
 	// Counter values at publication time.
 	Submitted, Started, Resumed, Completed, Cancelled, Rejected int64
@@ -64,11 +83,155 @@ type Snapshot struct {
 	Resv     map[int]int64
 }
 
-// buildSnapshot assembles a Snapshot of the current session state. Only the
-// scheduler goroutine may call it. The version is assigned by publish;
-// ephemeral snapshots built for the mailbox read path reuse the latest
-// published version.
+// JobIndex is a persistent, copy-on-write map from job ID to rendered view.
+// A session accumulates every job it has ever seen, so rebuilding a flat
+// map per publication costs O(total jobs) even when a batch touched three of
+// them — the term PERFORMANCE.md §6 deferred and §11 removes. Instead each
+// publication derives a new index from its predecessor: a shared base layer
+// (never written after construction) plus a small private patch layer
+// holding only the views re-rendered for this snapshot. Lookups probe the
+// patch first; when the patch grows past flattenAt the layers are folded
+// into a fresh base, so the amortized derivation cost is O(touched), not
+// O(total).
+//
+// Jobs are never deleted from a session, so the index needs no tombstones.
+// A nil *JobIndex behaves as empty.
+type JobIndex struct {
+	base  map[int]JobView // shared with ancestor snapshots; read-only
+	patch map[int]JobView // this lineage's overlay; read-only once published
+	n     int             // total distinct job IDs across both layers
+}
+
+// flattenAt bounds the patch layer. Deriving clones the patch (so every
+// snapshot stays immutable), which costs O(|patch|) per publication; the
+// bound keeps that clone constant-sized while making the O(total) flatten
+// rare — amortized, each job view is copied into a base layer once per
+// flattenAt/batch publications.
+const flattenAt = 512
+
+// NewJobIndex wraps an eagerly built view map as a single-layer index. The
+// map must not be written after the call. Used for full rebuilds and by the
+// federation's merged snapshot.
+func NewJobIndex(views map[int]JobView) *JobIndex {
+	return &JobIndex{base: views, n: len(views)}
+}
+
+// Get returns the view for one job ID.
+func (x *JobIndex) Get(id int) (JobView, bool) {
+	if x == nil {
+		return JobView{}, false
+	}
+	if v, ok := x.patch[id]; ok {
+		return v, true
+	}
+	v, ok := x.base[id]
+	return v, ok
+}
+
+// Len reports how many jobs the index holds.
+func (x *JobIndex) Len() int {
+	if x == nil {
+		return 0
+	}
+	return x.n
+}
+
+// Range calls fn for every (id, view) pair in unspecified order until fn
+// returns false.
+func (x *JobIndex) Range(fn func(id int, v JobView) bool) {
+	if x == nil {
+		return
+	}
+	for id, v := range x.base {
+		if _, shadowed := x.patch[id]; shadowed {
+			continue
+		}
+		if !fn(id, v) {
+			return
+		}
+	}
+	for id, v := range x.patch {
+		if !fn(id, v) {
+			return
+		}
+	}
+}
+
+// derive returns a new index that overlays patches on x, leaving x and
+// every older snapshot untouched. Called only by the scheduler goroutine.
+func (x *JobIndex) derive(patches map[int]JobView) *JobIndex {
+	if len(x.patch)+len(patches) >= flattenAt {
+		base := make(map[int]JobView, x.n+len(patches))
+		for id, v := range x.base {
+			base[id] = v
+		}
+		for id, v := range x.patch {
+			base[id] = v
+		}
+		for id, v := range patches {
+			base[id] = v
+		}
+		return &JobIndex{base: base, n: len(base)}
+	}
+	patch := make(map[int]JobView, len(x.patch)+len(patches))
+	n := x.n
+	for id, v := range x.patch {
+		patch[id] = v
+	}
+	for id, v := range patches {
+		if _, ok := patch[id]; !ok {
+			if _, ok := x.base[id]; !ok {
+				n++
+			}
+		}
+		patch[id] = v
+	}
+	return &JobIndex{base: x.base, patch: patch, n: n}
+}
+
+// buildSnapshot assembles a Snapshot of the current session state by
+// rendering every job from scratch. Only the scheduler goroutine may call
+// it. The publish path prefers deltaSnapshot and falls back here only for
+// the very first publication; the mailbox read path (the measured A/B
+// baseline) calls it per read, building ephemeral snapshots that reuse the
+// latest published version — and deliberately does NOT consume the
+// touched-job set, which belongs to the publication lineage.
 func (s *Server) buildSnapshot() *Snapshot {
+	infos := s.sess.Infos()
+	views := make(map[int]JobView, len(infos))
+	for _, info := range infos {
+		views[info.Job.ID] = makeView(info, s.opts.Thresholds)
+	}
+	return s.assembleSnapshot(NewJobIndex(views))
+}
+
+// deltaSnapshot assembles a Snapshot by patching prev: only the jobs the
+// session touched since prev was built are re-rendered, and the job index
+// is derived copy-on-write. Everything proportional to the queue (policy
+// order, forecast inputs) is rebuilt — the queue is what the snapshot is
+// for — but the per-publication cost no longer carries the O(total jobs)
+// re-render that grew without bound as completed jobs accumulated
+// (PERFORMANCE.md §11). Only the scheduler goroutine may call it, and only
+// on the publication path: it drains the session's touched set.
+func (s *Server) deltaSnapshot(prev *Snapshot) *Snapshot {
+	jobs := prev.Jobs
+	if touched := s.sess.DrainTouched(); len(touched) > 0 {
+		patches := make(map[int]JobView, len(touched))
+		for _, id := range touched {
+			if info, ok := s.sess.Info(id); ok {
+				patches[id] = makeView(info, s.opts.Thresholds)
+			}
+		}
+		jobs = jobs.derive(patches)
+	}
+	return s.assembleSnapshot(jobs)
+}
+
+// assembleSnapshot builds the snapshot around a ready job index: scalars
+// and counters, the queue in policy order, the running set, and the
+// forecast inputs. Shared by the full and delta paths so the two are
+// field-for-field identical.
+func (s *Server) assembleSnapshot(jobs *JobIndex) *Snapshot {
 	now := s.vnow()
 	queued := s.sess.Queued()
 	snap := &Snapshot{
@@ -92,23 +255,14 @@ func (s *Server) buildSnapshot() *Snapshot {
 		AuditViolations: -1,
 		CatSum:          s.ctr.catSum,
 		CatN:            s.ctr.catN,
+		Jobs:            jobs,
 		FQueued:         queued,
 		Resv:            sched.Reservations(s.inner, queued),
+		pol:             s.pol,
 	}
 	if s.aud != nil {
 		rep := s.aud.Report()
 		snap.AuditViolations = int64(len(rep.Violations)) + int64(rep.Truncated)
-	}
-
-	infos := s.sess.Infos()
-	snap.Jobs = make(map[int]JobView, len(infos))
-	for _, info := range infos {
-		snap.Jobs[info.Job.ID] = makeView(info, s.opts.Thresholds)
-	}
-	for _, j := range sched.SortedByPolicy(queued, s.pol, snap.SimNow) {
-		if v, ok := snap.Jobs[j.ID]; ok {
-			snap.Queued = append(snap.Queued, v)
-		}
 	}
 	running := s.sess.Running()
 	snap.FRunning = make([]sched.RunningSlot, 0, len(running))
@@ -119,16 +273,51 @@ func (s *Server) buildSnapshot() *Snapshot {
 	return snap
 }
 
+// QueuedViews returns the waiting jobs in policy order, rendering them on
+// first use and caching the result for every later reader of this snapshot.
+// Safe to call from any goroutine. Two concurrent first readers may both
+// build the slice; they build identical content and the CAS keeps exactly
+// one.
+func (s *Snapshot) QueuedViews() []JobView {
+	if p := s.queued.Load(); p != nil {
+		return *p
+	}
+	var views []JobView
+	for _, j := range sched.SortedByPolicy(s.FQueued, s.pol, s.SimNow) {
+		if v, ok := s.Jobs.Get(j.ID); ok {
+			views = append(views, v)
+		}
+	}
+	if !s.queued.CompareAndSwap(nil, &views) {
+		return *s.queued.Load()
+	}
+	return views
+}
+
+// SetQueuedViews installs pre-rendered queued views. The federation's
+// merged snapshot is concatenated from shard views rather than rendered
+// from an index, so it seeds the cache directly; call before the snapshot
+// is shared.
+func (s *Snapshot) SetQueuedViews(views []JobView) { s.queued.Store(&views) }
+
 // publish makes the current state visible to the lock-free read path. It
 // is a no-op when nothing a client could observe has changed since the
 // last publication, so a scheduler wakeup that processed no events costs
-// one integer comparison. Only the scheduler goroutine may call it.
+// one integer comparison. Otherwise it patches the previous snapshot
+// (deltaSnapshot) rather than rebuilding from every job the session has
+// ever seen. Only the scheduler goroutine may call it.
 func (s *Server) publish() {
 	sv := s.sess.Version()
-	if s.snap.Load() != nil && sv == s.pubSessVersion && !s.pubDirty {
+	prev := s.snap.Load()
+	if prev != nil && sv == s.pubSessVersion && !s.pubDirty {
 		return
 	}
-	snap := s.buildSnapshot()
+	var snap *Snapshot
+	if prev != nil {
+		snap = s.deltaSnapshot(prev)
+	} else {
+		snap = s.buildSnapshot()
+	}
 	s.pub++
 	snap.Version = s.pub
 	s.snap.Store(snap)
@@ -137,19 +326,129 @@ func (s *Server) publish() {
 }
 
 // forecastEntry memoizes the start-time forecast for one snapshot version.
-// ready is closed once pred is filled in, giving concurrent readers of the
-// same version single-flight semantics: exactly one runs the dry-run, the
-// rest wait on the channel.
+// ready is closed once the result fields are filled in, giving concurrent
+// readers of the same version single-flight semantics: exactly one runs the
+// dry-run, the rest wait on the channel.
+//
+// Beyond the memo, entries form an incremental chain (PERFORMANCE.md §11):
+// each records the forecast inputs it was computed from plus the dry-run's
+// end state (seed), and the computation for the next version extends that
+// schedule with just the new arrivals — instead of re-running the dry-run
+// over the whole queue — whenever the state delta is arrivals appended
+// after everything already placed, which is exactly the shape every write
+// batch has in a deep-queue regime. The seed's profile is mutated by the
+// extension, so the successor takes it through an atomic Swap: consumed at
+// most once, and a loser falls back to the full dry-run. All fields except
+// seed are written before ready closes and read only after it closes.
 type forecastEntry struct {
-	version uint64
-	ready   chan struct{}
-	pred    map[int]int64
+	version  uint64
+	ready    chan struct{}
+	pred     *forecastPred
+	simNow   int64
+	frunning []sched.RunningSlot
+	fqueued  []*job.Job
+	resv     map[int]int64
+	seed     atomic.Pointer[sched.ForecastSeed]
+}
+
+// forecastPred is the forecast counterpart of JobIndex: a persistent,
+// copy-on-write map from job ID to predicted start. Cloning the whole
+// prediction map per version would reintroduce the O(queue) per-batch term
+// the incremental chain exists to remove, so each extension derives a child
+// holding only the new placements in its private patch over the shared,
+// read-only base. The patch folds into a fresh base when it crosses
+// flattenAt, bounding lookup depth. A nil *forecastPred is a valid empty
+// forecast.
+type forecastPred struct {
+	base  map[int]int64 // shared with predecessor versions; read-only
+	patch map[int]int64 // this version's overlay; read-only once published
+	n     int           // total distinct job IDs across both layers
+}
+
+// newForecastPred wraps an eagerly computed prediction map as a single-layer
+// forecast. The map must not be written after the call.
+func newForecastPred(pred map[int]int64) *forecastPred {
+	if len(pred) == 0 {
+		return nil
+	}
+	return &forecastPred{base: pred, n: len(pred)}
+}
+
+// lookup returns the predicted start for one job ID.
+func (p *forecastPred) lookup(id int) (int64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	if t, ok := p.patch[id]; ok {
+		return t, true
+	}
+	t, ok := p.base[id]
+	return t, ok
+}
+
+// length reports how many jobs the forecast covers.
+func (p *forecastPred) length() int {
+	if p == nil {
+		return 0
+	}
+	return p.n
+}
+
+// toMap flattens the layers into a plain map — the shape differential tests
+// and the mailbox A/B compare against.
+func (p *forecastPred) toMap() map[int]int64 {
+	if p == nil {
+		return nil
+	}
+	out := make(map[int]int64, p.n)
+	for id, t := range p.base {
+		out[id] = t
+	}
+	for id, t := range p.patch {
+		out[id] = t
+	}
+	return out
+}
+
+// derive overlays delta on p, leaving p and every older version untouched.
+func (p *forecastPred) derive(delta map[int]int64) *forecastPred {
+	if p == nil {
+		return newForecastPred(delta)
+	}
+	if len(p.patch)+len(delta) >= flattenAt {
+		base := make(map[int]int64, p.n+len(delta))
+		for id, t := range p.base {
+			base[id] = t
+		}
+		for id, t := range p.patch {
+			base[id] = t
+		}
+		for id, t := range delta {
+			base[id] = t
+		}
+		return &forecastPred{base: base, n: len(base)}
+	}
+	patch := make(map[int]int64, len(p.patch)+len(delta))
+	n := p.n
+	for id, t := range p.patch {
+		patch[id] = t
+	}
+	for id, t := range delta {
+		if _, ok := patch[id]; !ok {
+			if _, ok := p.base[id]; !ok {
+				n++
+			}
+		}
+		patch[id] = t
+	}
+	return &forecastPred{base: p.base, patch: patch, n: n}
 }
 
 // forecastFor returns the start-time forecast for snap's state, running the
-// conservative dry-run at most once per snapshot version no matter how many
-// clients poll. Safe to call from any goroutine.
-func (s *Server) forecastFor(snap *Snapshot) map[int]int64 {
+// conservative dry-run (or its incremental extension) at most once per
+// snapshot version no matter how many clients poll. Safe to call from any
+// goroutine.
+func (s *Server) forecastFor(snap *Snapshot) *forecastPred {
 	if len(snap.FQueued) == 0 {
 		return nil
 	}
@@ -166,17 +465,105 @@ func (s *Server) forecastFor(snap *Snapshot) map[int]int64 {
 		}
 		ne := &forecastEntry{version: snap.Version, ready: make(chan struct{})}
 		if s.fc.CompareAndSwap(e, ne) {
-			ne.pred = s.computeForecast(snap)
+			s.fillForecast(e, ne, snap)
 			close(ne.ready)
 			return ne.pred
 		}
 	}
 }
 
-// computeForecast runs the dry-run over the snapshot's captured inputs.
-func (s *Server) computeForecast(snap *Snapshot) map[int]int64 {
+// fillForecast computes snap's forecast into ne, extending predecessor
+// prev's retained dry-run when the state delta permits and falling back to
+// the full dry-run otherwise. Either way it seeds ne so the chain continues.
+func (s *Server) fillForecast(prev, ne *forecastEntry, snap *Snapshot) {
 	s.dryRuns.Add(1)
-	return sched.ForecastFromState(snap.Procs, snap.SimNow, snap.FRunning, snap.FQueued, s.pol, snap.Resv)
+	ne.simNow = snap.SimNow
+	ne.frunning = snap.FRunning
+	ne.fqueued = snap.FQueued
+	ne.resv = snap.Resv
+	if pred, seed, ok := s.extendForecast(prev, snap); ok {
+		s.fcExtends.Add(1)
+		ne.pred = pred
+		ne.seed.Store(seed)
+		return
+	}
+	pred, seed := sched.ForecastFromStateSeeded(snap.Procs, snap.SimNow, snap.FRunning, snap.FQueued, s.pol, snap.Resv)
+	ne.pred = newForecastPred(pred)
+	ne.seed.Store(seed)
+}
+
+// extendForecast tries to derive snap's forecast by extending prev's. The
+// extension is sound only when prev's placements are provably unchanged:
+// same dry-run origin instant, same running set, prev's queue a pointer
+// prefix of snap's (a completion, cancellation, or reorder breaks this),
+// reservations unchanged for every job prev placed, and the seed still
+// unconsumed. Anything else returns ok=false and the caller re-runs the
+// dry-run from scratch.
+func (s *Server) extendForecast(prev *forecastEntry, snap *Snapshot) (*forecastPred, *sched.ForecastSeed, bool) {
+	if prev == nil || prev.version >= snap.Version {
+		return nil, nil, false
+	}
+	<-prev.ready
+	if snap.SimNow != prev.simNow ||
+		len(snap.FQueued) < len(prev.fqueued) ||
+		!slices.Equal(snap.FRunning, prev.frunning) {
+		return nil, nil, false
+	}
+	for i, j := range prev.fqueued {
+		if snap.FQueued[i] != j {
+			return nil, nil, false
+		}
+	}
+	newJobs := snap.FQueued[len(prev.fqueued):]
+	if !resvCompatible(prev.resv, snap.Resv, newJobs) {
+		return nil, nil, false
+	}
+	seed := prev.seed.Swap(nil)
+	if seed == nil {
+		return nil, nil, false
+	}
+	delta, ok := sched.ExtendForecast(seed, snap.SimNow, newJobs, s.pol, snap.Resv)
+	if !ok {
+		// The arrivals sort mid-queue; the seed was not touched, so hand it
+		// back for a later successor whose delta does qualify.
+		prev.seed.Store(seed)
+		return nil, nil, false
+	}
+	return prev.pred.derive(delta), seed, true
+}
+
+// resvCompatible reports whether the reservations a previous forecast
+// applied are unchanged for every job it placed. Entries for the new
+// arrivals are fine — the extension applies them — but a changed or
+// vanished reservation on an already-placed job would make the patched map
+// diverge from a full recompute.
+func resvCompatible(old, cur map[int]int64, newJobs []*job.Job) bool {
+	if len(old) == 0 && len(cur) == 0 {
+		return true
+	}
+	curNew := 0
+	for _, j := range newJobs {
+		if _, ok := cur[j.ID]; ok {
+			curNew++
+		}
+	}
+	if len(cur)-curNew != len(old) {
+		return false
+	}
+	for id, t := range old {
+		if ct, ok := cur[id]; !ok || ct != t {
+			return false
+		}
+	}
+	return true
+}
+
+// computeForecast runs the full dry-run over the snapshot's captured
+// inputs — the path for readers holding a snapshot older than the cache,
+// which must not disturb the incremental chain.
+func (s *Server) computeForecast(snap *Snapshot) *forecastPred {
+	s.dryRuns.Add(1)
+	return newForecastPred(sched.ForecastFromState(snap.Procs, snap.SimNow, snap.FRunning, snap.FQueued, s.pol, snap.Resv))
 }
 
 // DryRuns reports how many forecast dry-runs the server has executed —
@@ -188,17 +575,76 @@ func (s *Server) DryRuns() int64 { return s.dryRuns.Load() }
 // New publishes the initial empty state before returning.
 func (s *Server) Current() *Snapshot { return s.snap.Load() }
 
+// bodyEntry memoizes one marshaled response body for one snapshot version —
+// the forecastEntry pattern applied a layer up: once any reader has rendered
+// /v1/queue or /metrics for a version, every other reader of that version
+// writes the same cached bytes. ready is closed once body is filled in.
+type bodyEntry struct {
+	version uint64
+	ready   chan struct{}
+	body    []byte
+}
+
+// memoBody returns the cached body for snap's version from cache, rendering
+// it at most once per version via render. The never-regress rule matches
+// forecastFor: a reader holding an older snapshot than the cache renders
+// privately instead of clobbering the newer entry.
+func memoBody(cache *bodyPtr, snap *Snapshot, render func() []byte) []byte {
+	for {
+		e := cache.Load()
+		if e != nil && e.version == snap.Version {
+			<-e.ready
+			return e.body
+		}
+		if e != nil && e.version > snap.Version {
+			return render()
+		}
+		ne := &bodyEntry{version: snap.Version, ready: make(chan struct{})}
+		if cache.CompareAndSwap(e, ne) {
+			ne.body = render()
+			close(ne.ready)
+			return ne.body
+		}
+	}
+}
+
+// queueBody returns the exact bytes GET /v1/queue writes for snap —
+// json.Marshal plus the trailing newline json.Encoder appends, so cached
+// and uncached responses are byte-identical — memoized per snapshot
+// version. Safe to call from any goroutine.
+func (s *Server) queueBody(snap *Snapshot) []byte {
+	return memoBody(&s.qbody, snap, func() []byte {
+		b, err := json.Marshal(queueResponse(snap, s.forecastFor(snap)))
+		if err != nil {
+			// A QueueResponse is plain data; Marshal cannot fail on it.
+			panic("serve: marshal queue response: " + err.Error())
+		}
+		return append(b, '\n')
+	})
+}
+
+// metricsBody returns the Prometheus exposition body for snap, memoized per
+// snapshot version. The replication layer appends its own gauges after this
+// body, so memoizing the serve half stays correct for replicas.
+func (s *Server) metricsBody(snap *Snapshot) []byte {
+	return memoBody(&s.mbody, snap, func() []byte {
+		var buf bytes.Buffer
+		WriteMetrics(&buf, snap)
+		return buf.Bytes()
+	})
+}
+
 // withForecasts copies views and attaches predicted starts to the jobs
 // that are still waiting. The input slice (usually shared with a published
 // snapshot) is never modified.
-func withForecasts(views []JobView, pred map[int]int64) []JobView {
+func withForecasts(views []JobView, pred *forecastPred) []JobView {
 	if len(views) == 0 {
 		return nil
 	}
 	out := make([]JobView, len(views))
 	copy(out, views)
 	for i := range out {
-		if t, ok := pred[out[i].ID]; ok {
+		if t, ok := pred.lookup(out[i].ID); ok {
 			t := t
 			out[i].PredictedStart = &t
 		}
@@ -207,7 +653,7 @@ func withForecasts(views []JobView, pred map[int]int64) []JobView {
 }
 
 // queueResponse renders GET /v1/queue from a snapshot plus its forecast.
-func queueResponse(snap *Snapshot, pred map[int]int64) QueueResponse {
+func queueResponse(snap *Snapshot, pred *forecastPred) QueueResponse {
 	return QueueResponse{
 		Version:   snap.Version,
 		Now:       snap.Now,
@@ -216,7 +662,7 @@ func queueResponse(snap *Snapshot, pred map[int]int64) QueueResponse {
 		ProcsBusy: snap.ProcsBusy,
 		Submitted: snap.Submitted,
 		Pending:   snap.Pending,
-		Queued:    withForecasts(snap.Queued, pred),
+		Queued:    withForecasts(snap.QueuedViews(), pred),
 		Running:   snap.Running,
 		Completed: snap.Completed,
 		Cancelled: snap.Cancelled,
@@ -226,12 +672,12 @@ func queueResponse(snap *Snapshot, pred map[int]int64) QueueResponse {
 // jobResponse renders one job's view from a snapshot, attaching the
 // memoized forecast when the job is still waiting.
 func (s *Server) jobResponse(snap *Snapshot, id int) (JobView, bool) {
-	v, ok := snap.Jobs[id]
+	v, ok := snap.Jobs.Get(id)
 	if !ok {
 		return JobView{}, false
 	}
 	if v.State == sim.StateQueued.String() || v.State == sim.StatePending.String() {
-		if t, ok := s.forecastFor(snap)[id]; ok {
+		if t, ok := s.forecastFor(snap).lookup(id); ok {
 			t := t
 			v.PredictedStart = &t
 		}

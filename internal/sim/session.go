@@ -95,6 +95,9 @@ type Session struct {
 	q      *EventQueue
 	jobs   map[int]*sessionJob
 	states map[int]*runState
+	// active holds the IDs of currently running jobs, so Running snapshots
+	// cost O(in-flight) instead of scanning every job ever dispatched.
+	active map[int]struct{}
 
 	placements []Placement
 	inFlight   int
@@ -110,6 +113,13 @@ type Session struct {
 	stepped bool   // has any instant been processed
 	version uint64 // bumped on every externally visible state change
 	err     error  // sticky engine failure; the session is dead once set
+
+	// touched accumulates the IDs of jobs whose externally visible state
+	// (lifecycle state, start, end, estimated end) changed since the last
+	// DrainTouched. Nil until TrackTouched enables it; serving layers use
+	// the set to patch immutable snapshots instead of rebuilding them from
+	// every job the session has ever seen.
+	touched map[int]struct{}
 }
 
 // Open starts a session on machine m under scheduler s. obs may be nil.
@@ -127,6 +137,7 @@ func Open(m Machine, s Scheduler, obs *Observer) (*Session, error) {
 		q:      NewEventQueue(),
 		jobs:   make(map[int]*sessionJob),
 		states: make(map[int]*runState),
+		active: make(map[int]struct{}),
 		timers: make(map[int64]bool),
 	}
 	ss.waker, _ = s.(Waker)
@@ -136,6 +147,40 @@ func Open(m Machine, s Scheduler, obs *Observer) (*Session, error) {
 
 // Now returns the last processed instant (0 before any event fires).
 func (ss *Session) Now() int64 { return ss.now }
+
+// TrackTouched turns on touched-job tracking: from this call on, the
+// session records the ID of every job whose observable state changes, and
+// DrainTouched hands the accumulated set over. The serving layer enables
+// it once at startup; tracking is off by default so batch runs pay
+// nothing.
+func (ss *Session) TrackTouched() {
+	if ss.touched == nil {
+		ss.touched = make(map[int]struct{})
+	}
+}
+
+// DrainTouched returns the IDs touched since the previous drain and resets
+// the set. The order is unspecified. Returns nil when tracking is off or
+// nothing changed.
+func (ss *Session) DrainTouched() []int {
+	if len(ss.touched) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(ss.touched))
+	for id := range ss.touched {
+		out = append(out, id)
+		delete(ss.touched, id)
+	}
+	return out
+}
+
+// touch records an observable state change for job id (no-op when tracking
+// is off).
+func (ss *Session) touch(id int) {
+	if ss.touched != nil {
+		ss.touched[id] = struct{}{}
+	}
+}
 
 // Version is a cheap, monotonically increasing state-change counter: it
 // bumps on every successful Submit and Cancel and on every processed event
@@ -172,6 +217,7 @@ func (ss *Session) Submit(j *job.Job) error {
 	ss.jobs[j.ID] = &sessionJob{j: j}
 	ss.submitted++
 	ss.version++
+	ss.touch(j.ID)
 	ss.q.Push(j.Arrival, Arrival, j)
 	return nil
 }
@@ -198,6 +244,7 @@ func (ss *Session) Cancel(id int) bool {
 		sj.cancelled = true
 		ss.cancelled++
 		ss.version++
+		ss.touch(id)
 		return true
 	}
 	c, ok := ss.s.(canceler)
@@ -207,6 +254,7 @@ func (ss *Session) Cancel(id int) bool {
 	sj.cancelled = true
 	ss.cancelled++
 	ss.version++
+	ss.touch(id)
 	// Canceler contract: freed capacity (a released reservation compresses
 	// the queue) must be offered back to the scheduler at the same instant.
 	if err := ss.launch(ss.now); err != nil {
@@ -254,6 +302,8 @@ func (ss *Session) dispatch(now int64, j *job.Job) error {
 		return fmt.Errorf("sim: %v resumed with negative remaining runtime", j)
 	}
 	ss.inFlight++
+	ss.active[j.ID] = struct{}{}
+	ss.touch(j.ID)
 	ss.q.PushEpoch(now+remaining, Completion, j, st.epoch)
 	if ss.obs != nil && ss.obs.OnStart != nil {
 		ss.obs.OnStart(now, j)
@@ -275,6 +325,8 @@ func (ss *Session) suspend(now int64, j *job.Job) error {
 	st.suspended = true
 	st.epoch++ // cancels the pending completion
 	ss.inFlight--
+	delete(ss.active, j.ID)
+	ss.touch(j.ID)
 	if ss.obs != nil && ss.obs.OnSuspend != nil {
 		ss.obs.OnSuspend(now, j)
 	}
@@ -345,8 +397,10 @@ func (ss *Session) Step() (bool, error) {
 			st.done = true
 			st.end = now
 			ss.inFlight--
+			delete(ss.active, e.Job.ID)
 			ss.completed++
 			ss.placements = append(ss.placements, Placement{Job: e.Job, Start: st.firstStart, End: now})
+			ss.touch(e.Job.ID)
 			ss.s.Complete(now, e.Job)
 			if ss.obs != nil && ss.obs.OnComplete != nil {
 				ss.obs.OnComplete(now, e.Job)
@@ -357,6 +411,7 @@ func (ss *Session) Step() (bool, error) {
 					continue // withdrawn before arrival; never shown to the scheduler
 				}
 				sj.arrived = true
+				ss.touch(e.Job.ID)
 			}
 			ss.s.Arrive(now, e.Job)
 			if ss.obs != nil && ss.obs.OnArrive != nil {
@@ -496,10 +551,7 @@ func (ss *Session) Queued() []*job.Job { return ss.s.QueuedJobs() }
 // machine half of the state a start-time forecast needs.
 func (ss *Session) Running() []JobInfo {
 	out := make([]JobInfo, 0, ss.inFlight)
-	for id, st := range ss.states {
-		if !st.running {
-			continue
-		}
+	for id := range ss.active {
 		if info, ok := ss.Info(id); ok {
 			out = append(out, info)
 		}

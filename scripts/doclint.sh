@@ -4,12 +4,14 @@
 # least one of its files. Undocumented packages fail the build; `go doc`
 # and pkg.go.dev would render them with an empty synopsis.
 #
-# The serving stack — internal/fed, internal/replica, internal/serve — is
-# additionally held to a stricter bar: every exported identifier needs its
-# own doc comment (cmd/doclint, an AST-level check), with the rare
-# exemption recorded in scripts/doclint-allow.txt. These are the packages
-# operators script against; an undocumented export there is an API without
-# a contract. Run via `make doclint` (part of `make check`).
+# The serving stack — internal/fed, internal/replica, internal/serve — and
+# the scheduler core internal/sched are additionally held to a stricter
+# bar: every exported identifier needs its own doc comment (cmd/doclint,
+# an AST-level check), with the rare exemption recorded in
+# scripts/doclint-allow.txt. The serving packages are what operators
+# script against; internal/sched joined the list with the incremental pass
+# machinery (DESIGN.md §15), whose invariants live in those doc comments.
+# Run via `make doclint` (part of `make check`).
 set -eu
 
 fail=0
@@ -44,6 +46,6 @@ if [ "$fail" -ne 0 ]; then
 fi
 
 go run ./cmd/doclint -allow scripts/doclint-allow.txt \
-    internal/fed internal/replica internal/serve
+    internal/fed internal/replica internal/serve internal/sched
 
-echo "doclint: all packages documented, serving-stack exports all carry doc comments"
+echo "doclint: all packages documented, gated-package exports all carry doc comments"
